@@ -1,0 +1,218 @@
+// Package anycastcdn is a simulation and analysis library reproducing
+// "Analyzing the Performance of an Anycast CDN" (Calder et al., IMC 2015).
+//
+// The library has three layers:
+//
+//   - A synthetic Internet + CDN substrate: world geography, a CDN
+//     autonomous system with dozens of front-ends, BGP-style anycast
+//     routing with the real-world pathologies the paper diagnosed, client
+//     populations, LDNS infrastructure, and a latency model.
+//   - The paper's measurement apparatus: the JavaScript-beacon protocol
+//     (four targets per execution, chosen by the authoritative DNS) and
+//     passive request logs.
+//   - The paper's contribution: the history-based prediction scheme that
+//     drives DNS redirection for clients anycast underserves (§6), plus
+//     the experiment suite that regenerates every table and figure.
+//
+// Quick start:
+//
+//	res, err := anycastcdn.Run(anycastcdn.DefaultConfig(1))
+//	if err != nil { ... }
+//	suite := anycastcdn.NewSuite(res)
+//	fmt.Println(suite.Figure3().Render())
+//
+// All randomness derives from Config.Seed; identical configurations
+// produce byte-identical results regardless of parallelism.
+package anycastcdn
+
+import (
+	"context"
+	"time"
+
+	"anycastcdn/internal/beacon"
+	"anycastcdn/internal/bgp"
+	"anycastcdn/internal/cdn"
+	"anycastcdn/internal/clients"
+	"anycastcdn/internal/core"
+	"anycastcdn/internal/dns"
+	"anycastcdn/internal/experiments"
+	"anycastcdn/internal/frontend"
+	"anycastcdn/internal/geo"
+	"anycastcdn/internal/latency"
+	"anycastcdn/internal/sim"
+	"anycastcdn/internal/stats"
+	"anycastcdn/internal/testbed"
+	"anycastcdn/internal/topology"
+	"anycastcdn/internal/trace"
+)
+
+// Simulation layer.
+type (
+	// Config is the top-level simulation configuration.
+	Config = sim.Config
+	// Result is a completed simulation run.
+	Result = sim.Result
+	// World is the built simulation environment.
+	World = sim.World
+	// Measurement is one beacon execution (four latency samples).
+	Measurement = beacon.Measurement
+	// Assignment is an anycast routing outcome for one client and day.
+	Assignment = bgp.Assignment
+	// RoutingClient is the routing-layer view of a client prefix.
+	RoutingClient = bgp.Client
+	// Client is one client /24 of the population.
+	Client = clients.Client
+	// Deployment is the CDN's front-end deployment and addressing.
+	Deployment = cdn.Deployment
+	// Metro is a world metro area.
+	Metro = geo.Metro
+	// Point is a position on Earth.
+	Point = geo.Point
+	// SiteID identifies a CDN site.
+	SiteID = topology.SiteID
+	// LatencyConfig parameterizes the RTT model.
+	LatencyConfig = latency.Config
+	// LDNS is a resolver of the DNS substrate.
+	LDNS = dns.LDNS
+)
+
+// Prediction layer (the paper's §6 contribution).
+type (
+	// Predictor builds per-group redirection decisions.
+	Predictor = core.Predictor
+	// PredictorConfig parameterizes the predictor.
+	PredictorConfig = core.Config
+	// Predictions is a trained group→target mapping.
+	Predictions = core.Predictions
+	// Target is a redirection choice (anycast or a front-end).
+	Target = core.Target
+	// Observation is one latency measurement for training/evaluation.
+	Observation = core.Observation
+	// Evaluation is a next-interval outcome for one client.
+	Evaluation = core.Evaluation
+	// Evaluator scores predictions on the following interval.
+	Evaluator = core.Evaluator
+	// Grouping selects ECS-prefix or LDNS aggregation.
+	Grouping = core.Grouping
+)
+
+// Prediction constants re-exported from the core package.
+const (
+	// ByPrefix groups clients by ECS /24 prefix.
+	ByPrefix = core.ByPrefix
+	// ByLDNS groups clients by resolver.
+	ByLDNS = core.ByLDNS
+	// MetricP25 is the paper's 25th-percentile prediction metric.
+	MetricP25 = core.MetricP25
+	// MetricMedian is the median prediction metric.
+	MetricMedian = core.MetricMedian
+)
+
+// AnycastTarget is the "stay on anycast" redirection decision.
+var AnycastTarget = core.AnycastTarget
+
+// Experiment layer.
+type (
+	// Suite regenerates the paper's tables and figures from a run.
+	Suite = experiments.Suite
+	// Report is one regenerated table or figure with paper-vs-measured
+	// headlines.
+	Report = experiments.Report
+	// Figure is a renderable set of series.
+	Figure = stats.Figure
+	// Series is one line of a figure.
+	Series = stats.Series
+	// Tracer reconstructs traceroute-style paths for case studies.
+	Tracer = trace.Tracer
+	// Diagnosis classifies a client's anycast pathology.
+	Diagnosis = trace.Diagnosis
+)
+
+// Live loopback testbed layer.
+type (
+	// Testbed is a running loopback CDN miniature: real HTTP front-ends,
+	// a real authoritative DNS server with EDNS Client Subnet, and
+	// injected path latency.
+	Testbed = testbed.Testbed
+	// TestbedConfig wires a testbed to routing and latency callbacks.
+	TestbedConfig = testbed.Config
+	// FrontEndSpec declares one testbed front-end.
+	FrontEndSpec = testbed.FrontEndSpec
+	// BeaconClient performs the §3.2.2 measurement sequence against a
+	// testbed.
+	BeaconClient = testbed.BeaconClient
+	// BeaconResult is one live beacon execution.
+	BeaconResult = testbed.BeaconResult
+)
+
+// Data-path layer (the intro's split-TCP architecture).
+type (
+	// OriginBackend is the "data center" HTTP server front-ends relay to.
+	OriginBackend = frontend.Backend
+	// FrontEndProxy terminates client TCP connections and relays to the
+	// backend over warm persistent connections.
+	FrontEndProxy = frontend.Proxy
+	// FetchResult is one timed client fetch through the data path.
+	FetchResult = frontend.FetchResult
+)
+
+// NewOriginBackend starts a loopback origin server.
+func NewOriginBackend() (*OriginBackend, error) { return frontend.NewBackend() }
+
+// NewFrontEndProxy starts a front-end relaying to backendAddr across a
+// path with the given RTT.
+func NewFrontEndProxy(backendAddr string, backendRTT time.Duration) (*FrontEndProxy, error) {
+	return frontend.NewProxy(backendAddr, backendRTT)
+}
+
+// ColdFetch performs one request over a fresh TCP connection across a
+// path with the given emulated RTT.
+func ColdFetch(ctx context.Context, addr string, rtt time.Duration, query string) (FetchResult, error) {
+	return frontend.ColdFetch(ctx, addr, rtt, query)
+}
+
+// TestbedDomain is the testbed's DNS zone (cdn.test).
+const TestbedDomain = testbed.Domain
+
+// StartTestbed brings up a loopback testbed.
+func StartTestbed(cfg TestbedConfig) (*Testbed, error) { return testbed.Start(cfg) }
+
+// NewBeaconClient builds a beacon client against a running testbed.
+func NewBeaconClient(tb *Testbed) *BeaconClient { return testbed.NewBeaconClient(tb) }
+
+// DefaultConfig returns the experiment-scale configuration for a seed.
+func DefaultConfig(seed uint64) Config { return sim.DefaultConfig(seed) }
+
+// BuildWorld constructs the simulation environment without running it.
+func BuildWorld(cfg Config) (*World, error) { return sim.BuildWorld(cfg) }
+
+// Run builds the world and simulates cfg.Days days of traffic,
+// measurements and routing dynamics.
+func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
+
+// NewSuite wraps a run for experiment regeneration.
+func NewSuite(res *Result) *Suite { return experiments.NewSuite(res) }
+
+// CDNSizeTable reproduces the §4 CDN deployment comparison.
+func CDNSizeTable() Report { return experiments.CDNSizeTable() }
+
+// NewPredictor builds a §6 predictor.
+func NewPredictor(cfg PredictorConfig) *Predictor { return core.NewPredictor(cfg) }
+
+// DefaultPredictorConfig is the paper's predictor configuration:
+// 25th-percentile metric, 20-measurement floor.
+func DefaultPredictorConfig() PredictorConfig { return core.DefaultConfig() }
+
+// ObservationsFromMeasurement expands one beacon measurement into its four
+// predictor observations.
+func ObservationsFromMeasurement(m Measurement) []Observation {
+	return core.FromMeasurement(m)
+}
+
+// NewTracer builds a case-study tracer over a world.
+func NewTracer(w *World) *Tracer {
+	return &trace.Tracer{Router: w.Router, Latency: w.Latency}
+}
+
+// WorldMetros returns the built-in world metro catalog.
+func WorldMetros() []Metro { return geo.World() }

@@ -1,0 +1,158 @@
+package anycastcdn
+
+import (
+	"context"
+	"net/netip"
+	"time"
+
+	"testing"
+)
+
+func smallConfig(seed uint64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Prefixes = 500
+	cfg.Days = 5
+	return cfg
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	res, err := Run(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBeacons() == 0 {
+		t.Fatal("no beacons")
+	}
+	suite := NewSuite(res)
+	r := suite.Figure3()
+	if r.Figure == nil || len(r.Figure.Series) == 0 {
+		t.Fatal("figure 3 empty")
+	}
+}
+
+func TestPublicPredictorFlow(t *testing.T) {
+	res, err := Run(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var train, next []Observation
+	for _, m := range res.Beacons[0] {
+		train = append(train, ObservationsFromMeasurement(m)...)
+	}
+	for _, m := range res.Beacons[1] {
+		next = append(next, ObservationsFromMeasurement(m)...)
+	}
+	p := NewPredictor(DefaultPredictorConfig())
+	pred := p.Train(train, ByPrefix)
+	evals := Evaluator{Percentile: 0.5, MinSamples: 2}.Evaluate(pred, next, res.Volumes())
+	if len(evals) == 0 {
+		t.Fatal("no evaluations")
+	}
+	for _, e := range evals {
+		if e.Predicted.Anycast && e.ImprovementMs != 0 {
+			t.Fatal("anycast prediction must evaluate to zero")
+		}
+	}
+}
+
+func TestPublicTracer(t *testing.T) {
+	w, err := BuildWorld(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(w)
+	c := w.Population.Clients[0]
+	d := tr.Diagnose(RoutingClient{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}, 0)
+	if d.Category == "" || len(d.AnycastTrace.Hops) < 2 {
+		t.Fatalf("empty diagnosis: %+v", d)
+	}
+}
+
+func TestPublicCatalogAndTable(t *testing.T) {
+	if len(WorldMetros()) < 150 {
+		t.Fatal("catalog too small")
+	}
+	if r := CDNSizeTable(); r.Table == nil {
+		t.Fatal("no CDN table")
+	}
+}
+
+func TestPublicTestbedAndDataPath(t *testing.T) {
+	// Exercise the testbed wrappers through the facade.
+	tb, err := StartTestbed(TestbedConfig{
+		FrontEnds:  []FrontEndSpec{{Site: 0, Name: "solo"}},
+		AnycastFor: func(uint64) SiteID { return 0 },
+		RTT: func(uint64, SiteID, bool) timeDurationAlias {
+			return 2 * millisecond
+		},
+		ClientAddr: func(c uint64) netipAddrAlias { return addr4(10, 0, byte(c), 1) },
+		ClientOf: func(p netipAddrAlias) (uint64, bool) {
+			a4 := p.As4()
+			return uint64(a4[2]), a4[0] == 10
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	bc := NewBeaconClient(tb)
+	ctx, cancel := contextWithTimeout()
+	defer cancel()
+	res, err := bc.RunBeacon(ctx, 1, []string{"solo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Anycast.Site != 0 || len(res.Unicast) != 1 {
+		t.Fatalf("beacon result %+v", res)
+	}
+
+	// And the split-TCP data-path wrappers.
+	backend, err := NewOriginBackend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backend.Close()
+	fe, err := NewFrontEndProxy(backend.Addr(), 10*millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Close()
+	if err := fe.Warm(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ColdFetch(ctx, fe.Addr(), millisecond, "facade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ServedBy != "front-end" || got.Elapsed <= 0 {
+		t.Fatalf("fetch result %+v", got)
+	}
+}
+
+func TestPublicConstants(t *testing.T) {
+	if TestbedDomain != "cdn.test" {
+		t.Fatalf("domain = %q", TestbedDomain)
+	}
+	if AnycastTarget.String() != "anycast" {
+		t.Fatal("anycast target")
+	}
+	if ByPrefix == ByLDNS {
+		t.Fatal("groupings must differ")
+	}
+	if MetricP25 >= MetricMedian {
+		t.Fatal("metric ordering")
+	}
+}
+
+// Small helpers keeping the facade tests free of extra imports noise.
+type timeDurationAlias = time.Duration
+
+type netipAddrAlias = netip.Addr
+
+const millisecond = time.Millisecond
+
+func addr4(a, b, c, d byte) netip.Addr { return netip.AddrFrom4([4]byte{a, b, c, d}) }
+
+func contextWithTimeout() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 30*time.Second)
+}

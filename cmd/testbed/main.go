@@ -1,0 +1,185 @@
+// Command testbed runs the live loopback miniature of the paper's system:
+// HTTP front-ends on loopback aliases with simulated path latency, an
+// authoritative DNS server with EDNS Client Subnet, and a beacon client
+// sweep that prints anycast-vs-unicast comparisons and the effect of §6's
+// prediction-driven redirection.
+//
+// Usage:
+//
+//	testbed [-seed N] [-clients N] [-frontends N]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"time"
+
+	"anycastcdn/internal/bgp"
+	"anycastcdn/internal/core"
+	"anycastcdn/internal/latency"
+	"anycastcdn/internal/netaddr"
+	"anycastcdn/internal/sim"
+	"anycastcdn/internal/testbed"
+	"anycastcdn/internal/topology"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		nClients  = flag.Int("clients", 8, "clients to sweep")
+		frontends = flag.Int("frontends", 6, "front-ends to stand up")
+	)
+	flag.Parse()
+	if err := run(*seed, *nClients, *frontends); err != nil {
+		fmt.Fprintln(os.Stderr, "testbed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed uint64, nClients, nFE int) error {
+	// Build a small simulated world to drive routing and latency, then
+	// stand up real servers that mirror it.
+	cfg := sim.DefaultConfig(seed)
+	cfg.Prefixes = 512
+	cfg.Days = 2
+	w, err := sim.BuildWorld(cfg)
+	if err != nil {
+		return err
+	}
+	model := w.Latency
+	fes := w.Deployment.FrontEnds
+	if nFE > len(fes) {
+		nFE = len(fes)
+	}
+	specs := make([]testbed.FrontEndSpec, 0, nFE)
+	chosen := map[topology.SiteID]bool{}
+	for _, fe := range fes[:nFE] {
+		specs = append(specs, testbed.FrontEndSpec{Site: fe.Site, Name: fe.Name})
+		chosen[fe.Site] = true
+	}
+	// Helper lookups over the simulated world.
+	anycastFor := func(clientID uint64) topology.SiteID {
+		c := w.Population.Clients[clientID%uint64(len(w.Population.Clients))]
+		rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
+		a := w.Router.Assign(rc, w.Router.BaseIngress(rc))
+		if chosen[a.FrontEnd] {
+			return a.FrontEnd
+		}
+		// Anycast landed outside the stood-up subset: fall back to the
+		// nearest stood-up front-end to the ingress.
+		best, bestD := specs[0].Site, 1e18
+		for _, sp := range specs {
+			d := w.Router.Backbone().IGPDistanceKm(a.Ingress, sp.Site)
+			if d < bestD {
+				best, bestD = sp.Site, d
+			}
+		}
+		return best
+	}
+	rttFor := func(clientID uint64, fe topology.SiteID, anycast bool) time.Duration {
+		c := w.Population.Clients[clientID%uint64(len(w.Population.Clients))]
+		rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
+		var a bgp.Assignment
+		if anycast {
+			a = w.Router.Assign(rc, w.Router.BaseIngress(rc))
+		} else {
+			a = w.Router.UnicastAssignment(rc, fe)
+		}
+		p := latency.Path{
+			PrefixID:   c.ID,
+			EntryKey:   uint64(a.Ingress),
+			AirKm:      a.AirKm,
+			BackboneKm: a.BackboneKm,
+			Unicast:    a.Unicast,
+		}
+		// Scale down 4x so the demo completes quickly.
+		return time.Duration(model.BaseRTTms(p)/4) * time.Millisecond
+	}
+	// Train the §6 predictor on one simulated day of beacons.
+	res, err := sim.RunWorld(cfg, w)
+	if err != nil {
+		return err
+	}
+	var obs []core.Observation
+	for _, m := range res.Beacons[0] {
+		obs = append(obs, core.FromMeasurement(m)...)
+	}
+	pred := core.NewPredictor(core.DefaultConfig()).Train(obs, core.ByPrefix)
+	predictFor := func(clientID uint64) (topology.SiteID, bool) {
+		c := w.Population.Clients[clientID%uint64(len(w.Population.Clients))]
+		t := pred.For(c.ID, w.Mapping.Resolver(c.ID).ID)
+		if t.Anycast || !chosen[t.Site] {
+			return 0, false
+		}
+		return t.Site, true
+	}
+
+	tb, err := testbed.Start(testbed.Config{
+		FrontEnds:  specs,
+		AnycastFor: anycastFor,
+		PredictFor: predictFor,
+		RTT:        rttFor,
+		ClientAddr: func(clientID uint64) netip.Addr {
+			c := w.Population.Clients[clientID%uint64(len(w.Population.Clients))]
+			return c.Prefix.Addr(1)
+		},
+		ClientOf: clientTable(w).Lookup,
+	})
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+
+	fmt.Printf("testbed up: %d front-ends on port %d, DNS at %s\n\n", nFE, tb.Port(), tb.DNSAddr())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	names := make([]string, 0, 3)
+	for _, sp := range specs[:min(3, len(specs))] {
+		names = append(names, sp.Name)
+	}
+	fmt.Printf("%-8s %-14s %-12s %-14s %-12s %s\n",
+		"client", "anycast-fe", "anycast-rtt", "best-unicast", "best-rtt", "www-fe (hybrid)")
+	for i := 0; i < nClients; i++ {
+		bc := testbed.NewBeaconClient(tb)
+		clientID := uint64(i * 37)
+		beacon, err := bc.RunBeacon(ctx, clientID, names)
+		if err != nil {
+			return err
+		}
+		www, err := bc.FetchWWW(ctx, clientID)
+		if err != nil {
+			return err
+		}
+		best, _ := beacon.BestUnicast()
+		fmt.Printf("%-8d %-14s %-12v %-14s %-12v %s\n",
+			clientID,
+			siteName(w, beacon.Anycast.Site), beacon.Anycast.Elapsed.Round(time.Millisecond),
+			siteName(w, best.Site), best.Elapsed.Round(time.Millisecond),
+			siteName(w, www.Site))
+	}
+	return nil
+}
+
+// clientTable builds a longest-prefix-match table from client /24s so the
+// DNS handler resolves ECS subnets in O(32) instead of scanning.
+func clientTable(w *sim.World) *netaddr.Table[uint64] {
+	var tb netaddr.Table[uint64]
+	for _, c := range w.Population.Clients {
+		tb.Insert24(c.Prefix, c.ID)
+	}
+	return &tb
+}
+
+func siteName(w *sim.World, s topology.SiteID) string {
+	return w.Deployment.Backbone.Site(s).Metro.Name
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+// Pathology: recreate the paper's §5 traceroute case studies — clients
+// whose anycast route hands off at a remote peering point (the paper's
+// Moscow→Stockholm and Denver→Phoenix examples) or enters the CDN at a
+// site without a front-end — and print traceroute-style diagnoses.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"anycastcdn"
+)
+
+func main() {
+	w, err := anycastcdn.BuildWorld(anycastcdn.DefaultConfig(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracer := anycastcdn.NewTracer(w)
+
+	// Diagnose every 20th client and keep the worst offenders.
+	type finding struct {
+		d     anycastcdn.Diagnosis
+		c     anycastcdn.Client
+		exKm  float64
+		categ string
+	}
+	var findings []finding
+	for i := 0; i < len(w.Population.Clients); i += 20 {
+		c := w.Population.Clients[i]
+		rc := anycastcdn.RoutingClient{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
+		d := tracer.Diagnose(rc, 0)
+		findings = append(findings, finding{d: d, c: c, exKm: d.ExcessKm, categ: d.Category})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].exKm > findings[j].exKm })
+
+	// Summary of categories.
+	counts := map[string]int{}
+	for _, f := range findings {
+		counts[f.categ]++
+	}
+	fmt.Println("diagnosis summary over sampled clients:")
+	for cat, n := range counts {
+		fmt.Printf("  %4d  %s\n", n, cat)
+	}
+
+	fmt.Println("\nthree worst anycast routes:")
+	for _, f := range findings[:3] {
+		fmt.Printf("\nclient /24 %s near %s (%s), ISP %s [%s policy]\n",
+			f.c.Prefix, f.c.Metro, f.c.Country,
+			w.ISPs.ISP(f.c.ISP).Name, w.ISPs.ISP(f.c.ISP).Policy)
+		fmt.Printf("category: %s\nexcess distance: %.0f km\n\n", f.categ, f.exKm)
+		fmt.Println(f.d.AnycastTrace.Render())
+		fmt.Println("best alternative:")
+		fmt.Println(f.d.BestUnicast.Render())
+	}
+}

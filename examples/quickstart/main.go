@@ -1,0 +1,49 @@
+// Quickstart: simulate a week of an anycast CDN and ask the paper's
+// headline question — how often does anycast beat the best nearby unicast
+// front-end, and by how much?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anycastcdn"
+)
+
+func main() {
+	// A small, fast configuration. Everything derives from the seed:
+	// rerunning this program reproduces these exact numbers.
+	cfg := anycastcdn.DefaultConfig(42)
+	cfg.Prefixes = 2000
+	cfg.Days = 7
+
+	res, err := anycastcdn.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %d client /24s, %d beacon executions over %d days\n\n",
+		cfg.Prefixes, res.TotalBeacons(), cfg.Days)
+
+	// Per-request anycast penalty, straight from the beacon measurements.
+	var total, slower25, slower100 int
+	for _, day := range res.Beacons {
+		for _, m := range day {
+			total++
+			p := m.AnycastPenaltyMs()
+			if p >= 25 {
+				slower25++
+			}
+			if p >= 100 {
+				slower100++
+			}
+		}
+	}
+	fmt.Printf("requests where anycast was >=25ms slower than best unicast:  %5.1f%%\n",
+		100*float64(slower25)/float64(total))
+	fmt.Printf("requests where anycast was >=100ms slower than best unicast: %5.1f%%\n\n",
+		100*float64(slower100)/float64(total))
+
+	// The full Figure 3 (CCDF by region), rendered as a table.
+	suite := anycastcdn.NewSuite(res)
+	fmt.Println(suite.Figure3().Render())
+}

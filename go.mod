@@ -1,0 +1,3 @@
+module anycastcdn
+
+go 1.22

@@ -1,0 +1,151 @@
+// Package beacon implements the paper's client-side measurement system
+// (§3.2.2): a JavaScript beacon injected into a fraction of search result
+// pages that, after the page loads, fetches four test URLs — one resolved
+// to the anycast VIP and three to unicast front-ends chosen by the
+// authoritative DNS (§3.3) — and reports the download latencies together
+// with a globally unique query ID that lets the backend join client-side
+// HTTP results with server-side DNS logs.
+//
+// Modeled beacon details:
+//   - a warm-up request removes DNS lookup latency from the measurement
+//     (so samples reflect only the client↔front-end path);
+//   - browsers supporting the W3C Resource Timing API report accurate
+//     timings; others report positively biased primitive timings
+//     (latency.Model.MeasuredRTTms).
+package beacon
+
+import (
+	"math"
+
+	"anycastcdn/internal/bgp"
+	"anycastcdn/internal/clients"
+	"anycastcdn/internal/dns"
+	"anycastcdn/internal/geo"
+	"anycastcdn/internal/latency"
+	"anycastcdn/internal/topology"
+	"anycastcdn/internal/xrand"
+)
+
+// TargetSample is the measured latency to one front-end.
+type TargetSample struct {
+	Site  topology.SiteID
+	RTTms float64
+}
+
+// Measurement is one beacon execution: the anycast sample plus three
+// unicast samples, joined with the DNS-side record by QueryID.
+type Measurement struct {
+	QueryID  uint64
+	ClientID uint64
+	Day      int
+	Region   geo.Region
+	LDNS     dns.LDNSID
+	// Anycast is measurement (a) of §3.3.
+	Anycast TargetSample
+	// Unicast are measurements (b)-(d): the front-end closest to the
+	// LDNS, then two weighted-random candidates.
+	Unicast [3]TargetSample
+}
+
+// BestUnicast returns the lowest-latency unicast sample.
+func (m Measurement) BestUnicast() TargetSample {
+	best := m.Unicast[0]
+	for _, u := range m.Unicast[1:] {
+		if u.RTTms < best.RTTms {
+			best = u
+		}
+	}
+	return best
+}
+
+// AnycastPenaltyMs returns how much slower anycast was than the best
+// unicast sample (negative when anycast won), the quantity of Figure 3.
+func (m Measurement) AnycastPenaltyMs() float64 {
+	return m.Anycast.RTTms - m.BestUnicast().RTTms
+}
+
+// Executor runs beacons against the simulated world.
+type Executor struct {
+	Router    *bgp.Router
+	Authority *dns.Authority
+	Latency   *latency.Model
+	Mapping   *dns.Mapping
+	Seed      uint64
+}
+
+// Run executes one beacon for the given client on the given day using the
+// precomputed anycast assignment for that day. queryID must be globally
+// unique; it seeds the randomized DNS target selection and sample noise.
+func (e *Executor) Run(c clients.Client, day int, assign bgp.Assignment, queryID uint64) Measurement {
+	ldns := e.Mapping.Resolver(c.ID)
+	rs := xrand.Substream(e.Seed, "beacon", queryID)
+	targets := e.Authority.SelectBeaconTargets(ldns, rs)
+
+	m := Measurement{
+		QueryID:  queryID,
+		ClientID: c.ID,
+		Day:      day,
+		Region:   c.Region,
+		LDNS:     ldns.ID,
+	}
+	rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
+
+	m.Anycast = e.sample(rc, day, assign, queryID, 0)
+	sites := []topology.SiteID{targets.Closest, targets.Random[0], targets.Random[1]}
+	for i, site := range sites {
+		ua := e.Router.UnicastAssignment(rc, site)
+		m.Unicast[i] = e.sample(rc, day, ua, queryID, uint64(i+1))
+	}
+	return m
+}
+
+// MeasureCandidates measures the client against every candidate front-end
+// of its LDNS plus anycast. The paper could not afford this per beacon
+// ("measuring from each client to every front-end would introduce too much
+// overhead") but uses the near-equivalent union over time for Figure 1's
+// diminishing-returns analysis; the simulator can do it directly.
+func (e *Executor) MeasureCandidates(c clients.Client, day int, assign bgp.Assignment, queryID uint64) (Measurement, []TargetSample) {
+	ldns := e.Mapping.Resolver(c.ID)
+	m := Measurement{
+		QueryID:  queryID,
+		ClientID: c.ID,
+		Day:      day,
+		Region:   c.Region,
+		LDNS:     ldns.ID,
+	}
+	rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
+	m.Anycast = e.sample(rc, day, assign, queryID, 0)
+	cands := e.Authority.Candidates(ldns)
+	out := make([]TargetSample, len(cands))
+	for i, site := range cands {
+		ua := e.Router.UnicastAssignment(rc, site)
+		out[i] = e.sample(rc, day, ua, queryID, uint64(i+1))
+	}
+	return m, out
+}
+
+// sample produces one measured RTT over a path.
+func (e *Executor) sample(rc bgp.Client, day int, a bgp.Assignment, queryID, slot uint64) TargetSample {
+	// Each beacon execution runs in one household of the /24; all four
+	// samples of the execution share it.
+	const householdsPerPrefix = 6
+	p := latency.Path{
+		PrefixID:   rc.PrefixID,
+		EntryKey:   uint64(a.Ingress),
+		AirKm:      a.AirKm,
+		BackboneKm: a.BackboneKm,
+		Household:  queryID % householdsPerPrefix,
+		Unicast:    a.Unicast,
+	}
+	sampleKey := queryID*8 + slot
+	trueRTT := e.Latency.SampleRTTms(p, day, sampleKey)
+	// Browser timing fidelity is a property of the client, keyed by the
+	// client prefix (households keep their browser for the study window).
+	measured := e.Latency.MeasuredRTTms(trueRTT, rc.PrefixID, sampleKey)
+	// Browser timings are reported at millisecond granularity; the
+	// analysis in §5-6 sees integer-ms latencies.
+	return TargetSample{
+		Site:  a.FrontEnd,
+		RTTms: math.Round(measured),
+	}
+}

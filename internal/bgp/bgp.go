@@ -1,0 +1,282 @@
+// Package bgp models interdomain route selection toward the CDN's anycast
+// prefix, and the route dynamics (churn) that drive front-end affinity.
+//
+// Anycast selection happens in two halves, mirroring the paper's
+// description:
+//
+//  1. The client's ISP picks an egress peering point toward the CDN AS
+//     according to its policy (topology.EgressPolicy): hot-potato to the
+//     nearest peering site, centralized through a national hub, or a
+//     geography-blind tie-break among nearby peering sites.
+//  2. The CDN AS routes hot-potato from that ingress to the front-end
+//     nearest by IGP metric (topology.Backbone.HotPotatoFrontEnd).
+//
+// Unicast selection is trivial by construction: each front-end's unicast
+// /24 is announced only at the peering point closest to that front-end
+// (§3.1), so unicast traffic ingresses at the front-end itself.
+//
+// Churn: per client prefix, route-change events arrive day by day with a
+// heterogeneous per-client rate (most clients are stable, a small class is
+// flappy) modulated by a weekday/weekend factor — network operators push
+// fewer changes on weekends (§5, Figure 7).
+package bgp
+
+import (
+	"time"
+
+	"anycastcdn/internal/geo"
+	"anycastcdn/internal/topology"
+	"anycastcdn/internal/xrand"
+)
+
+// Client is the view of a client prefix that routing needs.
+type Client struct {
+	PrefixID uint64
+	Point    geo.Point
+	ISP      topology.ISPID
+}
+
+// Assignment is the outcome of anycast routing for one client on one day.
+type Assignment struct {
+	// Ingress is the peering site where the client's traffic enters the
+	// CDN AS.
+	Ingress topology.SiteID
+	// FrontEnd is the front-end that serves the traffic (hot-potato from
+	// Ingress).
+	FrontEnd topology.SiteID
+	// AirKm is the great-circle distance from the client to the ingress.
+	AirKm float64
+	// BackboneKm is the IGP distance from ingress to front-end.
+	BackboneKm float64
+	// Unicast marks a beacon unicast path (ingresses at the front-end's
+	// own peering point; see latency.Path.Unicast).
+	Unicast bool
+}
+
+// Config parameterizes routing and churn.
+type Config struct {
+	// TieBreakTopK is how many nearest peering sites a TieBreak ISP
+	// chooses among.
+	TieBreakTopK int
+	// HotPotatoMissRate is the probability that a hot-potato ISP lacks
+	// peering at the site nearest a given client and uses the next one.
+	HotPotatoMissRate float64
+	// Churn class mix: fraction of clients that are stable / moderate /
+	// flappy, with the per-weekday switch probability of each class.
+	StableFrac, ModerateFrac float64 // flappy = 1 - stable - moderate
+	StableRate, ModerateRate float64
+	FlappyRate               float64
+	// WeekendFactor multiplies switch rates on Saturday and Sunday.
+	WeekendFactor float64
+	// StartWeekday is the day of week of simulation day 0. The paper's
+	// passive dataset starts Wednesday, April 1, 2015.
+	StartWeekday time.Weekday
+}
+
+// DefaultConfig returns the calibration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		TieBreakTopK:      4,
+		HotPotatoMissRate: 0.10,
+		StableFrac:        0.72,
+		ModerateFrac:      0.20,
+		StableRate:        0.007,
+		ModerateRate:      0.13,
+		FlappyRate:        0.55,
+		WeekendFactor:     0.10,
+		StartWeekday:      time.Wednesday,
+	}
+}
+
+// Router computes anycast assignments.
+type Router struct {
+	backbone *topology.Backbone
+	isps     *topology.ISPModel
+	cfg      Config
+	seed     uint64
+}
+
+// NewRouter builds a router over the given backbone and ISP model.
+func NewRouter(b *topology.Backbone, isps *topology.ISPModel, seed uint64, cfg Config) *Router {
+	if cfg.TieBreakTopK < 1 {
+		cfg.TieBreakTopK = 1
+	}
+	return &Router{backbone: b, isps: isps, cfg: cfg, seed: seed}
+}
+
+// Weekday returns the day of week of a simulation day.
+func (r *Router) Weekday(day int) time.Weekday {
+	return time.Weekday((int(r.cfg.StartWeekday) + day%7 + 7) % 7)
+}
+
+// IsWeekend reports whether the simulation day falls on a weekend.
+func (r *Router) IsWeekend(day int) bool {
+	wd := r.Weekday(day)
+	return wd == time.Saturday || wd == time.Sunday
+}
+
+// BaseIngress returns the steady-state ingress peering site for a client,
+// applying its ISP's egress policy.
+func (r *Router) BaseIngress(c Client) topology.SiteID {
+	isp := r.isps.ISP(c.ISP)
+	switch isp.Policy {
+	case topology.Centralized:
+		// Nearest hub to the client among the ISP's hub set. With one hub
+		// this is the paper's Moscow→Stockholm pathology whenever the hub
+		// is far from the client.
+		return r.nearestHub(c, isp)
+	case topology.TieBreak:
+		ranked := r.backbone.RankPeeringByAir(c.Point)
+		k := r.cfg.TieBreakTopK
+		if k > len(ranked) {
+			k = len(ranked)
+		}
+		// A stable, geography-blind choice among the k nearest: the BGP
+		// decision depends on AS-path artifacts, not distance, so it is a
+		// hash of (ISP salt, prefix) — consistent for the client, but
+		// uncorrelated with which candidate is closest.
+		rs := xrand.Substream(r.seed, "tiebreak", isp.TieBreakSalt, c.PrefixID)
+		return ranked[rs.Intn(k)]
+	default: // HotPotato
+		ranked := r.backbone.RankPeeringByAir(c.Point)
+		rs := xrand.Substream(r.seed, "hp-miss", uint64(isp.ID), c.PrefixID)
+		if len(ranked) > 1 && rs.Bool(r.cfg.HotPotatoMissRate) {
+			return ranked[1]
+		}
+		return ranked[0]
+	}
+}
+
+// churnClass returns the per-weekday switch rate for a client.
+func (r *Router) churnClass(prefixID uint64) float64 {
+	rs := xrand.Substream(r.seed, "churn-class", prefixID)
+	u := rs.Float64()
+	switch {
+	case u < r.cfg.StableFrac:
+		return r.cfg.StableRate
+	case u < r.cfg.StableFrac+r.cfg.ModerateFrac:
+		return r.cfg.ModerateRate
+	default:
+		return r.cfg.FlappyRate
+	}
+}
+
+// SwitchedOnDay reports whether the client's route changed during the
+// given day (a BGP path change event).
+func (r *Router) SwitchedOnDay(c Client, day int) bool {
+	rate := r.churnClass(c.PrefixID)
+	if r.IsWeekend(day) {
+		rate *= r.cfg.WeekendFactor
+	}
+	rs := xrand.Substream(r.seed, "churn-event", c.PrefixID, uint64(day))
+	return rs.Bool(rate)
+}
+
+// alternativeIngress picks the ingress a route change lands on: usually a
+// nearby alternative (rank 2–4 by distance), occasionally back to rank 1.
+func (r *Router) alternativeIngress(c Client, day int, current topology.SiteID) topology.SiteID {
+	ranked := r.backbone.RankPeeringByAir(c.Point)
+	if len(ranked) == 1 {
+		return ranked[0]
+	}
+	rs := xrand.Substream(r.seed, "churn-target", c.PrefixID, uint64(day))
+	// Geometric preference over ranks: nearby alternatives dominate, with
+	// a long tail, matching Figure 8's switch-distance distribution.
+	weights := make([]float64, len(ranked))
+	w := 1.0
+	for i := range ranked {
+		if ranked[i] == current {
+			weights[i] = 0 // a switch must change the ingress
+			continue
+		}
+		weights[i] = w
+		w *= 0.30
+	}
+	idx := rs.WeightedChoice(weights)
+	if idx < 0 {
+		return current
+	}
+	return ranked[idx]
+}
+
+// IngressSchedule returns the client's ingress for each of days [0, days).
+// Day d's ingress reflects any switch events up to and including day d.
+func (r *Router) IngressSchedule(c Client, days int) []topology.SiteID {
+	out := make([]topology.SiteID, days)
+	cur := r.BaseIngress(c)
+	for d := 0; d < days; d++ {
+		if r.SwitchedOnDay(c, d) {
+			cur = r.alternativeIngress(c, d, cur)
+		}
+		out[d] = cur
+	}
+	return out
+}
+
+// Assign resolves a full assignment from an ingress.
+func (r *Router) Assign(c Client, ingress topology.SiteID) Assignment {
+	fe, backboneKm := r.backbone.HotPotatoFrontEnd(ingress)
+	return Assignment{
+		Ingress:    ingress,
+		FrontEnd:   fe,
+		AirKm:      geo.DistanceKm(c.Point, r.site(ingress)),
+		BackboneKm: backboneKm,
+	}
+}
+
+// AssignmentSchedule returns the per-day assignment over [0, days).
+func (r *Router) AssignmentSchedule(c Client, days int) []Assignment {
+	ingress := r.IngressSchedule(c, days)
+	out := make([]Assignment, days)
+	for d, ing := range ingress {
+		out[d] = r.Assign(c, ing)
+	}
+	return out
+}
+
+// UnicastAssignment returns the path for a direct unicast fetch from the
+// client to the given front-end. The unicast /24 is announced only at the
+// front-end's own peering point (§3.1), so for most clients the whole path
+// rides the public Internet straight to the front-end. Clients of a
+// single-interconnect centralized ISP are the exception: their ISP hauls
+// ALL CDN-bound traffic through its hub, so the unicast path detours
+// through the hub too and shares anycast's fate.
+func (r *Router) UnicastAssignment(c Client, fe topology.SiteID) Assignment {
+	airKm := geo.DistanceKm(c.Point, r.site(fe))
+	if int(c.ISP) < r.isps.Len() {
+		isp := r.isps.ISP(c.ISP)
+		if isp.Policy == topology.Centralized && isp.SingleInterconnect {
+			hub := r.nearestHub(c, isp)
+			airKm = geo.DistanceKm(c.Point, r.site(hub)) +
+				geo.DistanceKm(r.site(hub), r.site(fe))
+		}
+	}
+	return Assignment{
+		Ingress:    fe,
+		FrontEnd:   fe,
+		AirKm:      airKm,
+		BackboneKm: 0,
+		Unicast:    true,
+	}
+}
+
+// nearestHub returns the ISP hub nearest to the client.
+func (r *Router) nearestHub(c Client, isp topology.ISP) topology.SiteID {
+	best, bestD := isp.Hubs[0], geo.DistanceKm(c.Point, r.site(isp.Hubs[0]))
+	for _, h := range isp.Hubs[1:] {
+		if d := geo.DistanceKm(c.Point, r.site(h)); d < bestD {
+			best, bestD = h, d
+		}
+	}
+	return best
+}
+
+func (r *Router) site(id topology.SiteID) geo.Point {
+	return r.backbone.Site(id).Metro.Point
+}
+
+// Backbone exposes the underlying backbone (read-only use).
+func (r *Router) Backbone() *topology.Backbone { return r.backbone }
+
+// ISPs exposes the ISP model (read-only use).
+func (r *Router) ISPs() *topology.ISPModel { return r.isps }

@@ -1,0 +1,45 @@
+package cdn
+
+// PublicCDN is one row of the public CDN deployment data the paper's §4
+// compares against (from the USC CDN coverage dataset the paper cites).
+type PublicCDN struct {
+	Name      string
+	Locations int
+	Anycast   bool
+	// Outlier marks the four extreme deployments §4 sets aside
+	// (the Chinese CDNs' domestic footprints and the 1000+ location
+	// deployments of Google and Akamai).
+	Outlier bool
+	Note    string
+}
+
+// Catalog returns the 21-CDN comparison set of §4, plus this paper's CDN
+// ("bing") for context. Location counts are the public figures the paper
+// quotes; for CDNs the paper names without counts, counts are
+// representative mid-2015 values from the same public dataset.
+func Catalog() []PublicCDN {
+	return []PublicCDN{
+		{Name: "google", Locations: 1000, Outlier: true, Note: "1000+ locations (Calder et al. 2013)"},
+		{Name: "akamai", Locations: 1000, Outlier: true, Note: "1000+ locations"},
+		{Name: "chinanetcenter", Locations: 100, Outlier: true, Note: "100+ locations in China"},
+		{Name: "chinacache", Locations: 100, Outlier: true, Note: "100+ locations in China"},
+		{Name: "cdnetworks", Locations: 161, Note: "largest non-outlier"},
+		{Name: "skyparkcdn", Locations: 119},
+		{Name: "level3", Locations: 62, Note: "scale most similar to the measured CDN"},
+		{Name: "maxcdn", Locations: 57, Note: "scale most similar to the measured CDN"},
+		{Name: "limelight", Locations: 52},
+		{Name: "cachefly", Locations: 41, Anycast: true},
+		{Name: "cloudflare", Locations: 43, Anycast: true},
+		{Name: "highwinds", Locations: 35},
+		{Name: "cloudfront", Locations: 37, Note: "Amazon CloudFront"},
+		{Name: "edgecast", Locations: 31, Anycast: true},
+		{Name: "fastly", Locations: 30},
+		{Name: "keycdn", Locations: 25},
+		{Name: "internap", Locations: 24},
+		{Name: "cdn77", Locations: 22},
+		{Name: "cdnsun", Locations: 20},
+		{Name: "onapp", Locations: 19},
+		{Name: "cdnify", Locations: 17, Note: "smallest non-outlier"},
+		{Name: "bing", Locations: 64, Anycast: true, Note: "the measured CDN (this reproduction's default deployment)"},
+	}
+}

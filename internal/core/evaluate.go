@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sort"
+
+	"anycastcdn/internal/dns"
+	"anycastcdn/internal/stats"
+)
+
+// Evaluation is the next-interval outcome for one client /24 (§6): the
+// difference between anycast performance and predicted-target performance
+// at an evaluation percentile. Positive improvement means the prediction
+// beat anycast; negative means the prediction made things worse — both
+// sides appear in Figure 9.
+type Evaluation struct {
+	ClientID uint64
+	// Predicted is the target the scheme chose for the client's group.
+	Predicted Target
+	// ImprovementMs = anycast percentile − predicted-target percentile.
+	// Zero when the scheme predicted anycast.
+	ImprovementMs float64
+	// Weight is the client's query volume (Figure 9 weights by volume).
+	Weight float64
+}
+
+// Evaluator scores predictions against the following interval's
+// observations.
+type Evaluator struct {
+	// Percentile of the next-day per-target distribution to compare; the
+	// paper reports the 50th and 75th ("the Bing team routinely uses 75th
+	// percentile latency as an internal benchmark").
+	Percentile float64
+	// MinSamples is the per-(client, target) floor for an evaluation to
+	// count; clients without enough anycast or predicted-target samples
+	// the next day are skipped (unmeasurable, as in the paper's join).
+	MinSamples int
+}
+
+// Evaluate computes per-client evaluations of pred over the next
+// interval's observations. volumes maps client→query volume; clients
+// missing from it get weight 1.
+func (ev Evaluator) Evaluate(pred *Predictions, next []Observation, volumes map[uint64]float64) []Evaluation {
+	if ev.Percentile <= 0 || ev.Percentile > 1 {
+		ev.Percentile = 0.5
+	}
+	if ev.MinSamples < 1 {
+		ev.MinSamples = 1
+	}
+	// Index next-interval samples by (client, target).
+	type ckey struct {
+		client uint64
+		target Target
+	}
+	samples := map[ckey][]float64{}
+	ldnsOf := map[uint64]dns.LDNSID{}
+	for _, o := range next {
+		samples[ckey{o.ClientID, o.Target}] = append(samples[ckey{o.ClientID, o.Target}], o.RTTms)
+		ldnsOf[o.ClientID] = o.LDNS
+	}
+	// Collect distinct clients in stable order.
+	clientSet := map[uint64]bool{}
+	for k := range samples {
+		clientSet[k.client] = true
+	}
+	ids := make([]uint64, 0, len(clientSet))
+	for id := range clientSet {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out []Evaluation
+	for _, client := range ids {
+		target := pred.For(client, ldnsOf[client])
+		weight := 1.0
+		if v, ok := volumes[client]; ok {
+			weight = v
+		}
+		e := Evaluation{ClientID: client, Predicted: target, Weight: weight}
+		if target.Anycast {
+			// The scheme kept the client on anycast: no change either way.
+			out = append(out, e)
+			continue
+		}
+		anySamples := samples[ckey{client, AnycastTarget}]
+		predSamples := samples[ckey{client, target}]
+		if len(anySamples) < ev.MinSamples || len(predSamples) < ev.MinSamples {
+			continue // cannot evaluate this client
+		}
+		anyQ, err1 := stats.Quantile(anySamples, ev.Percentile)
+		predQ, err2 := stats.Quantile(predSamples, ev.Percentile)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		e.ImprovementMs = anyQ - predQ
+		out = append(out, e)
+	}
+	return out
+}

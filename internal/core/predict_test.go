@@ -1,0 +1,306 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"anycastcdn/internal/beacon"
+	"anycastcdn/internal/dns"
+	"anycastcdn/internal/topology"
+)
+
+// mkObs builds n observations for one (client, ldns, target) with the
+// given latencies cycling.
+func mkObs(client uint64, ldns dns.LDNSID, t Target, rtts ...float64) []Observation {
+	out := make([]Observation, len(rtts))
+	for i, r := range rtts {
+		out[i] = Observation{ClientID: client, LDNS: ldns, Target: t, RTTms: r}
+	}
+	return out
+}
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestTrainPicksFastestTarget(t *testing.T) {
+	p := NewPredictor(Config{Metric: MetricP25, MinMeasurements: 3})
+	fe1 := Target{Site: 1}
+	fe2 := Target{Site: 2}
+	var obs []Observation
+	obs = append(obs, mkObs(10, 5, AnycastTarget, repeat(50, 5)...)...)
+	obs = append(obs, mkObs(10, 5, fe1, repeat(30, 5)...)...)
+	obs = append(obs, mkObs(10, 5, fe2, repeat(40, 5)...)...)
+	pred := p.Train(obs, ByPrefix)
+	if got := pred.For(10, 5); got != fe1 {
+		t.Fatalf("predicted %v, want front-end(1)", got)
+	}
+	if pred.Len() != 1 {
+		t.Fatalf("predictions for %d groups, want 1", pred.Len())
+	}
+}
+
+func TestTrainPrefersAnycastWhenBest(t *testing.T) {
+	p := NewPredictor(Config{Metric: MetricP25, MinMeasurements: 3})
+	fe1 := Target{Site: 1}
+	var obs []Observation
+	obs = append(obs, mkObs(10, 5, AnycastTarget, repeat(20, 5)...)...)
+	obs = append(obs, mkObs(10, 5, fe1, repeat(30, 5)...)...)
+	pred := p.Train(obs, ByPrefix)
+	if got := pred.For(10, 5); !got.Anycast {
+		t.Fatalf("predicted %v, want anycast", got)
+	}
+}
+
+func TestTrainTiePrefersAnycast(t *testing.T) {
+	p := NewPredictor(Config{Metric: MetricMedian, MinMeasurements: 3})
+	fe1 := Target{Site: 1}
+	var obs []Observation
+	obs = append(obs, mkObs(10, 5, AnycastTarget, repeat(25, 5)...)...)
+	obs = append(obs, mkObs(10, 5, fe1, repeat(25, 5)...)...)
+	pred := p.Train(obs, ByPrefix)
+	if got := pred.For(10, 5); !got.Anycast {
+		t.Fatalf("tie should keep anycast, got %v", got)
+	}
+}
+
+func TestTrainMinMeasurementFloor(t *testing.T) {
+	p := NewPredictor(Config{Metric: MetricP25, MinMeasurements: 20})
+	fe1 := Target{Site: 1}
+	var obs []Observation
+	obs = append(obs, mkObs(10, 5, AnycastTarget, repeat(50, 25)...)...)
+	obs = append(obs, mkObs(10, 5, fe1, repeat(10, 19)...)...) // below floor
+	pred := p.Train(obs, ByPrefix)
+	if got := pred.For(10, 5); !got.Anycast {
+		t.Fatalf("under-measured target must not be chosen, got %v", got)
+	}
+	// With one more measurement it qualifies.
+	obs = append(obs, mkObs(10, 5, fe1, 10)...)
+	pred = p.Train(obs, ByPrefix)
+	if got := pred.For(10, 5); got != fe1 {
+		t.Fatalf("qualifying target should be chosen, got %v", got)
+	}
+}
+
+func TestTrainNoQualifyingTargets(t *testing.T) {
+	p := NewPredictor(Config{Metric: MetricP25, MinMeasurements: 20})
+	obs := mkObs(10, 5, Target{Site: 1}, repeat(10, 3)...)
+	pred := p.Train(obs, ByPrefix)
+	if pred.Len() != 0 {
+		t.Fatalf("no group should qualify, got %d", pred.Len())
+	}
+	if got := pred.For(10, 5); !got.Anycast {
+		t.Fatal("unknown groups must fall back to anycast")
+	}
+}
+
+func TestTrainLDNSGroupingMixesClients(t *testing.T) {
+	p := NewPredictor(Config{Metric: MetricMedian, MinMeasurements: 4})
+	fe1 := Target{Site: 1}
+	var obs []Observation
+	// Two clients share LDNS 7. Client A is fast to fe1, client B slow.
+	obs = append(obs, mkObs(1, 7, fe1, repeat(10, 4)...)...)
+	obs = append(obs, mkObs(2, 7, fe1, repeat(90, 4)...)...)
+	obs = append(obs, mkObs(1, 7, AnycastTarget, repeat(40, 4)...)...)
+	obs = append(obs, mkObs(2, 7, AnycastTarget, repeat(40, 4)...)...)
+	predLDNS := p.Train(obs, ByLDNS)
+	predECS := p.Train(obs, ByPrefix)
+	// Under LDNS grouping both clients get the same target.
+	if predLDNS.For(1, 7) != predLDNS.For(2, 7) {
+		t.Fatal("LDNS grouping must give one answer per resolver")
+	}
+	// Under ECS grouping the clients can differ.
+	if predECS.For(1, 7) != fe1 {
+		t.Fatalf("client 1 should get fe1 under ECS, got %v", predECS.For(1, 7))
+	}
+	if predECS.For(2, 7) == fe1 {
+		t.Fatal("client 2 should not get fe1 under ECS")
+	}
+}
+
+func TestHybridMargin(t *testing.T) {
+	fe1 := Target{Site: 1}
+	var obs []Observation
+	obs = append(obs, mkObs(10, 5, AnycastTarget, repeat(50, 5)...)...)
+	obs = append(obs, mkObs(10, 5, fe1, repeat(45, 5)...)...) // gain = 5ms
+	plain := NewPredictor(Config{Metric: MetricP25, MinMeasurements: 3})
+	if got := plain.Train(obs, ByPrefix).For(10, 5); got != fe1 {
+		t.Fatalf("plain scheme should redirect, got %v", got)
+	}
+	hybrid := NewPredictor(Config{Metric: MetricP25, MinMeasurements: 3, HybridMarginMs: 10})
+	if got := hybrid.Train(obs, ByPrefix).For(10, 5); !got.Anycast {
+		t.Fatalf("hybrid with 10ms margin should keep anycast for a 5ms gain, got %v", got)
+	}
+	hybrid2 := NewPredictor(Config{Metric: MetricP25, MinMeasurements: 3, HybridMarginMs: 3})
+	if got := hybrid2.Train(obs, ByPrefix).For(10, 5); got != fe1 {
+		t.Fatalf("hybrid with 3ms margin should redirect for a 5ms gain, got %v", got)
+	}
+}
+
+func TestRedirectedFraction(t *testing.T) {
+	p := NewPredictor(Config{Metric: MetricP25, MinMeasurements: 2})
+	fe1 := Target{Site: 1}
+	var obs []Observation
+	obs = append(obs, mkObs(1, 0, AnycastTarget, repeat(50, 3)...)...)
+	obs = append(obs, mkObs(1, 0, fe1, repeat(10, 3)...)...)
+	obs = append(obs, mkObs(2, 0, AnycastTarget, repeat(10, 3)...)...)
+	obs = append(obs, mkObs(2, 0, fe1, repeat(50, 3)...)...)
+	pred := p.Train(obs, ByPrefix)
+	if got := pred.RedirectedFraction(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("redirected fraction = %v, want 0.5", got)
+	}
+	empty := p.Train(nil, ByPrefix)
+	if empty.RedirectedFraction() != 0 {
+		t.Fatal("empty predictions should have zero redirected fraction")
+	}
+}
+
+func TestNewPredictorClampsConfig(t *testing.T) {
+	p := NewPredictor(Config{Metric: -1, MinMeasurements: 0, HybridMarginMs: -5})
+	cfg := p.Config()
+	if cfg.Metric != MetricP25 || cfg.MinMeasurements != 20 || cfg.HybridMarginMs != 0 {
+		t.Fatalf("config not clamped: %+v", cfg)
+	}
+}
+
+func TestFromMeasurement(t *testing.T) {
+	m := beacon.Measurement{
+		QueryID:  1,
+		ClientID: 42,
+		LDNS:     7,
+		Anycast:  beacon.TargetSample{Site: 3, RTTms: 33},
+		Unicast: [3]beacon.TargetSample{
+			{Site: 1, RTTms: 11}, {Site: 2, RTTms: 22}, {Site: 4, RTTms: 44},
+		},
+	}
+	obs := FromMeasurement(m)
+	if len(obs) != 4 {
+		t.Fatalf("got %d observations, want 4", len(obs))
+	}
+	if !obs[0].Target.Anycast || obs[0].RTTms != 33 {
+		t.Fatalf("first observation should be anycast: %+v", obs[0])
+	}
+	for i, o := range obs {
+		if o.ClientID != 42 || o.LDNS != 7 {
+			t.Fatalf("observation %d lost identity: %+v", i, o)
+		}
+	}
+	if obs[1].Target != (Target{Site: topology.SiteID(1)}) || obs[1].RTTms != 11 {
+		t.Fatalf("unicast observation wrong: %+v", obs[1])
+	}
+}
+
+func TestTargetString(t *testing.T) {
+	if AnycastTarget.String() != "anycast" {
+		t.Fatal("anycast target name")
+	}
+	if (Target{Site: 3}).String() != "front-end(3)" {
+		t.Fatalf("front-end target name: %s", Target{Site: 3})
+	}
+	if ByPrefix.String() != "ecs-prefix" || ByLDNS.String() != "ldns" {
+		t.Fatal("grouping names")
+	}
+}
+
+func TestEvaluateImprovement(t *testing.T) {
+	p := NewPredictor(Config{Metric: MetricP25, MinMeasurements: 3})
+	fe1 := Target{Site: 1}
+	var train []Observation
+	train = append(train, mkObs(10, 5, AnycastTarget, repeat(50, 5)...)...)
+	train = append(train, mkObs(10, 5, fe1, repeat(30, 5)...)...)
+	pred := p.Train(train, ByPrefix)
+
+	var next []Observation
+	next = append(next, mkObs(10, 5, AnycastTarget, repeat(52, 4)...)...)
+	next = append(next, mkObs(10, 5, fe1, repeat(31, 4)...)...)
+	ev := Evaluator{Percentile: 0.5, MinSamples: 2}
+	evals := ev.Evaluate(pred, next, map[uint64]float64{10: 3})
+	if len(evals) != 1 {
+		t.Fatalf("got %d evaluations, want 1", len(evals))
+	}
+	e := evals[0]
+	if e.ClientID != 10 || e.Weight != 3 || e.Predicted != fe1 {
+		t.Fatalf("bad evaluation %+v", e)
+	}
+	if math.Abs(e.ImprovementMs-21) > 1e-9 {
+		t.Fatalf("improvement %v, want 21", e.ImprovementMs)
+	}
+}
+
+func TestEvaluatePenalty(t *testing.T) {
+	p := NewPredictor(Config{Metric: MetricP25, MinMeasurements: 3})
+	fe1 := Target{Site: 1}
+	var train []Observation
+	train = append(train, mkObs(10, 5, AnycastTarget, repeat(50, 5)...)...)
+	train = append(train, mkObs(10, 5, fe1, repeat(30, 5)...)...)
+	pred := p.Train(train, ByPrefix)
+	// Next day the predicted front-end got worse: negative improvement.
+	var next []Observation
+	next = append(next, mkObs(10, 5, AnycastTarget, repeat(40, 4)...)...)
+	next = append(next, mkObs(10, 5, fe1, repeat(70, 4)...)...)
+	evals := Evaluator{Percentile: 0.5, MinSamples: 2}.Evaluate(pred, next, nil)
+	if len(evals) != 1 || evals[0].ImprovementMs >= 0 {
+		t.Fatalf("expected a penalty, got %+v", evals)
+	}
+}
+
+func TestEvaluateAnycastPredictionIsZero(t *testing.T) {
+	p := NewPredictor(Config{Metric: MetricP25, MinMeasurements: 3})
+	var train []Observation
+	train = append(train, mkObs(10, 5, AnycastTarget, repeat(20, 5)...)...)
+	train = append(train, mkObs(10, 5, Target{Site: 1}, repeat(30, 5)...)...)
+	pred := p.Train(train, ByPrefix)
+	next := mkObs(10, 5, AnycastTarget, repeat(25, 4)...)
+	evals := Evaluator{Percentile: 0.5}.Evaluate(pred, next, nil)
+	if len(evals) != 1 || evals[0].ImprovementMs != 0 || !evals[0].Predicted.Anycast {
+		t.Fatalf("anycast prediction should evaluate to zero: %+v", evals)
+	}
+}
+
+func TestEvaluateSkipsUnmeasurable(t *testing.T) {
+	p := NewPredictor(Config{Metric: MetricP25, MinMeasurements: 3})
+	fe1 := Target{Site: 1}
+	var train []Observation
+	train = append(train, mkObs(10, 5, AnycastTarget, repeat(50, 5)...)...)
+	train = append(train, mkObs(10, 5, fe1, repeat(30, 5)...)...)
+	pred := p.Train(train, ByPrefix)
+	// Next day has no samples to the predicted front-end.
+	next := mkObs(10, 5, AnycastTarget, repeat(40, 4)...)
+	evals := Evaluator{Percentile: 0.5, MinSamples: 2}.Evaluate(pred, next, nil)
+	if len(evals) != 0 {
+		t.Fatalf("unmeasurable client should be skipped, got %+v", evals)
+	}
+}
+
+func TestEvaluateDefaultsClamped(t *testing.T) {
+	pred := NewPredictor(DefaultConfig()).Train(nil, ByPrefix)
+	next := mkObs(10, 5, AnycastTarget, repeat(40, 4)...)
+	evals := Evaluator{Percentile: 7, MinSamples: -1}.Evaluate(pred, next, nil)
+	if len(evals) != 1 {
+		t.Fatalf("clamped evaluator should still evaluate, got %+v", evals)
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	var obs []Observation
+	for c := uint64(0); c < 200; c++ {
+		for fe := 0; fe < 4; fe++ {
+			t := Target{Site: topology.SiteID(fe)}
+			if fe == 0 {
+				t = AnycastTarget
+			}
+			for k := 0; k < 25; k++ {
+				obs = append(obs, Observation{ClientID: c, LDNS: dns.LDNSID(c % 20), Target: t, RTTms: float64(20 + fe*5 + k%7)})
+			}
+		}
+	}
+	p := NewPredictor(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Train(obs, ByPrefix)
+	}
+}

@@ -1,0 +1,275 @@
+// Package dns models the DNS side of the paper's measurement system: the
+// LDNS resolvers clients use, the client→LDNS mapping, and the CDN's
+// authoritative nameserver logic that picks which front-ends each beacon
+// execution measures (§3.3).
+//
+// LDNS placement matters twice. First, the authoritative server only knows
+// the LDNS (not the client), so front-end candidates are ranked by
+// geolocated LDNS position. Second, LDNS-grained prediction (Figure 9)
+// degrades exactly when one LDNS serves clients spread over a wide area.
+// Following the end-user-mapping numbers the paper cites: most clients use
+// an ISP resolver near them, a minority are served from a distant ISP hub,
+// and ~8% of demand uses public resolvers.
+package dns
+
+import (
+	"fmt"
+	"sync"
+
+	"anycastcdn/internal/cdn"
+	"anycastcdn/internal/clients"
+	"anycastcdn/internal/geo"
+	"anycastcdn/internal/topology"
+	"anycastcdn/internal/xrand"
+)
+
+// LDNSKind classifies a resolver.
+type LDNSKind int
+
+// Resolver kinds.
+const (
+	// ISPLocal is an ISP resolver in the client's own metro.
+	ISPLocal LDNSKind = iota
+	// ISPHub is an ISP resolver at the ISP's national hub, possibly far
+	// from the client.
+	ISPHub
+	// Public is a public resolver (the paper's Google Public DNS /
+	// OpenDNS case) serving geographically disparate clients.
+	Public
+)
+
+func (k LDNSKind) String() string {
+	switch k {
+	case ISPLocal:
+		return "isp-local"
+	case ISPHub:
+		return "isp-hub"
+	case Public:
+		return "public"
+	default:
+		return fmt.Sprintf("LDNSKind(%d)", int(k))
+	}
+}
+
+// LDNSID identifies a resolver in a Mapping.
+type LDNSID int
+
+// LDNS is one resolver.
+type LDNS struct {
+	ID    LDNSID
+	Name  string
+	Kind  LDNSKind
+	Point geo.Point
+}
+
+// MapperConfig controls LDNS assignment.
+type MapperConfig struct {
+	Seed uint64
+	// PublicFrac is the fraction of clients using a public resolver.
+	PublicFrac float64
+	// HubFrac is the fraction of non-public clients served from their
+	// ISP's distant hub resolver instead of a metro-local one.
+	HubFrac float64
+}
+
+// DefaultMapperConfig matches the demand split the paper cites: ~8%
+// public-resolver demand, and ~11-12% of the rest further than 500 km from
+// their LDNS.
+func DefaultMapperConfig(seed uint64) MapperConfig {
+	return MapperConfig{Seed: seed, PublicFrac: 0.08, HubFrac: 0.12}
+}
+
+// publicResolverMetros hosts the public resolver deployment: a handful of
+// global sites; each client uses the nearest.
+var publicResolverMetros = []string{
+	"san-francisco", "washington", "dallas", "london", "frankfurt",
+	"singapore", "tokyo", "sao-paulo",
+}
+
+// Mapping is the realized client→LDNS assignment.
+type Mapping struct {
+	Resolvers []LDNS
+	// ClientLDNS[i] is the resolver of client i (indexed by client ID).
+	ClientLDNS []LDNSID
+}
+
+// BuildMapping assigns every client in the population a resolver.
+// Resolver identity is shared: all clients of one (ISP, metro) share the
+// local resolver, all hub clients of an ISP share its hub resolver, and
+// public-resolver clients in a region share the nearest public site.
+func BuildMapping(pop *clients.Population, isps *topology.ISPModel, metros []geo.Metro, cfg MapperConfig) (*Mapping, error) {
+	metroByName := map[string]geo.Metro{}
+	for _, m := range metros {
+		metroByName[m.Name] = m
+	}
+	var publicPts []geo.Point
+	for _, name := range publicResolverMetros {
+		m, ok := metroByName[name]
+		if !ok {
+			return nil, fmt.Errorf("dns: public resolver metro %q missing from catalog", name)
+		}
+		publicPts = append(publicPts, m.Point)
+	}
+
+	mp := &Mapping{ClientLDNS: make([]LDNSID, len(pop.Clients))}
+	index := map[string]LDNSID{}
+	intern := func(name string, kind LDNSKind, pt geo.Point) LDNSID {
+		if id, ok := index[name]; ok {
+			return id
+		}
+		id := LDNSID(len(mp.Resolvers))
+		mp.Resolvers = append(mp.Resolvers, LDNS{ID: id, Name: name, Kind: kind, Point: pt})
+		index[name] = id
+		return id
+	}
+
+	for i, c := range pop.Clients {
+		rs := xrand.Substream(cfg.Seed, "ldns", c.ID)
+		switch {
+		case rs.Bool(cfg.PublicFrac):
+			pi, _ := geo.NearestIndex(c.Point, publicPts)
+			name := "public-" + publicResolverMetros[pi]
+			mp.ClientLDNS[i] = intern(name, Public, publicPts[pi])
+		case rs.Bool(cfg.HubFrac):
+			isp := isps.ISP(c.ISP)
+			// The hub resolver sits at the ISP's primary hub peering
+			// metro; approximate by the heaviest metro of the country.
+			hub := heaviestMetroOfCountry(metros, isp.Country)
+			name := fmt.Sprintf("%s-hub", isp.Name)
+			mp.ClientLDNS[i] = intern(name, ISPHub, hub.Point)
+		default:
+			m := metroByName[c.Metro]
+			isp := isps.ISP(c.ISP)
+			name := fmt.Sprintf("%s-%s", isp.Name, c.Metro)
+			mp.ClientLDNS[i] = intern(name, ISPLocal, m.Point)
+		}
+	}
+	return mp, nil
+}
+
+func heaviestMetroOfCountry(metros []geo.Metro, country string) geo.Metro {
+	var best geo.Metro
+	for _, m := range metros {
+		if m.Country == country && m.Weight > best.Weight {
+			best = m
+		}
+	}
+	return best
+}
+
+// Resolver returns the resolver of a client (by client ID/index).
+func (m *Mapping) Resolver(clientID uint64) LDNS {
+	return m.Resolvers[m.ClientLDNS[clientID]]
+}
+
+// Authority is the CDN's authoritative nameserver logic of §3.3: for each
+// LDNS it considers the ten front-ends closest to the (geolocated) LDNS as
+// candidates, and per beacon execution returns the geographically closest
+// candidate plus two distance-weighted random picks.
+type Authority struct {
+	dep   *cdn.Deployment
+	geoDB *geo.DB
+	// CandidateCount is the candidate set size (10 in the paper).
+	CandidateCount int
+
+	mu    sync.RWMutex
+	cache map[LDNSID][]topology.SiteID
+}
+
+// NewAuthority builds an authority over a deployment using the given
+// geolocation database to locate resolvers.
+func NewAuthority(dep *cdn.Deployment, geoDB *geo.DB, candidates int) *Authority {
+	if candidates < 1 {
+		candidates = 10
+	}
+	return &Authority{
+		dep:            dep,
+		geoDB:          geoDB,
+		CandidateCount: candidates,
+		cache:          map[LDNSID][]topology.SiteID{},
+	}
+}
+
+// Candidates returns the candidate front-end sites for an LDNS, nearest
+// (by geolocated LDNS position) first. The result is cached per LDNS;
+// callers must not modify it. Safe for concurrent use.
+func (a *Authority) Candidates(l LDNS) []topology.SiteID {
+	a.mu.RLock()
+	sites, ok := a.cache[l.ID]
+	a.mu.RUnlock()
+	if ok {
+		return sites
+	}
+	believed := a.geoDB.Locate(ldnsGeoKey(l.ID), l.Point)
+	fes := a.dep.FrontEnds
+	pts := make([]geo.Point, len(fes))
+	for i, fe := range fes {
+		pts[i] = a.dep.Backbone.Site(fe.Site).Metro.Point
+	}
+	order := geo.RankByDistance(believed, pts)
+	n := a.CandidateCount
+	if n > len(order) {
+		n = len(order)
+	}
+	sites = make([]topology.SiteID, n)
+	for i := 0; i < n; i++ {
+		sites[i] = fes[order[i]].Site
+	}
+	a.mu.Lock()
+	a.cache[l.ID] = sites
+	a.mu.Unlock()
+	return sites
+}
+
+// ldnsGeoKey namespaces LDNS ids in the geolocation database so they don't
+// collide with client prefix ids.
+func ldnsGeoKey(id LDNSID) uint64 { return 1<<40 | uint64(id) }
+
+// BeaconTargets is the unicast target set of one beacon execution:
+// the closest candidate and two weighted-random alternates (§3.3's
+// measurements (b), (c) and (d); (a) is the anycast address).
+type BeaconTargets struct {
+	Closest topology.SiteID
+	Random  [2]topology.SiteID
+}
+
+// SelectBeaconTargets picks the unicast targets for one beacon execution
+// served via the given LDNS. rs drives the randomized choice; the paper
+// weights nearer candidates higher ("we return the 3rd closest front-end
+// with higher probability than the 4th closest").
+func (a *Authority) SelectBeaconTargets(l LDNS, rs *xrand.Stream) BeaconTargets {
+	cands := a.Candidates(l)
+	t := BeaconTargets{Closest: cands[0]}
+	rest := cands[1:]
+	if len(rest) == 0 {
+		t.Random = [2]topology.SiteID{cands[0], cands[0]}
+		return t
+	}
+	// Inverse-rank weights over the remaining candidates.
+	weights := make([]float64, len(rest))
+	for i := range rest {
+		weights[i] = 1 / float64(i+2) // candidate i is the (i+2)-th closest
+	}
+	first := rs.WeightedChoice(weights)
+	t.Random[0] = rest[first]
+	if len(rest) == 1 {
+		t.Random[1] = rest[0]
+		return t
+	}
+	saved := weights[first]
+	weights[first] = 0
+	second := rs.WeightedChoice(weights)
+	weights[first] = saved
+	t.Random[1] = rest[second]
+	return t
+}
+
+// QueryRecord is one authoritative DNS log entry; the backend joins these
+// with client-side HTTP results by QueryID (§3.2.2).
+type QueryRecord struct {
+	QueryID uint64
+	Day     int
+	LDNS    LDNSID
+	// Targets are the unicast front-end sites returned.
+	Targets BeaconTargets
+}

@@ -1,0 +1,120 @@
+package dnswire
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// CachingResolver is a stub resolver with a positive TTL cache, mirroring
+// the LDNS behaviour the paper's beacon depends on: the warm-up request
+// populates the cache so the measured fetch pays no DNS latency (§3.2.2),
+// and short TTLs are how DNS-based redirection stays responsive (§2).
+type CachingResolver struct {
+	// Server is the upstream authoritative address.
+	Server string
+	// Now allows tests to control time; defaults to time.Now.
+	Now func() time.Time
+	// MaxTTL caps cached lifetimes.
+	MaxTTL time.Duration
+
+	mu    sync.Mutex
+	cache map[cacheKey]cacheEntry
+	rng   *rand.Rand
+
+	// Lookups and CacheHits count resolver activity.
+	Lookups   int
+	CacheHits int
+}
+
+type cacheKey struct {
+	name  string
+	qtype uint16
+}
+
+type cacheEntry struct {
+	addrs   []netip.Addr
+	expires time.Time
+}
+
+// NewCachingResolver builds a resolver against an authoritative server
+// address.
+func NewCachingResolver(server string) *CachingResolver {
+	return &CachingResolver{
+		Server: server,
+		Now:    time.Now,
+		MaxTTL: time.Hour,
+		cache:  map[cacheKey]cacheEntry{},
+		rng:    rand.New(rand.NewSource(1)),
+	}
+}
+
+// Lookup resolves name/qtype, serving from cache while entries are fresh.
+// ecs optionally attaches a client-subnet option (nil to omit).
+func (r *CachingResolver) Lookup(ctx context.Context, name string, qtype uint16, ecs *netip.Addr) ([]netip.Addr, error) {
+	name = normalizeName(name)
+	key := cacheKey{name, qtype}
+	now := r.Now()
+	r.mu.Lock()
+	r.Lookups++
+	if e, ok := r.cache[key]; ok && now.Before(e.expires) {
+		r.CacheHits++
+		addrs := append([]netip.Addr(nil), e.addrs...)
+		r.mu.Unlock()
+		return addrs, nil
+	}
+	id := uint16(r.rng.Intn(1 << 16))
+	r.mu.Unlock()
+
+	q := NewQuery(id, name, qtype)
+	if ecs != nil {
+		bits := uint8(24)
+		if ecs.Is6() && !ecs.Is4In6() {
+			bits = 56
+		}
+		q.SetECS(*ecs, bits)
+	}
+	resp, err := Exchange(ctx, r.Server, q)
+	if err != nil {
+		return nil, err
+	}
+	if resp.RCode != RCodeSuccess {
+		return nil, fmt.Errorf("dnswire: %s: rcode %d", name, resp.RCode)
+	}
+	var addrs []netip.Addr
+	minTTL := uint32(0)
+	for _, rec := range resp.Answers {
+		if rec.Type != qtype || normalizeName(rec.Name) != name {
+			continue
+		}
+		if a, ok := rec.Addr(); ok {
+			addrs = append(addrs, a)
+			if minTTL == 0 || rec.TTL < minTTL {
+				minTTL = rec.TTL
+			}
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("dnswire: %s: no %d answers", name, qtype)
+	}
+	ttl := time.Duration(minTTL) * time.Second
+	if ttl > r.MaxTTL {
+		ttl = r.MaxTTL
+	}
+	if ttl > 0 {
+		r.mu.Lock()
+		r.cache[key] = cacheEntry{addrs: append([]netip.Addr(nil), addrs...), expires: now.Add(ttl)}
+		r.mu.Unlock()
+	}
+	return addrs, nil
+}
+
+// Flush drops all cached entries.
+func (r *CachingResolver) Flush() {
+	r.mu.Lock()
+	r.cache = map[cacheKey]cacheEntry{}
+	r.mu.Unlock()
+}

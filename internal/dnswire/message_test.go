@@ -1,0 +1,309 @@
+package dnswire
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackQuery(t *testing.T) {
+	q := NewQuery(0x1234, "beacon.example.com", TypeA)
+	pkt, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 0x1234 || got.Response || !got.RecursionDesired {
+		t.Fatalf("header round trip: %+v", got)
+	}
+	if len(got.Questions) != 1 {
+		t.Fatalf("questions = %d", len(got.Questions))
+	}
+	if got.Questions[0].Name != "beacon.example.com" || got.Questions[0].Type != TypeA {
+		t.Fatalf("question round trip: %+v", got.Questions[0])
+	}
+}
+
+func TestPackUnpackResponse(t *testing.T) {
+	q := NewQuery(7, "fe.cdn.test", TypeA)
+	r := q.Reply()
+	addr := netip.MustParseAddr("198.18.0.1")
+	r.Answers = append(r.Answers, ARecord("fe.cdn.test", 30, addr))
+	pkt, err := r.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Response || !got.Authoritative || got.ID != 7 {
+		t.Fatalf("response header: %+v", got)
+	}
+	if len(got.Answers) != 1 {
+		t.Fatalf("answers = %d", len(got.Answers))
+	}
+	a, ok := got.Answers[0].Addr()
+	if !ok || a != addr {
+		t.Fatalf("answer addr = %v, %v", a, ok)
+	}
+	if got.Answers[0].TTL != 30 {
+		t.Fatalf("TTL = %d", got.Answers[0].TTL)
+	}
+}
+
+func TestAAAARoundTrip(t *testing.T) {
+	addr := netip.MustParseAddr("2001:db8::1")
+	r := AAAARecord("v6.test", 60, addr)
+	m := &Message{ID: 1, Response: true, Answers: []Record{r}}
+	pkt, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := got.Answers[0].Addr()
+	if !ok || a != addr {
+		t.Fatalf("AAAA round trip: %v %v", a, ok)
+	}
+}
+
+func TestECSRoundTrip(t *testing.T) {
+	q := NewQuery(9, "ecs.test", TypeA)
+	q.SetECS(netip.MustParseAddr("203.0.113.57"), 24)
+	pkt, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EDNS {
+		t.Fatal("EDNS flag lost")
+	}
+	cs := got.ClientSubnet
+	if cs == nil {
+		t.Fatal("client subnet lost")
+	}
+	if cs.SourcePrefixLen != 24 {
+		t.Fatalf("prefix len = %d", cs.SourcePrefixLen)
+	}
+	// Host bits must be masked: /24 of 203.0.113.57 is 203.0.113.0.
+	if cs.Addr != netip.MustParseAddr("203.0.113.0") {
+		t.Fatalf("ECS addr = %v", cs.Addr)
+	}
+}
+
+func TestECSv6RoundTrip(t *testing.T) {
+	q := NewQuery(9, "ecs6.test", TypeAAAA)
+	q.SetECS(netip.MustParseAddr("2001:db8:1234:5678::1"), 56)
+	pkt, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ClientSubnet == nil || got.ClientSubnet.SourcePrefixLen != 56 {
+		t.Fatalf("v6 ECS lost: %+v", got.ClientSubnet)
+	}
+}
+
+func TestReplyEchoesECSWithScope(t *testing.T) {
+	q := NewQuery(9, "x.test", TypeA)
+	q.SetECS(netip.MustParseAddr("10.1.2.3"), 24)
+	r := q.Reply()
+	if r.ClientSubnet == nil || r.ClientSubnet.ScopePrefixLen != 24 {
+		t.Fatalf("reply ECS scope: %+v", r.ClientSubnet)
+	}
+	if len(r.Questions) != 1 || r.Questions[0].Name != "x.test" {
+		t.Fatal("reply must echo the question")
+	}
+}
+
+func TestNameCompressionDecoding(t *testing.T) {
+	// Hand-build a response with a compression pointer: question
+	// "a.test", answer name pointing back at offset 12.
+	var b []byte
+	b = put16(b, 1)      // ID
+	b = put16(b, 0x8400) // QR|AA
+	b = put16(b, 1)      // QD
+	b = put16(b, 1)      // AN
+	b = put16(b, 0)      // NS
+	b = put16(b, 0)      // AR
+	b = append(b, 1, 'a', 4, 't', 'e', 's', 't', 0)
+	b = put16(b, TypeA)
+	b = put16(b, ClassIN)
+	// Answer with compressed name 0xc00c -> offset 12.
+	b = append(b, 0xc0, 0x0c)
+	b = put16(b, TypeA)
+	b = put16(b, ClassIN)
+	b = put32(b, 60)
+	b = put16(b, 4)
+	b = append(b, 192, 0, 2, 1)
+	m, err := Unpack(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Answers[0].Name != "a.test" {
+		t.Fatalf("compressed name = %q", m.Answers[0].Name)
+	}
+}
+
+func TestUnpackRejectsBadPointers(t *testing.T) {
+	// Self-referencing pointer at offset 12.
+	var b []byte
+	b = put16(b, 1)
+	b = put16(b, 0)
+	b = put16(b, 1)
+	b = put16(b, 0)
+	b = put16(b, 0)
+	b = put16(b, 0)
+	b = append(b, 0xc0, 0x0c) // points at itself
+	b = put16(b, TypeA)
+	b = put16(b, ClassIN)
+	if _, err := Unpack(b); err == nil {
+		t.Fatal("self-referencing pointer should fail")
+	}
+}
+
+func TestUnpackTruncated(t *testing.T) {
+	q := NewQuery(3, "trunc.test", TypeA)
+	pkt, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(pkt); cut++ {
+		if m, err := Unpack(pkt[:cut]); err == nil {
+			// Some prefixes may parse as a shorter valid message only if
+			// counts allow it; with QD=1 they cannot.
+			t.Fatalf("truncation at %d parsed: %+v", cut, m)
+		}
+	}
+}
+
+func TestPackNameValidation(t *testing.T) {
+	long := bytes.Repeat([]byte("a"), 64)
+	if _, err := packName(nil, string(long)+".test"); err == nil {
+		t.Fatal("64-byte label should fail")
+	}
+	if _, err := packName(nil, "a..b"); err == nil {
+		t.Fatal("empty label should fail")
+	}
+	veryLong := ""
+	for i := 0; i < 60; i++ {
+		veryLong += "abcde."
+	}
+	if _, err := packName(nil, veryLong+"test"); err == nil {
+		t.Fatal("too-long name should fail")
+	}
+}
+
+func TestNameCaseInsensitive(t *testing.T) {
+	q := NewQuery(1, "MiXeD.Example.COM", TypeA)
+	pkt, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Questions[0].Name != "mixed.example.com" {
+		t.Fatalf("name not normalized: %q", got.Questions[0].Name)
+	}
+}
+
+func TestRootName(t *testing.T) {
+	q := NewQuery(1, ".", TypeA)
+	pkt, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Questions[0].Name != "." {
+		t.Fatalf("root name = %q", got.Questions[0].Name)
+	}
+}
+
+func TestUnpackGarbageNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Unpack(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryRoundTripProperty(t *testing.T) {
+	f := func(id uint16, rd bool) bool {
+		q := NewQuery(id, "prop.test", TypeA)
+		q.RecursionDesired = rd
+		pkt, err := q.Pack()
+		if err != nil {
+			return false
+		}
+		got, err := Unpack(pkt)
+		if err != nil {
+			return false
+		}
+		return got.ID == id && got.RecursionDesired == rd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRCodeRoundTrip(t *testing.T) {
+	for _, rc := range []uint8{RCodeSuccess, RCodeFormErr, RCodeServFail, RCodeNXDomain, RCodeNotImpl, RCodeRefused} {
+		m := &Message{ID: 1, Response: true, RCode: rc}
+		pkt, err := m.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Unpack(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.RCode != rc {
+			t.Fatalf("rcode %d round-tripped to %d", rc, got.RCode)
+		}
+	}
+}
+
+func BenchmarkPack(b *testing.B) {
+	q := NewQuery(1, "bench.example.com", TypeA)
+	q.SetECS(netip.MustParseAddr("10.0.0.0"), 24)
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Pack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnpack(b *testing.B) {
+	q := NewQuery(1, "bench.example.com", TypeA)
+	q.SetECS(netip.MustParseAddr("10.0.0.0"), 24)
+	pkt, err := q.Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unpack(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

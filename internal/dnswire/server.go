@@ -1,0 +1,159 @@
+package dnswire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// Handler answers DNS queries. Returning nil drops the query.
+type Handler interface {
+	HandleQuery(q *Message, from netip.AddrPort) *Message
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(q *Message, from netip.AddrPort) *Message
+
+// HandleQuery implements Handler.
+func (f HandlerFunc) HandleQuery(q *Message, from netip.AddrPort) *Message {
+	return f(q, from)
+}
+
+// Server is a UDP DNS server.
+type Server struct {
+	conn    net.PacketConn
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// NewServer starts serving on a UDP address ("127.0.0.1:0" for an
+// ephemeral port). Close releases the socket.
+func NewServer(addr string, h Handler) (*Server, error) {
+	if h == nil {
+		return nil, errors.New("dnswire: nil handler")
+	}
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnswire: listen: %w", err)
+	}
+	s := &Server{conn: pc, handler: h, done: make(chan struct{})}
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the server's UDP address.
+func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.conn.Close()
+	<-s.done
+	return err
+}
+
+func (s *Server) serve() {
+	defer close(s.done)
+	buf := make([]byte, 4096)
+	for {
+		n, from, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			return // closed
+		}
+		pkt := append([]byte(nil), buf[:n]...)
+		fromAP := addrPortOf(from)
+		go s.handle(pkt, from, fromAP)
+	}
+}
+
+func (s *Server) handle(pkt []byte, raw net.Addr, from netip.AddrPort) {
+	q, err := Unpack(pkt)
+	if err != nil || q.Response || len(q.Questions) == 0 {
+		return // not a usable query; drop
+	}
+	resp := s.handler.HandleQuery(q, from)
+	if resp == nil {
+		return
+	}
+	// Respect the client's UDP payload limit: oversized responses go out
+	// truncated so the client retries over TCP (RFC 7766).
+	limit := uint16(0)
+	if q.EDNS {
+		limit = q.UDPSize
+	}
+	if t, err := TruncateFor(resp, limit); err == nil {
+		resp = t
+	}
+	out, err := resp.Pack()
+	if err != nil {
+		// Fall back to SERVFAIL so the client does not hang on timeout.
+		sf := q.Reply()
+		sf.RCode = RCodeServFail
+		if out, err = sf.Pack(); err != nil {
+			return
+		}
+	}
+	_, _ = s.conn.WriteTo(out, raw)
+}
+
+func addrPortOf(a net.Addr) netip.AddrPort {
+	if ua, ok := a.(*net.UDPAddr); ok {
+		if ap, ok := netip.AddrFromSlice(ua.IP); ok {
+			return netip.AddrPortFrom(ap.Unmap(), uint16(ua.Port))
+		}
+	}
+	return netip.AddrPort{}
+}
+
+// Exchange sends one query to a UDP DNS server and waits for the matching
+// response.
+func Exchange(ctx context.Context, server string, q *Message) (*Message, error) {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "udp", server)
+	if err != nil {
+		return nil, fmt.Errorf("dnswire: dial %s: %w", server, err)
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(dl); err != nil {
+			return nil, err
+		}
+	} else if err := conn.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		return nil, err
+	}
+	pkt, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(pkt); err != nil {
+		return nil, fmt.Errorf("dnswire: send: %w", err)
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, fmt.Errorf("dnswire: receive: %w", err)
+		}
+		resp, err := Unpack(buf[:n])
+		if err != nil {
+			continue // garbled datagram; keep waiting
+		}
+		if resp.ID != q.ID || !resp.Response {
+			continue // not ours
+		}
+		return resp, nil
+	}
+}

@@ -1,0 +1,234 @@
+package dnswire
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// staticHandler answers every A query with the given address.
+type staticHandler struct {
+	addr    netip.Addr
+	ttl     uint32
+	queries atomic.Int64
+}
+
+func (h *staticHandler) HandleQuery(q *Message, _ netip.AddrPort) *Message {
+	h.queries.Add(1)
+	r := q.Reply()
+	qu := q.Questions[0]
+	if qu.Type != TypeA {
+		r.RCode = RCodeNotImpl
+		return r
+	}
+	r.Answers = append(r.Answers, ARecord(qu.Name, h.ttl, h.addr))
+	return r
+}
+
+func startServer(t *testing.T, h Handler) *Server {
+	t.Helper()
+	s, err := NewServer("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestServerExchange(t *testing.T) {
+	h := &staticHandler{addr: netip.MustParseAddr("192.0.2.1"), ttl: 60}
+	s := startServer(t, h)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := Exchange(ctx, s.Addr(), NewQuery(42, "test.cdn", TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 42 || !resp.Response {
+		t.Fatalf("bad response %+v", resp)
+	}
+	a, ok := resp.Answers[0].Addr()
+	if !ok || a != h.addr {
+		t.Fatalf("answer = %v", a)
+	}
+}
+
+func TestServerECSVisibleToHandler(t *testing.T) {
+	var seen atomic.Value
+	h := HandlerFunc(func(q *Message, _ netip.AddrPort) *Message {
+		if q.ClientSubnet != nil {
+			seen.Store(q.ClientSubnet.Addr.String())
+		}
+		r := q.Reply()
+		r.Answers = append(r.Answers, ARecord(q.Questions[0].Name, 5, netip.MustParseAddr("192.0.2.9")))
+		return r
+	})
+	s := startServer(t, h)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	q := NewQuery(1, "ecs.cdn", TypeA)
+	q.SetECS(netip.MustParseAddr("10.5.6.7"), 24)
+	if _, err := Exchange(ctx, s.Addr(), q); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := seen.Load().(string); got != "10.5.6.0" {
+		t.Fatalf("handler saw ECS %q, want 10.5.6.0", got)
+	}
+}
+
+func TestServerDropsNil(t *testing.T) {
+	h := HandlerFunc(func(q *Message, _ netip.AddrPort) *Message { return nil })
+	s := startServer(t, h)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if _, err := Exchange(ctx, s.Addr(), NewQuery(1, "drop.test", TypeA)); err == nil {
+		t.Fatal("dropped query should time out")
+	}
+}
+
+func TestNewServerNilHandler(t *testing.T) {
+	if _, err := NewServer("127.0.0.1:0", nil); err == nil {
+		t.Fatal("nil handler should fail")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	s := startServer(t, &staticHandler{addr: netip.MustParseAddr("192.0.2.1")})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second close should be a no-op")
+	}
+}
+
+func TestServerConcurrentQueries(t *testing.T) {
+	h := &staticHandler{addr: netip.MustParseAddr("192.0.2.7"), ttl: 5}
+	s := startServer(t, h)
+	const n = 50
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(id uint16) {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_, err := Exchange(ctx, s.Addr(), NewQuery(id, "load.test", TypeA))
+			errs <- err
+		}(uint16(i))
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.queries.Load(); got != n {
+		t.Fatalf("handler saw %d queries, want %d", got, n)
+	}
+}
+
+func TestCachingResolver(t *testing.T) {
+	h := &staticHandler{addr: netip.MustParseAddr("192.0.2.3"), ttl: 60}
+	s := startServer(t, h)
+	r := NewCachingResolver(s.Addr())
+	now := time.Unix(1000, 0)
+	r.Now = func() time.Time { return now }
+	ctx := context.Background()
+
+	a1, err := r.Lookup(ctx, "cache.test", TypeA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := r.Lookup(ctx, "cache.test", TypeA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1[0] != a2[0] {
+		t.Fatal("cached answer differs")
+	}
+	if h.queries.Load() != 1 {
+		t.Fatalf("server saw %d queries, want 1 (second lookup cached)", h.queries.Load())
+	}
+	if r.CacheHits != 1 || r.Lookups != 2 {
+		t.Fatalf("cache stats: hits=%d lookups=%d", r.CacheHits, r.Lookups)
+	}
+	// Expire and refetch.
+	now = now.Add(2 * time.Minute)
+	if _, err := r.Lookup(ctx, "cache.test", TypeA, nil); err != nil {
+		t.Fatal(err)
+	}
+	if h.queries.Load() != 2 {
+		t.Fatalf("server saw %d queries after expiry, want 2", h.queries.Load())
+	}
+	// Flush forces a refetch too.
+	r.Flush()
+	if _, err := r.Lookup(ctx, "cache.test", TypeA, nil); err != nil {
+		t.Fatal(err)
+	}
+	if h.queries.Load() != 3 {
+		t.Fatalf("server saw %d queries after flush, want 3", h.queries.Load())
+	}
+}
+
+func TestCachingResolverErrorRCode(t *testing.T) {
+	h := HandlerFunc(func(q *Message, _ netip.AddrPort) *Message {
+		r := q.Reply()
+		r.RCode = RCodeNXDomain
+		return r
+	})
+	s := startServer(t, h)
+	r := NewCachingResolver(s.Addr())
+	if _, err := r.Lookup(context.Background(), "missing.test", TypeA, nil); err == nil {
+		t.Fatal("NXDOMAIN should surface as an error")
+	}
+}
+
+func TestServerSendsServfailOnUnpackableResponse(t *testing.T) {
+	// A handler that builds a response that cannot be packed (label too
+	// long): the server must degrade to SERVFAIL rather than go silent.
+	h := HandlerFunc(func(q *Message, _ netip.AddrPort) *Message {
+		r := q.Reply()
+		long := make([]byte, 70)
+		for i := range long {
+			long[i] = 'a'
+		}
+		r.Answers = append(r.Answers, Record{
+			Name: string(long) + ".test", Type: TypeA, Class: ClassIN, TTL: 1,
+			Data: []byte{1, 2, 3, 4},
+		})
+		return r
+	})
+	s := startServer(t, h)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := Exchange(ctx, s.Addr(), NewQuery(3, "broken.test", TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != RCodeServFail {
+		t.Fatalf("rcode = %d, want SERVFAIL", resp.RCode)
+	}
+}
+
+func TestServerIgnoresGarbageDatagrams(t *testing.T) {
+	h := &staticHandler{addr: netip.MustParseAddr("192.0.2.5"), ttl: 5}
+	s := startServer(t, h)
+	// Throw garbage at the socket; the server must survive and keep
+	// answering real queries.
+	conn, err := net.Dial("udp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for _, garbage := range [][]byte{{}, {1}, []byte("not dns at all"), make([]byte, 11)} {
+		if _, err := conn.Write(garbage); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := Exchange(ctx, s.Addr(), NewQuery(4, "alive.test", TypeA)); err != nil {
+		t.Fatalf("server unhealthy after garbage: %v", err)
+	}
+}

@@ -1,0 +1,193 @@
+package dnswire
+
+import (
+	"context"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bigHandler answers with many A records so the response exceeds small
+// UDP limits.
+type bigHandler struct{ records int }
+
+func (h *bigHandler) HandleQuery(q *Message, _ netip.AddrPort) *Message {
+	r := q.Reply()
+	name := q.Questions[0].Name
+	for i := 0; i < h.records; i++ {
+		r.Answers = append(r.Answers, ARecord(name, 60,
+			netip.AddrFrom4([4]byte{198, 18, byte(i >> 8), byte(i)})))
+	}
+	return r
+}
+
+func TestTCPServerExchange(t *testing.T) {
+	h := &bigHandler{records: 3}
+	s, err := NewTCPServer("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := ExchangeTCP(ctx, s.Addr(), NewQuery(5, "tcp.test", TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 3 {
+		t.Fatalf("answers = %d", len(resp.Answers))
+	}
+}
+
+func TestTCPMultipleQueriesPerConnection(t *testing.T) {
+	// RFC 7766 pipelining at the message level: two sequential exchanges
+	// work; here we reuse via two separate ExchangeTCP calls plus a
+	// manual two-query connection through the framing helpers.
+	h := &bigHandler{records: 1}
+	s, err := NewTCPServer("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for id := uint16(1); id <= 3; id++ {
+		resp, err := ExchangeTCP(ctx, s.Addr(), NewQuery(id, "multi.test", TypeA))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.ID != id {
+			t.Fatalf("response ID %d, want %d", resp.ID, id)
+		}
+	}
+}
+
+func TestUDPTruncationAndFallback(t *testing.T) {
+	// 60 A records ≈ 60*(8+2+2+4+2+4) > 1232 bytes, so a UDP query must
+	// come back truncated and the fallback must fetch the full answer
+	// over TCP.
+	h := &bigHandler{records: 80}
+	udp, err := NewServer("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer udp.Close()
+	tcp, err := NewTCPServer("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	q := NewQuery(9, "big.test", TypeA)
+	q.EDNS = true
+	q.UDPSize = 512
+
+	udpResp, err := Exchange(ctx, udp.Addr(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !udpResp.Truncated {
+		t.Fatal("oversized UDP response should be truncated")
+	}
+	if len(udpResp.Answers) != 0 {
+		t.Fatalf("truncated response carries %d answers", len(udpResp.Answers))
+	}
+
+	full, err := ExchangeWithFallback(ctx, udp.Addr(), tcp.Addr(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Truncated {
+		t.Fatal("TCP response should not be truncated")
+	}
+	if len(full.Answers) != 80 {
+		t.Fatalf("TCP answers = %d, want 80", len(full.Answers))
+	}
+}
+
+func TestExchangeWithFallbackNoTruncation(t *testing.T) {
+	h := &bigHandler{records: 1}
+	udp, err := NewServer("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer udp.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := ExchangeWithFallback(ctx, udp.Addr(), "", NewQuery(1, "small.test", TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Truncated || len(resp.Answers) != 1 {
+		t.Fatalf("small response should pass through UDP: %+v", resp)
+	}
+}
+
+func TestTruncateFor(t *testing.T) {
+	m := &Message{ID: 1, Response: true}
+	for i := 0; i < 100; i++ {
+		m.Answers = append(m.Answers, ARecord("x.test", 60, netip.AddrFrom4([4]byte{1, 2, 3, byte(i)})))
+	}
+	small, err := TruncateFor(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !small.Truncated || len(small.Answers) != 0 {
+		t.Fatalf("expected truncation: %+v", small)
+	}
+	pkt, err := small.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkt) > 512 {
+		t.Fatalf("truncated response still %d bytes", len(pkt))
+	}
+	// Original must be untouched.
+	if len(m.Answers) != 100 || m.Truncated {
+		t.Fatal("TruncateFor mutated the original")
+	}
+	// A fitting response passes through unchanged.
+	tiny := &Message{ID: 1, Response: true, Answers: []Record{ARecord("x.test", 60, netip.AddrFrom4([4]byte{1, 2, 3, 4}))}}
+	same, err := TruncateFor(tiny, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != tiny {
+		t.Fatal("fitting response should be returned as-is")
+	}
+}
+
+func TestTCPServerCloseIdempotent(t *testing.T) {
+	s, err := NewTCPServer("127.0.0.1:0", &bigHandler{records: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPServerNilHandler(t *testing.T) {
+	if _, err := NewTCPServer("127.0.0.1:0", nil); err == nil {
+		t.Fatal("nil handler should fail")
+	}
+}
+
+func TestReadTCPMessageShortFrame(t *testing.T) {
+	// Length prefix below the DNS header size must error.
+	r := strings.NewReader("\x00\x04abcd")
+	if _, err := readTCPMessage(r); err == nil {
+		t.Fatal("short frame should fail")
+	}
+	// Frame longer than the stream must error cleanly.
+	r = strings.NewReader("\x00\xff12")
+	if _, err := readTCPMessage(r); err == nil {
+		t.Fatal("truncated stream should fail")
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"anycastcdn/internal/geo"
+	"anycastcdn/internal/stats"
+	"anycastcdn/internal/topology"
+)
+
+// Catchments characterizes each front-end's anycast catchment on day 0 of
+// the passive logs: how many clients and how much query volume BGP
+// delivers to it, and how geographically tight that catchment is. This is
+// the operator-facing companion to Figure 4 — the same data viewed from
+// the server side — and quantifies the load imbalance §2 says anycast
+// cannot control ("anycast is unaware of server load").
+func (s *Suite) Catchments(topN int) Report {
+	if topN <= 0 {
+		topN = 15
+	}
+	w := s.Res.World
+	bb := w.Deployment.Backbone
+	type agg struct {
+		clients int
+		volume  float64
+		dists   []float64
+	}
+	perFE := map[topology.SiteID]*agg{}
+	var totalVolume float64
+	for _, r := range s.Res.Passive.Records() {
+		if r.Day != 0 || r.Queries == 0 {
+			continue
+		}
+		c := w.Population.Clients[r.ClientID]
+		a := perFE[r.FrontEnd]
+		if a == nil {
+			a = &agg{}
+			perFE[r.FrontEnd] = a
+		}
+		a.clients++
+		a.volume += c.Volume
+		totalVolume += c.Volume
+		a.dists = append(a.dists, geo.DistanceKm(c.Point, bb.Site(r.FrontEnd).Metro.Point))
+	}
+	type row struct {
+		fe  topology.SiteID
+		agg *agg
+	}
+	rows := make([]row, 0, len(perFE))
+	for fe, a := range perFE {
+		rows = append(rows, row{fe, a})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].agg.volume > rows[j].agg.volume })
+
+	tb := &stats.Table{
+		Title: "Anycast catchments (day 0): the server-side view of Figure 4",
+		Columns: []string{
+			"front-end", "clients", "volume share",
+			"median client km", "p90 client km",
+		},
+	}
+	for i, r := range rows {
+		if i >= topN {
+			tb.Notes = append(tb.Notes,
+				fmt.Sprintf("%d further front-ends omitted (top %d by volume shown)", len(rows)-topN, topN))
+			break
+		}
+		med, _ := stats.Quantile(r.agg.dists, 0.5)
+		p90, _ := stats.Quantile(r.agg.dists, 0.9)
+		tb.Rows = append(tb.Rows, []string{
+			bb.Site(r.fe).Metro.Name,
+			fmt.Sprintf("%d", r.agg.clients),
+			pct(r.agg.volume / totalVolume),
+			fmt.Sprintf("%.0f", med),
+			fmt.Sprintf("%.0f", p90),
+		})
+	}
+	// Imbalance headline: top front-end share vs a uniform share.
+	lines := []Headline{}
+	if len(rows) > 0 && totalVolume > 0 {
+		topShare := rows[0].agg.volume / totalVolume
+		uniform := 1 / float64(w.Deployment.NumFrontEnds())
+		lines = append(lines, Headline{
+			Name:     "anycast load imbalance (top front-end vs uniform)",
+			Paper:    "anycast 'is unaware of server load' (§2)",
+			Measured: fmt.Sprintf("%.1f%% vs uniform %.1f%% (%.1fx)", 100*topShare, 100*uniform, topShare/uniform),
+		})
+	}
+	return Report{ID: "catchments", Table: tb, Lines: lines}
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"anycastcdn/internal/cdn"
+	"anycastcdn/internal/sim"
+	"anycastcdn/internal/stats"
+)
+
+// DeploymentDensity runs the extension §4 of the paper leaves as future
+// work: "how to extend these performance results to CDNs with different
+// numbers and locations of servers". It re-runs a short simulation at
+// each deployment preset and reports the paper's key metrics — median
+// client→front-end distance, fraction of clients at their closest
+// front-end, and the ≥25 ms anycast penalty rate — as the deployment
+// thins from Bing-like (64 sites) to CDNify-like (~20 sites).
+//
+// baseCfg supplies scale (prefixes, days are clamped for speed); each
+// preset reuses its seed so rows differ only by deployment.
+func DeploymentDensity(baseCfg sim.Config) (Report, error) {
+	cfg := baseCfg
+	if cfg.Days > 3 {
+		cfg.Days = 3
+	}
+	if cfg.Prefixes > 3000 {
+		cfg.Prefixes = 3000
+	}
+	tb := &stats.Table{
+		Title: "§4 future work: anycast performance vs deployment density",
+		Columns: []string{
+			"deployment", "front-ends",
+			"median km to anycast FE", "clients at closest FE",
+			"requests >=25ms slower", "requests >=100ms slower",
+		},
+	}
+	type row struct {
+		medianKm, atClosest, p25, p100 float64
+	}
+	var rows []row
+	for _, preset := range []cdn.Preset{cdn.PresetDefault, cdn.PresetMedium, cdn.PresetSparse} {
+		cfg.Deployment = preset
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return Report{}, fmt.Errorf("experiments: density preset %q: %w", preset, err)
+		}
+		suite := NewSuite(res)
+		f4 := suite.Figure4()
+		f3 := suite.Figure3()
+		r := row{
+			medianKm:  seriesQuantile(f4, "clients to front-end", 0.5),
+			atClosest: headlineFraction(f4, "closest front-end"),
+			p25:       headlineFraction(f3, ">= 25 ms"),
+			p100:      headlineFraction(f3, ">= 100 ms"),
+		}
+		rows = append(rows, r)
+		tb.Rows = append(tb.Rows, []string{
+			string(preset),
+			fmt.Sprintf("%d", res.World.Deployment.NumFrontEnds()),
+			fmt.Sprintf("%.0f", r.medianKm),
+			pct(r.atClosest),
+			pct(r.p25),
+			pct(r.p100),
+		})
+	}
+	lines := []Headline{}
+	if len(rows) == 3 {
+		lines = append(lines, Headline{
+			Name:     "sparser deployments push clients farther",
+			Paper:    "open question in §4 (future work)",
+			Measured: fmt.Sprintf("median km %d → %d → %d as sites thin", int(rows[0].medianKm), int(rows[1].medianKm), int(rows[2].medianKm)),
+		})
+	}
+	return Report{ID: "deployment-density", Table: tb, Lines: lines}, nil
+}
+
+// seriesQuantile inverts a sampled CDF series: the first grid x whose CDF
+// value reaches q.
+func seriesQuantile(r Report, seriesName string, q float64) float64 {
+	if r.Figure == nil {
+		return 0
+	}
+	for _, s := range r.Figure.Series {
+		if s.Name != seriesName {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.Y >= q {
+				return p.X
+			}
+		}
+		if n := len(s.Points); n > 0 {
+			return s.Points[n-1].X
+		}
+	}
+	return 0
+}
+
+// headlineFraction parses the measured percentage of the first headline
+// whose name contains key, returning a fraction.
+func headlineFraction(r Report, key string) float64 {
+	for _, h := range r.Lines {
+		if !strings.Contains(h.Name, key) {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(h.Measured, "%f%%", &v); err == nil {
+			return v / 100
+		}
+	}
+	return 0
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ExportCSV writes a report's figure series as a CSV file: the first
+// column is x, one column per series. Table reports are written as plain
+// CSV rows. It returns the written path.
+func ExportCSV(r Report, dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, r.ID+".csv")
+	var b strings.Builder
+	switch {
+	case r.Figure != nil:
+		b.WriteString("x")
+		for _, s := range r.Figure.Series {
+			b.WriteString("," + csvEscape(s.Name))
+		}
+		b.WriteByte('\n')
+		if len(r.Figure.Series) > 0 {
+			rows := len(r.Figure.Series[0].Points)
+			for i := 0; i < rows; i++ {
+				fmt.Fprintf(&b, "%g", r.Figure.Series[0].Points[i].X)
+				for _, s := range r.Figure.Series {
+					if i < len(s.Points) {
+						fmt.Fprintf(&b, ",%g", s.Points[i].Y)
+					} else {
+						b.WriteString(",")
+					}
+				}
+				b.WriteByte('\n')
+			}
+		}
+	case r.Table != nil:
+		for i, c := range r.Table.Columns {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(c))
+		}
+		b.WriteByte('\n')
+		for _, row := range r.Table.Rows {
+			for i, cell := range row {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(csvEscape(cell))
+			}
+			b.WriteByte('\n')
+		}
+	default:
+		return "", fmt.Errorf("experiments: report %s has no content", r.ID)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// ExportGnuplot writes a gnuplot script that renders the figure from its
+// CSV (as produced by ExportCSV in the same directory). It returns the
+// script path. Table reports have nothing to plot and return an error.
+func ExportGnuplot(r Report, dir string) (string, error) {
+	if r.Figure == nil {
+		return "", fmt.Errorf("experiments: report %s is not a figure", r.ID)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, r.ID+".gp")
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", r.Figure.Title)
+	fmt.Fprintf(&b, "set datafile separator ','\n")
+	fmt.Fprintf(&b, "set key bottom right\n")
+	fmt.Fprintf(&b, "set title %q\n", r.Figure.Title)
+	fmt.Fprintf(&b, "set xlabel %q\n", r.Figure.XLabel)
+	fmt.Fprintf(&b, "set ylabel %q\n", r.Figure.YLabel)
+	fmt.Fprintf(&b, "set yrange [0:1]\n")
+	if strings.Contains(r.Figure.XLabel, "log") {
+		fmt.Fprintf(&b, "set logscale x 2\n")
+	}
+	fmt.Fprintf(&b, "set terminal pngcairo size 900,600\n")
+	fmt.Fprintf(&b, "set output '%s.png'\n", r.ID)
+	b.WriteString("plot ")
+	for i, s := range r.Figure.Series {
+		if i > 0 {
+			b.WriteString(", \\\n     ")
+		}
+		fmt.Fprintf(&b, "'%s.csv' using 1:%d with linespoints title %q", r.ID, i+2, s.Name)
+	}
+	b.WriteByte('\n')
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

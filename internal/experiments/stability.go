@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"anycastcdn/internal/core"
+	"anycastcdn/internal/dns"
+	"anycastcdn/internal/stats"
+	"anycastcdn/internal/topology"
+)
+
+// dnsID converts a stored resolver id back to its typed form.
+func dnsID(v int) dns.LDNSID { return dns.LDNSID(v) }
+
+// MetricStability reproduces the result §6 of the paper describes but
+// omits "due to lack of space": the claim that low percentiles of a
+// (client group, front-end) latency distribution are stable across days —
+// and therefore usable as prediction metrics — while high percentiles are
+// too noisy. For each candidate percentile it reports two quantities over
+// all (client, target) pairs with enough measurements on consecutive days:
+//
+//   - the median coefficient of variation of the percentile across days
+//     (the paper's stability measure), and
+//   - the median absolute day-over-day change in the percentile, in ms
+//     (a direct measure of prediction difficulty).
+func (s *Suite) MetricStability() Report {
+	percentiles := []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95}
+	const minPerDay = 10
+
+	// Collect per-(client, target) per-day percentile values.
+	type pairKey struct {
+		client uint64
+		site   topology.SiteID
+		any    bool
+	}
+	days := len(s.Res.Beacons)
+	// series[p][pair] = per-day percentile values (NaN-free; missing days
+	// skipped).
+	perPair := make([]map[pairKey][]float64, len(percentiles))
+	for i := range perPair {
+		perPair[i] = map[pairKey][]float64{}
+	}
+	for day := 0; day < days; day++ {
+		byPair := map[pairKey][]float64{}
+		for _, m := range s.Res.Beacons[day] {
+			byPair[pairKey{m.ClientID, 0, true}] = append(byPair[pairKey{m.ClientID, 0, true}], m.Anycast.RTTms)
+			for _, u := range m.Unicast {
+				k := pairKey{m.ClientID, u.Site, false}
+				byPair[k] = append(byPair[k], u.RTTms)
+			}
+		}
+		for k, samples := range byPair {
+			if len(samples) < minPerDay {
+				continue
+			}
+			for i, p := range percentiles {
+				v, err := stats.Quantile(samples, p)
+				if err == nil {
+					perPair[i][k] = append(perPair[i][k], v)
+				}
+			}
+		}
+	}
+
+	tb := &stats.Table{
+		Title:   "§6 (omitted result): stability of candidate prediction metrics",
+		Columns: []string{"percentile", "median CoV across days", "median |day-over-day change| (ms)", "pairs"},
+	}
+	var covByPct []float64
+	for i, p := range percentiles {
+		var covs, deltas []float64
+		for _, series := range perPair[i] {
+			if len(series) < 3 {
+				continue
+			}
+			if cov, err := stats.CoefficientOfVariation(series); err == nil {
+				covs = append(covs, cov)
+			}
+			for d := 1; d < len(series); d++ {
+				diff := series[d] - series[d-1]
+				if diff < 0 {
+					diff = -diff
+				}
+				deltas = append(deltas, diff)
+			}
+		}
+		if len(covs) == 0 {
+			continue
+		}
+		medCov, _ := stats.Median(covs)
+		medDelta, _ := stats.Median(deltas)
+		covByPct = append(covByPct, medCov)
+		tb.Rows = append(tb.Rows, []string{
+			fmt.Sprintf("p%02.0f", p*100),
+			fmt.Sprintf("%.4f", medCov),
+			fmt.Sprintf("%.1f", medDelta),
+			fmt.Sprintf("%d", len(covs)),
+		})
+	}
+	lines := []Headline{}
+	if len(covByPct) >= 2 {
+		lines = append(lines, Headline{
+			Name:     "low percentiles stabler than high percentiles",
+			Paper:    "25th/median have lower CoV; high percentiles 'very noisy'",
+			Measured: fmt.Sprintf("CoV p25=%.4f vs p95=%.4f", covByPct[1], covByPct[len(covByPct)-1]),
+		})
+	}
+	return Report{ID: "metric-stability", Table: tb, Lines: lines}
+}
+
+// HybridDeployment runs the deployment the paper proposes at the end of
+// §6 over the whole simulated month: each day the predictor retrains on
+// the previous day's beacons and steers the following day's traffic
+// (anycast for most clients, DNS redirection for the predicted few). It
+// reports the query-weighted median and 75th-percentile latency of three
+// policies — anycast-only, full DNS prediction, and the hybrid with a
+// safety margin — the comparison a CDN operator would actually use to
+// decide.
+func (s *Suite) HybridDeployment(marginMs float64) Report {
+	days := len(s.Res.Beacons)
+	vols := s.Res.Volumes()
+	obs := make([][]core.Observation, days)
+	for d := 0; d < days; d++ {
+		for _, m := range s.Res.Beacons[d] {
+			obs[d] = append(obs[d], core.FromMeasurement(m)...)
+		}
+	}
+	policies := []struct {
+		name   string
+		cfg    *core.Config // nil = anycast only / geo-DNS
+		geoDNS bool
+	}{
+		{"anycast only", nil, false},
+		{"geo-DNS (closest to LDNS)", nil, true},
+		{"DNS prediction (plain §6)", &core.Config{Metric: core.MetricP25, MinMeasurements: 20}, false},
+		{fmt.Sprintf("hybrid (%.0f ms margin)", marginMs),
+			&core.Config{Metric: core.MetricP25, MinMeasurements: 20, HybridMarginMs: marginMs}, false},
+	}
+	tb := &stats.Table{
+		Title:   "§6 extension: month-long deployment comparison (query-weighted)",
+		Columns: []string{"policy", "median ms", "p75 ms", "p95 ms", "redirected share"},
+	}
+	var medians []float64
+	for _, pol := range policies {
+		var lat, w []float64
+		var redirW, totW float64
+		var pred *core.Predictions
+		var predictor *core.Predictor
+		if pol.cfg != nil {
+			predictor = core.NewPredictor(*pol.cfg)
+		}
+		for d := 1; d < days; d++ {
+			if predictor != nil {
+				pred = predictor.Train(obs[d-1], core.ByPrefix)
+			}
+			perDay := serveDay(obs[d], pred, pol.geoDNS, vols)
+			for _, sv := range perDay {
+				lat = append(lat, sv.latency)
+				w = append(w, sv.weight)
+				totW += sv.weight
+				if sv.redirected {
+					redirW += sv.weight
+				}
+			}
+		}
+		e, err := stats.NewWeightedECDF(lat, w)
+		if err != nil {
+			continue
+		}
+		med := e.Quantile(0.5)
+		medians = append(medians, med)
+		tb.Rows = append(tb.Rows, []string{
+			pol.name,
+			fmt.Sprintf("%.1f", med),
+			fmt.Sprintf("%.1f", e.Quantile(0.75)),
+			fmt.Sprintf("%.1f", e.Quantile(0.95)),
+			pct(redirW / totW),
+		})
+	}
+	lines := []Headline{}
+	if len(medians) == 4 {
+		lines = append(lines,
+			Headline{
+				Name:     "hybrid vs anycast-only median latency",
+				Paper:    "hybrid 'may outperform' plain DNS redirection (§6, proposed)",
+				Measured: fmt.Sprintf("anycast %.1f ms → hybrid %.1f ms", medians[0], medians[3]),
+			},
+			Headline{
+				Name:     "anycast vs traditional geo-DNS",
+				Paper:    "anycast delivers optimal performance for most clients (§8)",
+				Measured: fmt.Sprintf("anycast %.1f ms vs geo-DNS %.1f ms median", medians[0], medians[1]),
+			})
+	}
+	return Report{ID: "hybrid-deployment", Table: tb, Lines: lines}
+}
+
+// served is one client-day outcome under a policy.
+type served struct {
+	latency    float64
+	weight     float64
+	redirected bool
+}
+
+// serveDay replays one day of beacon observations under a redirection
+// policy: each client's experienced latency is the median of its samples
+// to the target the policy picked (anycast when pred is nil or declines).
+// geoDNS instead steers every client to the front-end closest to its LDNS
+// — the traditional DNS redirection baseline of §2.
+func serveDay(dayObs []core.Observation, pred *core.Predictions, geoDNS bool, vols map[uint64]float64) []served {
+	type k struct {
+		client uint64
+		target core.Target
+	}
+	samples := map[k][]float64{}
+	closestOf := map[uint64]core.Target{}
+	ldns := map[uint64]int{}
+	for _, o := range dayObs {
+		samples[k{o.ClientID, o.Target}] = append(samples[k{o.ClientID, o.Target}], o.RTTms)
+		ldns[o.ClientID] = int(o.LDNS)
+		if o.Slot == 1 {
+			closestOf[o.ClientID] = o.Target
+		}
+	}
+	clients := make([]uint64, 0, len(ldns))
+	for c := range ldns {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	var out []served
+	for _, c := range clients {
+		target := core.AnycastTarget
+		switch {
+		case geoDNS:
+			if t, ok := closestOf[c]; ok {
+				target = t
+			}
+		case pred != nil:
+			target = pred.For(c, dnsID(ldns[c]))
+		}
+		redirected := !target.Anycast
+		ss := samples[k{c, target}]
+		if len(ss) == 0 {
+			// The redirection target was not measured for this client
+			// today; the client is still served (by that front-end), but
+			// we can only estimate its latency from anycast samples —
+			// skip rather than guess.
+			ss = samples[k{c, core.AnycastTarget}]
+			if len(ss) == 0 {
+				continue
+			}
+			redirected = false
+		}
+		med, err := stats.Median(ss)
+		if err != nil {
+			continue
+		}
+		w := vols[c]
+		if w <= 0 {
+			w = 1
+		}
+		out = append(out, served{latency: med, weight: w, redirected: redirected})
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+// Package frontend implements the CDN data path the paper's introduction
+// describes: "a CDN architecture which directs the client to a nearby
+// front-end, which terminates the client's TCP connection and relays
+// requests to a backend server in a data center."
+//
+// The split-TCP benefit this architecture exists for: a client's TCP
+// handshake (and its first request) only crosses the short client↔front-
+// end path, while the front-end maintains warm, persistent connections to
+// the far backend — so a request pays ~2×RTT(near) + 1×RTT(far) instead
+// of the 2×RTT(far) a cold direct connection costs. That latency delta is
+// exactly why front-end placement (and therefore anycast's choice of
+// front-end) matters for latency-sensitive services like search.
+//
+// Network distance is emulated with latency-injecting dialers and
+// connections, so the whole path runs over real loopback sockets.
+package frontend
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync/atomic"
+	"time"
+)
+
+// delayConn wraps a net.Conn, charging a one-way delay per Write — a
+// coarse but honest model: every request or response segment batch pays
+// one propagation delay.
+type delayConn struct {
+	net.Conn
+	oneWay time.Duration
+}
+
+func (c *delayConn) Write(p []byte) (int, error) {
+	if c.oneWay > 0 {
+		time.Sleep(c.oneWay)
+	}
+	return c.Conn.Write(p)
+}
+
+// Dialer returns a DialContext function that emulates a path with the
+// given round-trip time: dialing costs one RTT (the TCP handshake), and
+// each write costs half an RTT (one-way propagation).
+func Dialer(rtt time.Duration) func(ctx context.Context, network, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		if rtt > 0 {
+			select {
+			case <-time.After(rtt): // SYN, SYN-ACK
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		conn, err := d.DialContext(ctx, network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return &delayConn{Conn: conn, oneWay: rtt / 2}, nil
+	}
+}
+
+// Backend is the origin "data center" HTTP server.
+type Backend struct {
+	srv *http.Server
+	ln  net.Listener
+	// Requests counts requests served.
+	Requests atomic.Int64
+}
+
+// NewBackend starts an origin server on loopback. The handler answers
+// every request with a small response body (search results, in the
+// paper's setting).
+func NewBackend() (*Backend, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("frontend: backend listen: %w", err)
+	}
+	b := &Backend{ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		b.Requests.Add(1)
+		w.Header().Set("X-Served-By", "backend")
+		fmt.Fprintf(w, "results for %q\n", r.URL.Query().Get("q"))
+	})
+	b.srv = &http.Server{Handler: mux}
+	go b.srv.Serve(ln)
+	return b, nil
+}
+
+// Addr returns the backend's address.
+func (b *Backend) Addr() string { return b.ln.Addr().String() }
+
+// Close shuts the backend down.
+func (b *Backend) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return b.srv.Shutdown(ctx)
+}
+
+// Proxy is a front-end: it terminates client connections and relays
+// requests to the backend over a warm, persistent connection pool.
+type Proxy struct {
+	srv *http.Server
+	ln  net.Listener
+	// Relayed counts relayed requests.
+	Relayed atomic.Int64
+}
+
+// NewProxy starts a front-end relaying to backendAddr across a path with
+// the given front-end↔backend RTT. The proxy's transport keeps idle
+// connections alive, so after warm-up only request/response propagation
+// is paid on the long leg.
+func NewProxy(backendAddr string, backendRTT time.Duration) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("frontend: proxy listen: %w", err)
+	}
+	target := &url.URL{Scheme: "http", Host: backendAddr}
+	p := &Proxy{ln: ln}
+	rp := httputil.NewSingleHostReverseProxy(target)
+	rp.Transport = &http.Transport{
+		DialContext:         Dialer(backendRTT),
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     time.Minute,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		p.Relayed.Add(1)
+		w.Header().Set("X-Served-By", "front-end")
+		rp.ServeHTTP(w, r)
+	})
+	p.srv = &http.Server{Handler: mux}
+	go p.srv.Serve(ln)
+	return p, nil
+}
+
+// Addr returns the proxy's address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Warm establishes the proxy's backend connection ahead of client
+// traffic, as a production front-end's connection pool would be.
+func (p *Proxy) Warm(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+p.Addr()+"/?q=warmup", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("frontend: warm-up: %w", err)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Close shuts the proxy down.
+func (p *Proxy) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return p.srv.Shutdown(ctx)
+}
+
+// FetchResult is one timed client fetch.
+type FetchResult struct {
+	Elapsed  time.Duration
+	ServedBy string
+}
+
+// ColdFetch performs one request over a fresh TCP connection across a
+// path with the given RTT — what a client pays without a CDN (direct to
+// the data center) or on its very first contact with a front-end.
+func ColdFetch(ctx context.Context, addr string, rtt time.Duration, query string) (FetchResult, error) {
+	transport := &http.Transport{
+		DialContext:       Dialer(rtt),
+		DisableKeepAlives: true,
+	}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+	return timedFetch(ctx, client, addr, query)
+}
+
+// SessionFetch performs requests over a client that reuses its
+// connection (a browser keeping its front-end connection alive).
+type SessionFetch struct {
+	client *http.Client
+}
+
+// NewSessionFetch builds a keep-alive client across a path with the given
+// RTT.
+func NewSessionFetch(rtt time.Duration) *SessionFetch {
+	return &SessionFetch{client: &http.Client{
+		Transport: &http.Transport{
+			DialContext:         Dialer(rtt),
+			MaxIdleConnsPerHost: 4,
+		},
+		Timeout: 30 * time.Second,
+	}}
+}
+
+// Fetch performs one timed request.
+func (s *SessionFetch) Fetch(ctx context.Context, addr, query string) (FetchResult, error) {
+	return timedFetch(ctx, s.client, addr, query)
+}
+
+// Close releases idle connections.
+func (s *SessionFetch) Close() {
+	if t, ok := s.client.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+}
+
+func timedFetch(ctx context.Context, client *http.Client, addr, query string) (FetchResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+addr+"/?q="+url.QueryEscape(query), nil)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return FetchResult{}, fmt.Errorf("frontend: fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 512)
+	for {
+		if _, err := resp.Body.Read(buf); err != nil {
+			break
+		}
+	}
+	return FetchResult{
+		Elapsed:  time.Since(start),
+		ServedBy: resp.Header.Get("X-Served-By"),
+	}, nil
+}

@@ -1,0 +1,180 @@
+package frontend
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Latencies kept small so the suite stays fast; ratios are what matter.
+const (
+	nearRTT = 4 * time.Millisecond
+	farRTT  = 40 * time.Millisecond
+)
+
+func setup(t *testing.T) (*Backend, *Proxy) {
+	t.Helper()
+	b, err := NewBackend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	p, err := NewProxy(b.Addr(), farRTT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return b, p
+}
+
+func TestBackendServes(t *testing.T) {
+	b, _ := setup(t)
+	ctx := context.Background()
+	res, err := ColdFetch(ctx, b.Addr(), 0, "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedBy != "backend" {
+		t.Fatalf("served by %q", res.ServedBy)
+	}
+	if b.Requests.Load() == 0 {
+		t.Fatal("backend saw no requests")
+	}
+}
+
+func TestProxyRelays(t *testing.T) {
+	b, p := setup(t)
+	ctx := context.Background()
+	res, err := ColdFetch(ctx, p.Addr(), 0, "relay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedBy != "front-end" {
+		t.Fatalf("served by %q, want front-end", res.ServedBy)
+	}
+	if p.Relayed.Load() == 0 || b.Requests.Load() == 0 {
+		t.Fatal("request did not traverse proxy to backend")
+	}
+}
+
+func TestDialerChargesHandshake(t *testing.T) {
+	b, _ := setup(t)
+	ctx := context.Background()
+	start := time.Now()
+	if _, err := ColdFetch(ctx, b.Addr(), farRTT, "x"); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// Cold fetch: handshake (1 RTT) + request write (0.5 RTT) at minimum.
+	if elapsed < farRTT {
+		t.Fatalf("cold fetch finished in %v, below one RTT %v", elapsed, farRTT)
+	}
+}
+
+// TestSplitTCPWins is the architecture's reason to exist: through a warm
+// nearby front-end, a cold client fetch beats a cold direct fetch to the
+// far backend.
+func TestSplitTCPWins(t *testing.T) {
+	b, p := setup(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Warm(ctx); err != nil {
+		t.Fatal(err)
+	}
+	viaFE, err := ColdFetch(ctx, p.Addr(), nearRTT, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := ColdFetch(ctx, b.Addr(), farRTT, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaFE.Elapsed >= direct.Elapsed {
+		t.Fatalf("front-end path %v not faster than direct %v", viaFE.Elapsed, direct.Elapsed)
+	}
+	// Rough shape: via-FE ≈ 2×near + ~1.5×far write legs; direct ≈ 2×far.
+	// Assert at least a 25%% win to stay robust on loaded machines.
+	if float64(viaFE.Elapsed) > 0.75*float64(direct.Elapsed) {
+		t.Fatalf("front-end win too small: %v vs %v", viaFE.Elapsed, direct.Elapsed)
+	}
+}
+
+// TestFrontEndChoiceMatters ties the package back to the paper: being
+// directed to a FAR front-end (anycast misrouting) forfeits the split-TCP
+// win.
+func TestFrontEndChoiceMatters(t *testing.T) {
+	b, _ := setup(t)
+	// A "far" front-end: same backend, but the client↔front-end path
+	// costs as much as going direct.
+	farFE, err := NewProxy(b.Addr(), farRTT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer farFE.Close()
+	nearFE, err := NewProxy(b.Addr(), farRTT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nearFE.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := farFE.Warm(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := nearFE.Warm(ctx); err != nil {
+		t.Fatal(err)
+	}
+	viaNear, err := ColdFetch(ctx, nearFE.Addr(), nearRTT, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFar, err := ColdFetch(ctx, farFE.Addr(), farRTT, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaNear.Elapsed >= viaFar.Elapsed {
+		t.Fatalf("near front-end %v not faster than far front-end %v", viaNear.Elapsed, viaFar.Elapsed)
+	}
+}
+
+func TestSessionFetchReusesConnection(t *testing.T) {
+	_, p := setup(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	s := NewSessionFetch(nearRTT)
+	defer s.Close()
+	first, err := s.Fetch(ctx, p.Addr(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Fetch(ctx, p.Addr(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second fetch skips the handshake RTT.
+	if second.Elapsed >= first.Elapsed {
+		t.Fatalf("keep-alive fetch %v not faster than first %v", second.Elapsed, first.Elapsed)
+	}
+}
+
+func BenchmarkProxyFetch(b *testing.B) {
+	backend, err := NewBackend()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer backend.Close()
+	p, err := NewProxy(backend.Addr(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	ctx := context.Background()
+	s := NewSessionFetch(0)
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fetch(ctx, p.Addr(), "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package latency models client-perceived round-trip latency for the
+// simulator.
+//
+// An RTT sample decomposes as:
+//
+//	RTT = lastMile(prefix)                         // access-network delay
+//	    + airKm * inflation(path) / fiberFactor    // public Internet leg
+//	    + backboneKm * backboneInflation / fiber   // CDN backbone leg
+//	    + congestion(path, day)                    // per-day transient event
+//	    + jitter(measurement)                      // per-sample noise
+//
+// The public Internet leg carries a per-path inflation factor drawn once
+// per (prefix, ingress) pair — real paths are consistently inflated over
+// the great circle (Spring et al., "The Causes of Path Inflation", which
+// the paper cites when discussing anycast's blindness). The CDN backbone
+// leg is nearly straight-line: a production backbone is engineered, which
+// is why entering the CDN near the client and riding the backbone
+// (anycast's behaviour) is usually at least as fast as a pure Internet
+// path to the same front-end (the unicast beacon target's behaviour).
+//
+// Everything is deterministic per (seed, path, day, sample index).
+package latency
+
+import (
+	"anycastcdn/internal/xrand"
+)
+
+// Path identifies one network path from a client prefix into a front-end.
+type Path struct {
+	// PrefixID is the stable ID of the client /24.
+	PrefixID uint64
+	// EntryKey distinguishes paths from the same prefix: the ingress site
+	// for anycast paths or the front-end site for direct unicast paths.
+	EntryKey uint64
+	// AirKm is the great-circle distance of the public Internet leg
+	// (client to ingress/front-end).
+	AirKm float64
+	// BackboneKm is the CDN-internal distance (ingress to front-end);
+	// zero for unicast paths, which ingress at the front-end's own
+	// peering point per §3.1 of the paper.
+	BackboneKm float64
+	// Household distinguishes end hosts within the /24: a prefix contains
+	// many households with different access links, so measurements from
+	// the same /24 to the same front-end still differ by a few ms
+	// depending on which household ran the beacon. Zero is a valid
+	// household.
+	Household uint64
+	// Unicast marks a beacon unicast path. Because the unicast /24 is
+	// announced only at the peering point closest to its front-end
+	// (§3.1), the client's ISP must haul the traffic to that specific
+	// interconnect instead of handing off at its nearest exchange; the
+	// extra intra-ISP haul costs a few milliseconds. Anycast traffic
+	// early-exits into the CDN backbone and avoids it.
+	Unicast bool
+}
+
+// Config parameterizes the model. The zero value is not useful; use
+// DefaultConfig.
+type Config struct {
+	// FiberKmPerMs is one-way propagation speed in fiber (~200 km/ms);
+	// RTT doubles it.
+	FiberKmPerMs float64
+	// InflationMin/Max bound the per-path public-Internet inflation
+	// factor (multiplies the great-circle distance).
+	InflationMin float64
+	InflationMax float64
+	// BackboneInflation multiplies backbone distance (engineered paths,
+	// close to 1).
+	BackboneInflation float64
+	// LastMileMedianMs and LastMileSigma parameterize the lognormal
+	// access-network delay per prefix; HouseholdSigma adds per-household
+	// variation around the prefix's base (see Path.Household).
+	LastMileMedianMs float64
+	LastMileSigma    float64
+	HouseholdSigma   float64
+	// CongestionDailyRate is the probability that a given path suffers a
+	// transient congestion event on a given day; CongestionMeanMs is the
+	// mean of the exponential extra delay.
+	CongestionDailyRate float64
+	CongestionMeanMs    float64
+	// JitterMeanMs is the mean per-sample exponential jitter.
+	JitterMeanMs float64
+	// JitterBurstProb and JitterBurstMeanMs model the heavy tail of
+	// one-shot browser measurements (cross traffic, wifi retransmits,
+	// renderer scheduling): with probability JitterBurstProb a sample
+	// gains an additional exponential delay. Bursts dominate per-request
+	// comparisons (Figure 3) but medians wash them out (Figure 5).
+	JitterBurstProb   float64
+	JitterBurstMeanMs float64
+	// UnicastDetourMedianMs and UnicastDetourSigma parameterize the
+	// lognormal per-(prefix, front-end) haul penalty of unicast beacon
+	// paths (see Path.Unicast).
+	UnicastDetourMedianMs float64
+	UnicastDetourSigma    float64
+	// PrimitiveTimingBiasMs is the mean positive bias of JavaScript
+	// primitive timings versus the W3C Resource Timing API (§3.2.2).
+	PrimitiveTimingBiasMs float64
+	// ResourceTimingSupportRate is the fraction of browsers supporting
+	// the Resource Timing API, whose measurements replace primitive ones.
+	ResourceTimingSupportRate float64
+}
+
+// DefaultConfig returns the calibration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		FiberKmPerMs:              200,
+		InflationMin:              1.25,
+		InflationMax:              2.0,
+		BackboneInflation:         1.05,
+		LastMileMedianMs:          9,
+		LastMileSigma:             0.45,
+		HouseholdSigma:            0.45,
+		CongestionDailyRate:       0.05,
+		CongestionMeanMs:          55,
+		JitterMeanMs:              1.2,
+		JitterBurstProb:           0.12,
+		JitterBurstMeanMs:         70,
+		UnicastDetourMedianMs:     3.0,
+		UnicastDetourSigma:        0.6,
+		PrimitiveTimingBiasMs:     12,
+		ResourceTimingSupportRate: 0.85,
+	}
+}
+
+// Model produces latency samples.
+type Model struct {
+	cfg  Config
+	seed uint64
+}
+
+// NewModel returns a model rooted at seed.
+func NewModel(seed uint64, cfg Config) *Model {
+	return &Model{cfg: cfg, seed: seed}
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// LastMileMs returns the prefix's stable access-network delay.
+func (m *Model) LastMileMs(prefixID uint64) float64 {
+	rs := xrand.Substream(m.seed, "lastmile", prefixID)
+	return m.cfg.LastMileMedianMs * rs.LogNormal(0, m.cfg.LastMileSigma)
+}
+
+// inflation returns the stable inflation factor for a path.
+func (m *Model) inflation(p Path) float64 {
+	rs := xrand.Substream(m.seed, "inflation", p.PrefixID, p.EntryKey)
+	return m.cfg.InflationMin + rs.Float64()*(m.cfg.InflationMax-m.cfg.InflationMin)
+}
+
+// BaseRTTms returns the stable (no congestion, no jitter) round-trip time
+// of a path in milliseconds.
+func (m *Model) BaseRTTms(p Path) float64 {
+	prop := 2 * p.AirKm * m.inflation(p) / m.cfg.FiberKmPerMs
+	backbone := 2 * p.BackboneKm * m.cfg.BackboneInflation / m.cfg.FiberKmPerMs
+	lastMile := m.LastMileMs(p.PrefixID) * m.householdFactor(p)
+	return lastMile + prop + backbone + m.unicastDetourMs(p)
+}
+
+// householdFactor returns the stable multiplicative last-mile variation of
+// the path's household.
+func (m *Model) householdFactor(p Path) float64 {
+	if m.cfg.HouseholdSigma <= 0 {
+		return 1
+	}
+	rs := xrand.Substream(m.seed, "household", p.PrefixID, p.Household)
+	return rs.LogNormal(0, m.cfg.HouseholdSigma)
+}
+
+// unicastDetourMs returns the stable haul penalty of a unicast beacon path
+// (zero for anycast paths).
+func (m *Model) unicastDetourMs(p Path) float64 {
+	if !p.Unicast || m.cfg.UnicastDetourMedianMs <= 0 {
+		return 0
+	}
+	rs := xrand.Substream(m.seed, "unicast-detour", p.PrefixID, p.EntryKey)
+	return m.cfg.UnicastDetourMedianMs * rs.LogNormal(0, m.cfg.UnicastDetourSigma)
+}
+
+// CongestionMs returns the extra delay the path suffers on the given day
+// (zero on most days). The event is stable within a day, producing the
+// "poor path for exactly one day" pattern of Figure 6.
+func (m *Model) CongestionMs(p Path, day int) float64 {
+	rs := xrand.Substream(m.seed, "congestion", p.PrefixID, p.EntryKey, uint64(day))
+	if !rs.Bool(m.cfg.CongestionDailyRate) {
+		return 0
+	}
+	return rs.Exp(m.cfg.CongestionMeanMs)
+}
+
+// DayRTTms returns the path RTT for a given day including any congestion
+// event but no per-sample jitter.
+func (m *Model) DayRTTms(p Path, day int) float64 {
+	return m.BaseRTTms(p) + m.CongestionMs(p, day)
+}
+
+// SampleRTTms returns one measured RTT sample: day RTT plus per-sample
+// jitter. sampleKey must differ between samples of the same path and day.
+func (m *Model) SampleRTTms(p Path, day int, sampleKey uint64) float64 {
+	rs := xrand.Substream(m.seed, "jitter", p.PrefixID, p.EntryKey, uint64(day), sampleKey)
+	rtt := m.DayRTTms(p, day) + rs.Exp(m.cfg.JitterMeanMs)
+	if m.cfg.JitterBurstProb > 0 && rs.Bool(m.cfg.JitterBurstProb) {
+		rtt += rs.Exp(m.cfg.JitterBurstMeanMs)
+	}
+	return rtt
+}
+
+// MeasuredRTTms applies the beacon's timing-API model to a true sample:
+// browsers without Resource Timing support report a positively biased
+// value from JavaScript primitive timings (§3.2.2 of the paper).
+// browserKey identifies the client browser so support is stable per client.
+func (m *Model) MeasuredRTTms(trueRTT float64, browserKey uint64, sampleKey uint64) float64 {
+	rs := xrand.Substream(m.seed, "timing", browserKey)
+	if rs.Bool(m.cfg.ResourceTimingSupportRate) {
+		return trueRTT
+	}
+	bias := xrand.Substream(m.seed, "timing-bias", browserKey, sampleKey)
+	return trueRTT + bias.Exp(m.cfg.PrimitiveTimingBiasMs)
+}

@@ -1,0 +1,207 @@
+package latency
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func model() *Model { return NewModel(42, DefaultConfig()) }
+
+func TestBaseRTTDeterministic(t *testing.T) {
+	m := model()
+	p := Path{PrefixID: 1, EntryKey: 2, AirKm: 1000}
+	if m.BaseRTTms(p) != m.BaseRTTms(p) {
+		t.Fatal("BaseRTTms not deterministic")
+	}
+	m2 := NewModel(42, DefaultConfig())
+	if m.BaseRTTms(p) != m2.BaseRTTms(p) {
+		t.Fatal("BaseRTTms differs across identical models")
+	}
+}
+
+func TestBaseRTTScalesWithDistance(t *testing.T) {
+	m := model()
+	near := Path{PrefixID: 1, EntryKey: 2, AirKm: 100}
+	far := Path{PrefixID: 1, EntryKey: 2, AirKm: 5000}
+	if m.BaseRTTms(far) <= m.BaseRTTms(near) {
+		t.Fatal("longer path should have higher RTT")
+	}
+	// Sanity: 1000 km with inflation <= 2 should be under ~40ms plus
+	// last-mile; cross-ocean should be big.
+	p := Path{PrefixID: 3, EntryKey: 4, AirKm: 1000}
+	rtt := m.BaseRTTms(p)
+	if rtt < 10 || rtt > 80 {
+		t.Fatalf("1000 km RTT = %.1f ms, outside plausible range", rtt)
+	}
+}
+
+func TestBaseRTTPositiveProperty(t *testing.T) {
+	m := model()
+	f := func(prefix, entry uint64, air, backbone float64) bool {
+		p := Path{
+			PrefixID:   prefix,
+			EntryKey:   entry,
+			AirKm:      math.Abs(math.Mod(air, 20000)),
+			BackboneKm: math.Abs(math.Mod(backbone, 20000)),
+		}
+		return m.BaseRTTms(p) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackboneLegCheaperThanInternetLeg(t *testing.T) {
+	m := model()
+	// Anycast-style path: short Internet leg + backbone leg, versus
+	// unicast-style path covering the whole distance on the public
+	// Internet. With equal endpoints the anycast decomposition should
+	// usually win because backbone inflation < Internet inflation.
+	wins := 0
+	const n = 1000
+	for i := uint64(0); i < n; i++ {
+		anycast := Path{PrefixID: i, EntryKey: 100, AirKm: 100, BackboneKm: 900}
+		unicast := Path{PrefixID: i, EntryKey: 200, AirKm: 1000}
+		if m.BaseRTTms(anycast) < m.BaseRTTms(unicast) {
+			wins++
+		}
+	}
+	if wins < n*80/100 {
+		t.Fatalf("anycast decomposition won only %d/%d; backbone should usually be faster", wins, n)
+	}
+}
+
+func TestLastMileDistribution(t *testing.T) {
+	m := model()
+	var vals []float64
+	for i := uint64(0); i < 4000; i++ {
+		v := m.LastMileMs(i)
+		if v <= 0 {
+			t.Fatalf("non-positive last mile %v", v)
+		}
+		vals = append(vals, v)
+	}
+	med := medianOf(vals)
+	if med < 6 || med > 13 {
+		t.Fatalf("last-mile median %.1f, want near 9", med)
+	}
+}
+
+func TestCongestionRate(t *testing.T) {
+	m := model()
+	events := 0
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		p := Path{PrefixID: i, EntryKey: 5, AirKm: 500}
+		if c := m.CongestionMs(p, 3); c > 0 {
+			events++
+		} else if c < 0 {
+			t.Fatalf("negative congestion %v", c)
+		}
+	}
+	rate := float64(events) / n
+	want := DefaultConfig().CongestionDailyRate
+	if math.Abs(rate-want) > 0.01 {
+		t.Fatalf("congestion rate %.3f, want ~%.3f", rate, want)
+	}
+}
+
+func TestCongestionStableWithinDay(t *testing.T) {
+	m := model()
+	p := Path{PrefixID: 9, EntryKey: 1, AirKm: 500}
+	for day := 0; day < 40; day++ {
+		if m.CongestionMs(p, day) != m.CongestionMs(p, day) {
+			t.Fatal("congestion not stable within day")
+		}
+	}
+}
+
+func TestCongestionVariesAcrossDays(t *testing.T) {
+	m := model()
+	// Over many paths and days, events on consecutive days should be
+	// mostly independent: P(event on day d+1 | event on day d) ≈ rate.
+	bothDays, firstDay := 0, 0
+	for i := uint64(0); i < 30000; i++ {
+		p := Path{PrefixID: i, EntryKey: 2, AirKm: 300}
+		if m.CongestionMs(p, 10) > 0 {
+			firstDay++
+			if m.CongestionMs(p, 11) > 0 {
+				bothDays++
+			}
+		}
+	}
+	if firstDay == 0 {
+		t.Fatal("no events at all")
+	}
+	cond := float64(bothDays) / float64(firstDay)
+	if cond > 0.15 {
+		t.Fatalf("consecutive-day event correlation %.2f too high; events should be transient", cond)
+	}
+}
+
+func TestSampleJitterPositive(t *testing.T) {
+	m := model()
+	p := Path{PrefixID: 1, EntryKey: 1, AirKm: 800}
+	day := m.DayRTTms(p, 0)
+	for k := uint64(0); k < 200; k++ {
+		s := m.SampleRTTms(p, 0, k)
+		if s < day {
+			t.Fatalf("sample %v below day RTT %v", s, day)
+		}
+	}
+	// Different sample keys must differ (jitter present).
+	if m.SampleRTTms(p, 0, 1) == m.SampleRTTms(p, 0, 2) {
+		t.Fatal("samples with different keys are identical")
+	}
+}
+
+func TestMeasuredRTTBias(t *testing.T) {
+	m := model()
+	const trueRTT = 50.0
+	biased, exact := 0, 0
+	for b := uint64(0); b < 5000; b++ {
+		v := m.MeasuredRTTms(trueRTT, b, 1)
+		if v == trueRTT {
+			exact++
+		} else if v > trueRTT {
+			biased++
+		} else {
+			t.Fatalf("measured RTT %v below true RTT", v)
+		}
+	}
+	supportRate := float64(exact) / 5000
+	want := DefaultConfig().ResourceTimingSupportRate
+	if math.Abs(supportRate-want) > 0.03 {
+		t.Fatalf("resource-timing support rate %.2f, want ~%.2f", supportRate, want)
+	}
+}
+
+func TestMeasuredRTTSupportStablePerBrowser(t *testing.T) {
+	m := model()
+	for b := uint64(0); b < 100; b++ {
+		a := m.MeasuredRTTms(10, b, 1) == 10
+		c := m.MeasuredRTTms(10, b, 2) == 10
+		if a != c {
+			t.Fatal("resource timing support flapped within one browser")
+		}
+	}
+}
+
+func medianOf(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+func BenchmarkSampleRTT(b *testing.B) {
+	m := model()
+	p := Path{PrefixID: 1, EntryKey: 2, AirKm: 1200, BackboneKm: 300}
+	for i := 0; i < b.N; i++ {
+		_ = m.SampleRTTms(p, i%30, uint64(i))
+	}
+}

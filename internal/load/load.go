@@ -1,0 +1,235 @@
+// Package load implements a FastRoute-style load-aware anycast layer
+// (Flavel et al., NSDI 2015 — reference [23] of the paper, the system the
+// measured CDN actually runs).
+//
+// §2 of the paper describes the problem: anycast is unaware of server
+// load; withdrawing an overloaded front-end's route moves ALL of its
+// traffic to the next-best front-end at once, which "can lead to cascading
+// overloading of nearby front-ends". FastRoute's answer is layered
+// anycast: front-ends participate in a stack of anycast rings, and an
+// overloaded front-end sheds a *fraction* of its DNS queries to the next
+// layer's anycast address (whose ring contains fewer, larger sites), so
+// load drains gradually instead of in cliffs.
+//
+// This package provides the layered balancer and a step simulator, plus a
+// naive route-withdrawal strategy to reproduce the cascading failure the
+// paper warns about.
+package load
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"anycastcdn/internal/topology"
+)
+
+// Layer is one anycast ring: the set of sites announcing that ring's VIP.
+type Layer struct {
+	Sites []topology.SiteID
+}
+
+// Balancer is a layered-anycast load balancer.
+type Balancer struct {
+	backbone *topology.Backbone
+	layers   []Layer
+	capacity map[topology.SiteID]float64
+	// shed[l][site] is the fraction of layer-l queries at site currently
+	// redirected to layer l+1.
+	shed []map[topology.SiteID]float64
+	// TargetUtilization is the utilization above which a site sheds.
+	TargetUtilization float64
+	// Gain is the controller step size per adjustment.
+	Gain float64
+}
+
+// NewBalancer builds a balancer over the given layers. Layer 0 must
+// contain every front-end that serves by default; deeper layers typically
+// keep only high-capacity sites. capacity maps site→queries per interval.
+func NewBalancer(b *topology.Backbone, layers []Layer, capacity map[topology.SiteID]float64) (*Balancer, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("load: no layers")
+	}
+	for li, l := range layers {
+		if len(l.Sites) == 0 {
+			return nil, fmt.Errorf("load: layer %d empty", li)
+		}
+		for _, s := range l.Sites {
+			if !b.Site(s).FrontEnd {
+				return nil, fmt.Errorf("load: site %d in layer %d is not a front-end", s, li)
+			}
+			if capacity[s] <= 0 {
+				return nil, fmt.Errorf("load: site %d has no capacity", s)
+			}
+		}
+	}
+	bal := &Balancer{
+		backbone:          b,
+		layers:            layers,
+		capacity:          capacity,
+		TargetUtilization: 0.85,
+		Gain:              0.25,
+	}
+	bal.shed = make([]map[topology.SiteID]float64, len(layers))
+	for i := range bal.shed {
+		bal.shed[i] = map[topology.SiteID]float64{}
+	}
+	return bal, nil
+}
+
+// NumLayers returns the number of anycast rings.
+func (bal *Balancer) NumLayers() int { return len(bal.layers) }
+
+// ShedFraction returns the current shed fraction of a site at a layer.
+func (bal *Balancer) ShedFraction(layer int, site topology.SiteID) float64 {
+	if layer < 0 || layer >= len(bal.shed) {
+		return 0
+	}
+	return bal.shed[layer][site]
+}
+
+// frontEndAtLayer returns the layer-l anycast front-end for traffic
+// entering the CDN at ingress: the ring member nearest by IGP metric
+// (hot-potato within the ring). exclude skips one site — a site shedding
+// its own load withdraws itself from the next ring's announcement for
+// that traffic, as FastRoute does, so shed load actually moves.
+func (bal *Balancer) frontEndAtLayer(ingress topology.SiteID, layer int, exclude topology.SiteID) topology.SiteID {
+	best := topology.InvalidSite
+	bestD := math.Inf(1)
+	for _, s := range bal.layers[layer].Sites {
+		if s == exclude && len(bal.layers[layer].Sites) > 1 {
+			continue
+		}
+		if d := bal.backbone.IGPDistanceKm(ingress, s); d < bestD {
+			best, bestD = s, d
+		}
+	}
+	return best
+}
+
+// Route resolves where a query entering at ingress is served, walking the
+// layer stack: at each layer the nearest ring member either serves the
+// query or (with its shed probability) forwards the client to the next
+// layer's VIP. u in [0,1) supplies the randomness deterministically.
+func (bal *Balancer) Route(ingress topology.SiteID, u float64) topology.SiteID {
+	exclude := topology.InvalidSite
+	for layer := 0; layer < len(bal.layers); layer++ {
+		fe := bal.frontEndAtLayer(ingress, layer, exclude)
+		if layer == len(bal.layers)-1 {
+			return fe // last layer always serves
+		}
+		f := bal.shed[layer][fe]
+		if u >= f {
+			return fe
+		}
+		// Rescale u for the next layer so a single uniform drives the
+		// whole walk.
+		if f > 0 {
+			u /= f
+		}
+		exclude = fe
+	}
+	return topology.InvalidSite
+}
+
+// Offered computes per-site offered load at each layer given per-ingress
+// demand (queries entering the CDN at each ingress site) under the
+// current shed fractions.
+func (bal *Balancer) Offered(demand map[topology.SiteID]float64) []map[topology.SiteID]float64 {
+	loads := make([]map[topology.SiteID]float64, len(bal.layers))
+	for i := range loads {
+		loads[i] = map[topology.SiteID]float64{}
+	}
+	// Demand flows down the layer stack analytically.
+	type flow struct {
+		ingress topology.SiteID
+		qty     float64
+		exclude topology.SiteID
+	}
+	flows := make([]flow, 0, len(demand))
+	for ing, q := range demand {
+		flows = append(flows, flow{ing, q, topology.InvalidSite})
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i].ingress < flows[j].ingress })
+	for layer := 0; layer < len(bal.layers); layer++ {
+		var next []flow
+		for _, f := range flows {
+			fe := bal.frontEndAtLayer(f.ingress, layer, f.exclude)
+			shed := 0.0
+			if layer < len(bal.layers)-1 {
+				shed = bal.shed[layer][fe]
+			}
+			loads[layer][fe] += f.qty * (1 - shed)
+			if shed > 0 {
+				next = append(next, flow{f.ingress, f.qty * shed, fe})
+			}
+		}
+		flows = next
+	}
+	return loads
+}
+
+// SiteLoad sums a site's load across layers.
+func SiteLoad(loads []map[topology.SiteID]float64, site topology.SiteID) float64 {
+	var total float64
+	for _, l := range loads {
+		total += l[site]
+	}
+	return total
+}
+
+// Adjust runs one control step: sites above target utilization raise
+// their shed fraction proportionally to the excess; sites below lower it.
+// It returns the maximum utilization after the step's load re-evaluation.
+func (bal *Balancer) Adjust(demand map[topology.SiteID]float64) float64 {
+	loads := bal.Offered(demand)
+	for layer := 0; layer < len(bal.layers)-1; layer++ {
+		for _, site := range bal.layers[layer].Sites {
+			total := SiteLoad(loads, site)
+			cap := bal.capacity[site]
+			util := total / cap
+			f := bal.shed[layer][site]
+			switch {
+			case util > bal.TargetUtilization:
+				f += bal.Gain * (util - bal.TargetUtilization)
+			case util < bal.TargetUtilization*0.9 && f > 0:
+				f -= bal.Gain * (bal.TargetUtilization - util) * 0.5
+			}
+			if f < 0 {
+				f = 0
+			}
+			if f > 1 {
+				f = 1
+			}
+			bal.shed[layer][site] = f
+		}
+	}
+	// Report the post-adjustment maximum utilization.
+	loads = bal.Offered(demand)
+	maxUtil := 0.0
+	for _, l := range bal.layers {
+		for _, site := range l.Sites {
+			if u := SiteLoad(loads, site) / bal.capacity[site]; u > maxUtil {
+				maxUtil = u
+			}
+		}
+	}
+	return maxUtil
+}
+
+// Converge runs Adjust until the max utilization stops improving or the
+// iteration budget is exhausted, returning the final max utilization and
+// the number of steps taken.
+func (bal *Balancer) Converge(demand map[topology.SiteID]float64, maxSteps int) (float64, int) {
+	best := math.Inf(1)
+	for step := 1; step <= maxSteps; step++ {
+		u := bal.Adjust(demand)
+		if u >= best-1e-9 && u <= 1 {
+			return u, step
+		}
+		if u < best {
+			best = u
+		}
+	}
+	return best, maxSteps
+}

@@ -1,0 +1,128 @@
+// Package logs models the CDN's passive server logs (§3.2.1): per-request
+// records of which front-end served each client, aggregated per client /24
+// and day. The front-end affinity analysis of §5 (Figures 7 and 8) runs
+// over these logs.
+package logs
+
+import (
+	"sort"
+
+	"anycastcdn/internal/geo"
+	"anycastcdn/internal/topology"
+)
+
+// DayRecord summarizes one client /24's production traffic on one day.
+type DayRecord struct {
+	ClientID uint64
+	Day      int
+	// FrontEnd is the front-end serving the client at the end of the day.
+	FrontEnd topology.SiteID
+	// Switched reports whether a route change occurred during the day;
+	// PrevFrontEnd is the front-end before the change (it can equal
+	// FrontEnd when only the ingress changed).
+	Switched     bool
+	PrevFrontEnd topology.SiteID
+	// Queries is the number of requests the prefix issued that day.
+	Queries int
+}
+
+// FrontEndChanged reports whether the record represents a visible
+// front-end change (the client "landed on multiple front-ends" that day).
+func (r DayRecord) FrontEndChanged() bool {
+	return r.Switched && r.PrevFrontEnd != r.FrontEnd
+}
+
+// Log is an append-only collection of day records.
+type Log struct {
+	records []DayRecord
+}
+
+// Append adds a record.
+func (l *Log) Append(r DayRecord) { l.records = append(l.records, r) }
+
+// Len returns the number of records.
+func (l *Log) Len() int { return len(l.records) }
+
+// Records returns the records (shared slice; callers must not modify).
+func (l *Log) Records() []DayRecord { return l.records }
+
+// CumulativeSwitched computes Figure 7: for each day in [0, days), the
+// fraction of active clients that have seen at least one front-end change
+// on any day up to and including it. Clients with no traffic in the window
+// are excluded (the paper can only observe clients that appear in logs).
+func (l *Log) CumulativeSwitched(days int) []float64 {
+	firstChange := map[uint64]int{}
+	active := map[uint64]bool{}
+	for _, r := range l.records {
+		if r.Day < 0 || r.Day >= days || r.Queries == 0 {
+			continue
+		}
+		active[r.ClientID] = true
+		if r.FrontEndChanged() {
+			if d, ok := firstChange[r.ClientID]; !ok || r.Day < d {
+				firstChange[r.ClientID] = r.Day
+			}
+		}
+	}
+	out := make([]float64, days)
+	if len(active) == 0 {
+		return out
+	}
+	perDay := make([]int, days)
+	for _, d := range firstChange {
+		perDay[d]++
+	}
+	cum := 0
+	for d := 0; d < days; d++ {
+		cum += perDay[d]
+		out[d] = float64(cum) / float64(len(active))
+	}
+	return out
+}
+
+// SwitchDistancesKm computes Figure 8's sample: for every front-end change
+// in the log, the distance between the old and new front-end sites.
+func (l *Log) SwitchDistancesKm(b *topology.Backbone) []float64 {
+	var out []float64
+	for _, r := range l.records {
+		if !r.FrontEndChanged() {
+			continue
+		}
+		a := b.Site(r.PrevFrontEnd).Metro.Point
+		c := b.Site(r.FrontEnd).Metro.Point
+		out = append(out, geo.DistanceKm(a, c))
+	}
+	return out
+}
+
+// FrontEndShare returns, per front-end, the fraction of total queries it
+// served. Useful for load sanity checks and ablations.
+func (l *Log) FrontEndShare() map[topology.SiteID]float64 {
+	counts := map[topology.SiteID]int{}
+	total := 0
+	for _, r := range l.records {
+		counts[r.FrontEnd] += r.Queries
+		total += r.Queries
+	}
+	out := make(map[topology.SiteID]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for fe, c := range counts {
+		out[fe] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// ClientDays returns the sorted list of days on which the client appears
+// with traffic.
+func (l *Log) ClientDays(clientID uint64) []int {
+	var out []int
+	for _, r := range l.records {
+		if r.ClientID == clientID && r.Queries > 0 {
+			out = append(out, r.Day)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

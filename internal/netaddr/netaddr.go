@@ -1,0 +1,129 @@
+// Package netaddr provides compact /24 prefix identifiers and synthetic
+// IPv4 address allocation for the simulator.
+//
+// The paper aggregates all client measurements by /24 prefix "because they
+// tend to be localized" (citing Freedman et al.), so the /24 is the unit of
+// identity for clients throughout the system. Front-end unicast prefixes
+// are also /24s, mirroring §3.1 of the paper.
+package netaddr
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Prefix24 identifies an IPv4 /24 by its 24 network bits. The zero value is
+// 0.0.0.0/24.
+type Prefix24 uint32
+
+// ParsePrefix24 parses a dotted string like "192.0.2.0/24" (the host octet
+// and mask are validated).
+func ParsePrefix24(s string) (Prefix24, error) {
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		return 0, fmt.Errorf("netaddr: %w", err)
+	}
+	if !p.Addr().Is4() {
+		return 0, fmt.Errorf("netaddr: %v is not IPv4", p)
+	}
+	if p.Bits() != 24 {
+		return 0, fmt.Errorf("netaddr: %v is not a /24", p)
+	}
+	a4 := p.Addr().As4()
+	return FromOctets(a4[0], a4[1], a4[2]), nil
+}
+
+// FromOctets builds a Prefix24 from the three network octets.
+func FromOctets(a, b, c byte) Prefix24 {
+	return Prefix24(uint32(a)<<16 | uint32(b)<<8 | uint32(c))
+}
+
+// FromAddr returns the /24 containing the given IPv4 address.
+func FromAddr(addr netip.Addr) (Prefix24, bool) {
+	if !addr.Is4() && !addr.Is4In6() {
+		return 0, false
+	}
+	a4 := addr.Unmap().As4()
+	return FromOctets(a4[0], a4[1], a4[2]), true
+}
+
+// Octets returns the three network octets.
+func (p Prefix24) Octets() (a, b, c byte) {
+	return byte(p >> 16), byte(p >> 8), byte(p)
+}
+
+// Addr returns the host address p.a.b.c/24 with the given final octet.
+func (p Prefix24) Addr(host byte) netip.Addr {
+	a, b, c := p.Octets()
+	return netip.AddrFrom4([4]byte{a, b, c, host})
+}
+
+// Prefix returns the netip.Prefix form.
+func (p Prefix24) Prefix() netip.Prefix {
+	return netip.PrefixFrom(p.Addr(0), 24)
+}
+
+// Contains reports whether addr lies inside the /24.
+func (p Prefix24) Contains(addr netip.Addr) bool {
+	q, ok := FromAddr(addr)
+	return ok && q == p
+}
+
+func (p Prefix24) String() string {
+	a, b, c := p.Octets()
+	return fmt.Sprintf("%d.%d.%d.0/24", a, b, c)
+}
+
+// Allocator hands out non-overlapping synthetic /24s from documentation
+// and test ranges, so generated "client" and "front-end" prefixes can never
+// collide with each other.
+type Allocator struct {
+	next uint32
+	base uint32
+	size uint32
+}
+
+// Pool identifies an address pool for an Allocator.
+type Pool int
+
+// Address pools. ClientPool allocates from 100.64.0.0/10 (CGN space, 16k
+// /24s is not enough for big runs, so it continues into 10.0.0.0/8);
+// FrontEndPool allocates from 198.18.0.0/15 (benchmarking); AnycastPool is
+// the single well-known VIP prefix 192.0.2.0/24.
+const (
+	ClientPool Pool = iota
+	FrontEndPool
+)
+
+// NewAllocator returns an allocator over the given pool.
+func NewAllocator(pool Pool) *Allocator {
+	switch pool {
+	case FrontEndPool:
+		// 198.18.0.0/15 => 512 /24s, plenty for front-ends.
+		return &Allocator{base: uint32(198)<<16 | uint32(18)<<8, size: 512}
+	default:
+		// 10.0.0.0/8 => 65536 /24s.
+		return &Allocator{base: uint32(10) << 16, size: 65536}
+	}
+}
+
+// Next returns the next unallocated /24. ok is false when the pool is
+// exhausted.
+func (al *Allocator) Next() (Prefix24, bool) {
+	if al.next >= al.size {
+		return 0, false
+	}
+	p := Prefix24(al.base + al.next)
+	al.next++
+	return p, true
+}
+
+// Remaining returns how many /24s are left in the pool.
+func (al *Allocator) Remaining() int { return int(al.size - al.next) }
+
+// AnycastVIP is the anycast service address announced from every front-end
+// location, mirroring the production anycast address of §3.1.
+var AnycastVIP = netip.AddrFrom4([4]byte{192, 0, 2, 1})
+
+// AnycastPrefix is the /24 containing AnycastVIP.
+var AnycastPrefix = FromOctets(192, 0, 2)

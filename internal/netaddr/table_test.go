@@ -1,0 +1,159 @@
+package netaddr
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableEmpty(t *testing.T) {
+	var tb Table[int]
+	if _, ok := tb.Lookup(netip.MustParseAddr("10.0.0.1")); ok {
+		t.Fatal("empty table should miss")
+	}
+	if tb.Len() != 0 {
+		t.Fatal("empty table size")
+	}
+}
+
+func TestTableLongestPrefixMatch(t *testing.T) {
+	var tb Table[string]
+	must := func(p string, v string) {
+		t.Helper()
+		if err := tb.Insert(netip.MustParsePrefix(p), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must("10.0.0.0/8", "eight")
+	must("10.1.0.0/16", "sixteen")
+	must("10.1.2.0/24", "twentyfour")
+	must("10.1.2.128/25", "twentyfive")
+	cases := []struct {
+		addr string
+		want string
+	}{
+		{"10.9.9.9", "eight"},
+		{"10.1.9.9", "sixteen"},
+		{"10.1.2.5", "twentyfour"},
+		{"10.1.2.200", "twentyfive"},
+	}
+	for _, c := range cases {
+		got, ok := tb.Lookup(netip.MustParseAddr(c.addr))
+		if !ok || got != c.want {
+			t.Errorf("Lookup(%s) = %q, %v; want %q", c.addr, got, ok, c.want)
+		}
+	}
+	if _, ok := tb.Lookup(netip.MustParseAddr("11.0.0.1")); ok {
+		t.Error("out-of-table address should miss")
+	}
+	if tb.Len() != 4 {
+		t.Errorf("Len = %d, want 4", tb.Len())
+	}
+}
+
+func TestTableDefaultRoute(t *testing.T) {
+	var tb Table[string]
+	if err := tb.Insert(netip.MustParsePrefix("0.0.0.0/0"), "default"); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tb.Lookup(netip.MustParseAddr("203.0.113.1"))
+	if !ok || got != "default" {
+		t.Fatalf("default route miss: %q %v", got, ok)
+	}
+}
+
+func TestTableReplace(t *testing.T) {
+	var tb Table[int]
+	p := netip.MustParsePrefix("192.0.2.0/24")
+	if err := tb.Insert(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tb.Lookup(netip.MustParseAddr("192.0.2.9")); got != 2 {
+		t.Fatalf("replace failed: %d", got)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len after replace = %d", tb.Len())
+	}
+}
+
+func TestTableRejectsIPv6(t *testing.T) {
+	var tb Table[int]
+	if err := tb.Insert(netip.MustParsePrefix("2001:db8::/32"), 1); err == nil {
+		t.Fatal("IPv6 insert should fail")
+	}
+	tb.Insert24(FromOctets(10, 0, 0), 1)
+	if _, ok := tb.Lookup(netip.MustParseAddr("2001:db8::1")); ok {
+		t.Fatal("IPv6 lookup should miss")
+	}
+}
+
+func TestTableHostRoutes(t *testing.T) {
+	var tb Table[int]
+	if err := tb.Insert(netip.MustParsePrefix("198.51.100.7/32"), 7); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := tb.Lookup(netip.MustParseAddr("198.51.100.7")); !ok || got != 7 {
+		t.Fatal("host route miss")
+	}
+	if _, ok := tb.Lookup(netip.MustParseAddr("198.51.100.8")); ok {
+		t.Fatal("adjacent host should miss")
+	}
+}
+
+func TestTableInsert24LookupProperty(t *testing.T) {
+	// Any address inside an inserted /24 resolves to it; the host octet
+	// never matters.
+	f := func(a, b, c, host byte) bool {
+		var tb Table[Prefix24]
+		p := FromOctets(a, b, c)
+		tb.Insert24(p, p)
+		got, ok := tb.Lookup(p.Addr(host))
+		return ok && got == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableManyPrefixes(t *testing.T) {
+	var tb Table[uint64]
+	al := NewAllocator(ClientPool)
+	prefixes := make([]Prefix24, 5000)
+	for i := range prefixes {
+		p, ok := al.Next()
+		if !ok {
+			t.Fatal("pool exhausted")
+		}
+		prefixes[i] = p
+		tb.Insert24(p, uint64(i))
+	}
+	if tb.Len() != 5000 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	for i, p := range prefixes {
+		got, ok := tb.Lookup(p.Addr(byte(i)))
+		if !ok || got != uint64(i) {
+			t.Fatalf("prefix %v -> %d, %v; want %d", p, got, ok, i)
+		}
+	}
+}
+
+func BenchmarkTableLookup(b *testing.B) {
+	var tb Table[uint64]
+	al := NewAllocator(ClientPool)
+	for i := 0; i < 50000; i++ {
+		p, ok := al.Next()
+		if !ok {
+			b.Fatal("pool exhausted")
+		}
+		tb.Insert24(p, uint64(i))
+	}
+	addr := netip.AddrFrom4([4]byte{10, 100, 50, 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(addr)
+	}
+}

@@ -1,0 +1,298 @@
+// Package sim orchestrates the month-scale simulation that stands in for
+// the paper's production datasets: it builds the world (deployment, ISPs,
+// clients, LDNS mapping), walks the simulated days, and emits the two
+// datasets the paper's analysis consumes — beacon measurements (active,
+// §3.2.2) and passive per-day request logs (§3.2.1).
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"anycastcdn/internal/beacon"
+	"anycastcdn/internal/bgp"
+	"anycastcdn/internal/cdn"
+	"anycastcdn/internal/clients"
+	"anycastcdn/internal/dns"
+	"anycastcdn/internal/geo"
+	"anycastcdn/internal/latency"
+	"anycastcdn/internal/logs"
+	"anycastcdn/internal/topology"
+	"anycastcdn/internal/xrand"
+)
+
+// Config is the top-level simulation configuration.
+type Config struct {
+	Seed uint64
+	// Prefixes is the number of client /24s.
+	Prefixes int
+	// Days is the simulated study length (the paper covers April 2015,
+	// starting Wednesday the 1st).
+	Days int
+	// QueriesPerVolume converts a client's relative volume to queries/day.
+	QueriesPerVolume float64
+	// BeaconSampleRate is the fraction of queries that carry the beacon
+	// ("a small fraction of search response pages").
+	BeaconSampleRate float64
+	// MaxBeaconsPerClientDay caps beacon executions per client-day.
+	MaxBeaconsPerClientDay int
+	// CandidateCount is the authoritative DNS candidate set size.
+	CandidateCount int
+	// Deployment selects a front-end density preset (cdn.Preset); empty
+	// means the default 64-site deployment.
+	Deployment cdn.Preset
+	// GeoMedianErrKm / GeoGrossRate / GeoGrossKm configure the
+	// geolocation database error model used by the authority.
+	GeoMedianErrKm float64
+	GeoGrossRate   float64
+	GeoGrossKm     float64
+	// Routing, Latency, ISP, DNS and client sub-configurations. Zero
+	// values are replaced by defaults derived from Seed.
+	Routing *bgp.Config
+	Latency *latency.Config
+	ISPs    *topology.ISPModelConfig
+	Mapper  *dns.MapperConfig
+	// Workers bounds simulation parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns the experiment-scale configuration: large enough
+// for stable distributions, small enough to run in seconds.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:                   seed,
+		Prefixes:               8000,
+		Days:                   30,
+		QueriesPerVolume:       22,
+		BeaconSampleRate:       0.10,
+		MaxBeaconsPerClientDay: 100,
+		CandidateCount:         10,
+		GeoMedianErrKm:         25,
+		GeoGrossRate:           0.01,
+		GeoGrossKm:             4000,
+	}
+}
+
+// World is the built simulation environment.
+type World struct {
+	Metros     []geo.Metro
+	Deployment *cdn.Deployment
+	ISPs       *topology.ISPModel
+	Population *clients.Population
+	Mapping    *dns.Mapping
+	Router     *bgp.Router
+	Authority  *dns.Authority
+	Latency    *latency.Model
+	Executor   *beacon.Executor
+}
+
+// BuildWorld constructs the environment for a config.
+func BuildWorld(cfg Config) (*World, error) {
+	if cfg.Prefixes <= 0 {
+		return nil, fmt.Errorf("sim: non-positive prefix count %d", cfg.Prefixes)
+	}
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("sim: non-positive day count %d", cfg.Days)
+	}
+	dep, err := cdn.BuildPreset(cfg.Deployment)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building deployment: %w", err)
+	}
+	metros := geo.World()
+
+	ispCfg := topology.DefaultISPModelConfig(xrand.DeriveSeed(cfg.Seed, "isps"))
+	if cfg.ISPs != nil {
+		ispCfg = *cfg.ISPs
+	}
+	isps := topology.BuildISPs(dep.Backbone, metros, ispCfg)
+
+	pop, err := clients.Generate(metros, isps,
+		clients.DefaultConfig(xrand.DeriveSeed(cfg.Seed, "clients"), cfg.Prefixes))
+	if err != nil {
+		return nil, fmt.Errorf("sim: generating clients: %w", err)
+	}
+
+	mapCfg := dns.DefaultMapperConfig(xrand.DeriveSeed(cfg.Seed, "ldns"))
+	if cfg.Mapper != nil {
+		mapCfg = *cfg.Mapper
+	}
+	mapping, err := dns.BuildMapping(pop, isps, metros, mapCfg)
+	if err != nil {
+		return nil, fmt.Errorf("sim: mapping LDNS: %w", err)
+	}
+
+	routeCfg := bgp.DefaultConfig()
+	if cfg.Routing != nil {
+		routeCfg = *cfg.Routing
+	}
+	router := bgp.NewRouter(dep.Backbone, isps, xrand.DeriveSeed(cfg.Seed, "bgp"), routeCfg)
+
+	latCfg := latency.DefaultConfig()
+	if cfg.Latency != nil {
+		latCfg = *cfg.Latency
+	}
+	model := latency.NewModel(xrand.DeriveSeed(cfg.Seed, "latency"), latCfg)
+
+	geoDB := geo.NewDB(xrand.DeriveSeed(cfg.Seed, "geodb"),
+		cfg.GeoMedianErrKm, cfg.GeoGrossRate, cfg.GeoGrossKm)
+	auth := dns.NewAuthority(dep, geoDB, cfg.CandidateCount)
+
+	exec := &beacon.Executor{
+		Router:    router,
+		Authority: auth,
+		Latency:   model,
+		Mapping:   mapping,
+		Seed:      xrand.DeriveSeed(cfg.Seed, "beacon"),
+	}
+	return &World{
+		Metros:     metros,
+		Deployment: dep,
+		ISPs:       isps,
+		Population: pop,
+		Mapping:    mapping,
+		Router:     router,
+		Authority:  auth,
+		Latency:    model,
+		Executor:   exec,
+	}, nil
+}
+
+// Result is the output of a simulation run.
+type Result struct {
+	Cfg   Config
+	World *World
+	// Beacons holds the active measurements, indexed by day.
+	Beacons [][]beacon.Measurement
+	// Passive is the per-client-day production log.
+	Passive *logs.Log
+	// Assignments[i] is client i's per-day anycast assignment.
+	Assignments [][]bgp.Assignment
+}
+
+// Run builds the world and simulates cfg.Days days.
+func Run(cfg Config) (*Result, error) {
+	w, err := BuildWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunWorld(cfg, w)
+}
+
+// clientOutput is one worker's result for a single client.
+type clientOutput struct {
+	assignments []bgp.Assignment
+	passive     []logs.DayRecord
+	beacons     []beacon.Measurement
+}
+
+// RunWorld simulates over an already-built world. The run is
+// deterministic: all randomness derives from per-entity substreams, so the
+// parallel schedule cannot affect results.
+func RunWorld(cfg Config, w *World) (*Result, error) {
+	n := len(w.Population.Clients)
+	outs := make([]clientOutput, n)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				outs[i] = simulateClient(cfg, w, w.Population.Clients[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := &Result{
+		Cfg:         cfg,
+		World:       w,
+		Beacons:     make([][]beacon.Measurement, cfg.Days),
+		Passive:     &logs.Log{},
+		Assignments: make([][]bgp.Assignment, n),
+	}
+	for i := range outs {
+		res.Assignments[i] = outs[i].assignments
+		for _, r := range outs[i].passive {
+			res.Passive.Append(r)
+		}
+		for _, m := range outs[i].beacons {
+			res.Beacons[m.Day] = append(res.Beacons[m.Day], m)
+		}
+	}
+	return res, nil
+}
+
+// simulateClient walks one client through all days.
+func simulateClient(cfg Config, w *World, c clients.Client) clientOutput {
+	rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
+	sched := w.Router.AssignmentSchedule(rc, cfg.Days)
+	base := w.Router.Assign(rc, w.Router.BaseIngress(rc))
+	out := clientOutput{assignments: sched}
+	for day := 0; day < cfg.Days; day++ {
+		weekend := w.Router.IsWeekend(day)
+		q := c.QueriesOnDay(xrand.DeriveSeed(cfg.Seed, "traffic"), day, weekend, cfg.QueriesPerVolume)
+		prevFE := base.FrontEnd
+		if day > 0 {
+			prevFE = sched[day-1].FrontEnd
+		}
+		out.passive = append(out.passive, logs.DayRecord{
+			ClientID:     c.ID,
+			Day:          day,
+			FrontEnd:     sched[day].FrontEnd,
+			Switched:     w.Router.SwitchedOnDay(rc, day),
+			PrevFrontEnd: prevFE,
+			Queries:      q,
+		})
+		if q == 0 {
+			continue
+		}
+		nb := beaconCount(cfg, c.ID, day, q)
+		for k := 0; k < nb; k++ {
+			qid := xrand.DeriveSeed(cfg.Seed, "qid", c.ID, uint64(day), uint64(k))
+			out.beacons = append(out.beacons, w.Executor.Run(c, day, sched[day], qid))
+		}
+	}
+	return out
+}
+
+// beaconCount draws how many of a client-day's queries carry the beacon.
+func beaconCount(cfg Config, clientID uint64, day, queries int) int {
+	expect := float64(queries) * cfg.BeaconSampleRate
+	nb := int(expect)
+	rs := xrand.Substream(cfg.Seed, "beacon-count", clientID, uint64(day))
+	if rs.Float64() < expect-float64(nb) {
+		nb++
+	}
+	if cfg.MaxBeaconsPerClientDay > 0 && nb > cfg.MaxBeaconsPerClientDay {
+		nb = cfg.MaxBeaconsPerClientDay
+	}
+	return nb
+}
+
+// Volumes returns the client→query-volume map used for weighted analyses.
+func (r *Result) Volumes() map[uint64]float64 {
+	out := make(map[uint64]float64, len(r.World.Population.Clients))
+	for _, c := range r.World.Population.Clients {
+		out[c.ID] = c.Volume
+	}
+	return out
+}
+
+// TotalBeacons returns the number of beacon executions in the run.
+func (r *Result) TotalBeacons() int {
+	n := 0
+	for _, day := range r.Beacons {
+		n += len(day)
+	}
+	return n
+}

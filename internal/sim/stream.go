@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"anycastcdn/internal/beacon"
+	"anycastcdn/internal/bgp"
+	"anycastcdn/internal/clients"
+	"anycastcdn/internal/logs"
+	"anycastcdn/internal/xrand"
+)
+
+// DayResult is one simulated day's output, delivered in day order.
+type DayResult struct {
+	Day int
+	// Beacons holds the day's active measurements (client order).
+	Beacons []beacon.Measurement
+	// Passive holds the day's per-client log records (client order).
+	Passive []logs.DayRecord
+}
+
+// Stream simulates cfg.Days days, invoking fn once per day with that
+// day's outputs and retaining only one day in memory — the mode to use
+// for paper-scale runs (hundreds of thousands of prefixes) whose full
+// measurement set would not fit.
+//
+// The stream is identical, measurement for measurement, to the equivalent
+// Run: both derive from the same per-entity substreams.
+func Stream(cfg Config, fn func(DayResult) error) error {
+	w, err := BuildWorld(cfg)
+	if err != nil {
+		return err
+	}
+	return StreamWorld(cfg, w, fn)
+}
+
+// StreamWorld streams over an already-built world.
+func StreamWorld(cfg Config, w *World, fn func(DayResult) error) error {
+	if fn == nil {
+		return fmt.Errorf("sim: nil stream function")
+	}
+	n := len(w.Population.Clients)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Assignment schedules are small; precompute them in parallel.
+	schedules := make([][]bgp.Assignment, n)
+	parallelFor(n, workers, func(i int) {
+		c := w.Population.Clients[i]
+		rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
+		schedules[i] = w.Router.AssignmentSchedule(rc, cfg.Days)
+	})
+
+	type clientDay struct {
+		passive logs.DayRecord
+		beacons []beacon.Measurement
+	}
+	buf := make([]clientDay, n)
+	for day := 0; day < cfg.Days; day++ {
+		parallelFor(n, workers, func(i int) {
+			c := w.Population.Clients[i]
+			buf[i] = simulateClientDay(cfg, w, c, schedules[i], day)
+		})
+		out := DayResult{Day: day}
+		for i := range buf {
+			out.Passive = append(out.Passive, buf[i].passive)
+			out.Beacons = append(out.Beacons, buf[i].beacons...)
+			buf[i] = clientDay{}
+		}
+		if err := fn(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// simulateClientDay is the one-day slice of simulateClient; the two must
+// stay in lockstep so Stream and Run emit identical data.
+func simulateClientDay(cfg Config, w *World, c clients.Client, sched []bgp.Assignment, day int) (out struct {
+	passive logs.DayRecord
+	beacons []beacon.Measurement
+}) {
+	rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
+	weekend := w.Router.IsWeekend(day)
+	q := c.QueriesOnDay(xrand.DeriveSeed(cfg.Seed, "traffic"), day, weekend, cfg.QueriesPerVolume)
+	prevFE := sched[day].FrontEnd
+	if day > 0 {
+		prevFE = sched[day-1].FrontEnd
+	} else {
+		base := w.Router.Assign(rc, w.Router.BaseIngress(rc))
+		prevFE = base.FrontEnd
+	}
+	out.passive = logs.DayRecord{
+		ClientID:     c.ID,
+		Day:          day,
+		FrontEnd:     sched[day].FrontEnd,
+		Switched:     w.Router.SwitchedOnDay(rc, day),
+		PrevFrontEnd: prevFE,
+		Queries:      q,
+	}
+	if q == 0 {
+		return out
+	}
+	nb := beaconCount(cfg, c.ID, day, q)
+	for k := 0; k < nb; k++ {
+		qid := xrand.DeriveSeed(cfg.Seed, "qid", c.ID, uint64(day), uint64(k))
+		out.beacons = append(out.beacons, w.Executor.Run(c, day, sched[day], qid))
+	}
+	return out
+}
+
+// parallelFor runs fn(i) for i in [0, n) across the given worker count.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

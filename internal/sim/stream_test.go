@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStreamMatchesRun(t *testing.T) {
+	cfg := smallConfig(21)
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := 0
+	err = Stream(cfg, func(d DayResult) error {
+		if d.Day != day {
+			t.Fatalf("days out of order: got %d want %d", d.Day, day)
+		}
+		if len(d.Beacons) != len(full.Beacons[day]) {
+			t.Fatalf("day %d beacon count %d != run's %d", day, len(d.Beacons), len(full.Beacons[day]))
+		}
+		for i := range d.Beacons {
+			if d.Beacons[i] != full.Beacons[day][i] {
+				t.Fatalf("day %d measurement %d differs between Stream and Run", day, i)
+			}
+		}
+		if len(d.Passive) != cfg.Prefixes {
+			t.Fatalf("day %d passive records = %d, want %d", day, len(d.Passive), cfg.Prefixes)
+		}
+		day++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if day != cfg.Days {
+		t.Fatalf("stream delivered %d days, want %d", day, cfg.Days)
+	}
+}
+
+func TestStreamPassiveMatchesRun(t *testing.T) {
+	cfg := smallConfig(22)
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index run's passive records by (client, day).
+	type key struct {
+		client uint64
+		day    int
+	}
+	want := map[key]int{}
+	for _, r := range full.Passive.Records() {
+		want[key{r.ClientID, r.Day}] = r.Queries
+	}
+	err = Stream(cfg, func(d DayResult) error {
+		for _, r := range d.Passive {
+			if q, ok := want[key{r.ClientID, r.Day}]; !ok || q != r.Queries {
+				t.Fatalf("passive record mismatch for client %d day %d", r.ClientID, r.Day)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamStopsOnError(t *testing.T) {
+	cfg := smallConfig(23)
+	sentinel := errors.New("stop")
+	calls := 0
+	err := Stream(cfg, func(d DayResult) error {
+		calls++
+		if d.Day == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 3 {
+		t.Fatalf("stream continued after error: %d calls", calls)
+	}
+}
+
+func TestStreamNilFn(t *testing.T) {
+	if err := Stream(smallConfig(24), nil); err == nil {
+		t.Fatal("nil fn should fail")
+	}
+}
+
+func BenchmarkStreamDay(b *testing.B) {
+	cfg := smallConfig(25)
+	cfg.Days = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Stream(cfg, func(DayResult) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

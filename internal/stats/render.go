@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Figure is a set of series plus axis labels, renderable as a text table.
+// cmd/repro prints one Figure per paper figure.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Render formats the figure as an aligned text table: one row per grid x,
+// one column per series. All series are assumed to share the same grid (as
+// produced by SampleCDF/SampleCCDF over a common grid).
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", f.Title)
+	if len(f.Series) == 0 {
+		b.WriteString("(no series)\n")
+		return b.String()
+	}
+	// Header.
+	fmt.Fprintf(&b, "%14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %18s", trunc(s.Name, 18))
+	}
+	b.WriteByte('\n')
+	rows := len(f.Series[0].Points)
+	for r := 0; r < rows; r++ {
+		fmt.Fprintf(&b, "%14.4g", f.Series[0].Points[r].X)
+		for _, s := range f.Series {
+			if r < len(s.Points) {
+				fmt.Fprintf(&b, "  %18.4f", s.Points[r].Y)
+			} else {
+				fmt.Fprintf(&b, "  %18s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// Table is a simple labelled table for non-series results (the §4 CDN size
+// comparison).
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render formats the table with aligned columns.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range t.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s  ", w, cell)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

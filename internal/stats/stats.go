@@ -1,0 +1,242 @@
+// Package stats implements the statistical machinery the paper's analysis
+// uses: empirical CDFs and CCDFs (weighted and unweighted), quantiles, the
+// coefficient of variation the paper used to choose its prediction metric,
+// and fixed-grid series sampling for rendering figures as tables.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by operations over empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the common default).
+// xs need not be sorted. It returns an error for empty input or q outside
+// [0, 1].
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, errors.New("stats: quantile out of range")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q), nil
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median is Quantile(xs, 0.5).
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs))), nil
+}
+
+// CoefficientOfVariation returns stddev/mean. The paper uses the CoV of
+// per-front-end latency distributions to argue that the 25th percentile and
+// median are stabler prediction metrics than high percentiles.
+func CoefficientOfVariation(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	if m == 0 {
+		return 0, errors.New("stats: zero mean")
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		return 0, err
+	}
+	return sd / m, nil
+}
+
+// ECDF is an empirical cumulative distribution, optionally weighted.
+// Construct with NewECDF or NewWeightedECDF.
+type ECDF struct {
+	xs []float64 // sorted
+	cw []float64 // cumulative weight, same length; cw[len-1] == total
+}
+
+// NewECDF builds an unweighted ECDF from samples.
+func NewECDF(samples []float64) (*ECDF, error) {
+	ws := make([]float64, len(samples))
+	for i := range ws {
+		ws[i] = 1
+	}
+	return NewWeightedECDF(samples, ws)
+}
+
+// NewWeightedECDF builds an ECDF where samples[i] carries weights[i]. The
+// paper weights /24s by query volume for several figures. Weights must be
+// non-negative with a positive sum.
+func NewWeightedECDF(samples, weights []float64) (*ECDF, error) {
+	if len(samples) == 0 {
+		return nil, ErrEmpty
+	}
+	if len(samples) != len(weights) {
+		return nil, errors.New("stats: samples and weights length mismatch")
+	}
+	type pair struct{ x, w float64 }
+	ps := make([]pair, len(samples))
+	var total float64
+	for i := range samples {
+		if weights[i] < 0 || math.IsNaN(weights[i]) || math.IsNaN(samples[i]) {
+			return nil, errors.New("stats: negative or NaN weight/sample")
+		}
+		ps[i] = pair{samples[i], weights[i]}
+		total += weights[i]
+	}
+	if total <= 0 {
+		return nil, errors.New("stats: zero total weight")
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].x < ps[j].x })
+	e := &ECDF{xs: make([]float64, len(ps)), cw: make([]float64, len(ps))}
+	var acc float64
+	for i, p := range ps {
+		acc += p.w
+		e.xs[i] = p.x
+		e.cw[i] = acc
+	}
+	return e, nil
+}
+
+// P returns P[X <= x].
+func (e *ECDF) P(x float64) float64 {
+	// Index of the last sample <= x.
+	i := sort.SearchFloat64s(e.xs, x)
+	// SearchFloat64s returns first index with xs[i] >= x; walk forward over
+	// equal values to include them.
+	for i < len(e.xs) && e.xs[i] == x {
+		i++
+	}
+	if i == 0 {
+		return 0
+	}
+	return e.cw[i-1] / e.cw[len(e.cw)-1]
+}
+
+// CCDF returns P[X > x].
+func (e *ECDF) CCDF(x float64) float64 { return 1 - e.P(x) }
+
+// Quantile returns the smallest sample x with P[X <= x] >= q.
+func (e *ECDF) Quantile(q float64) float64 {
+	if q <= 0 {
+		return e.xs[0]
+	}
+	if q >= 1 {
+		return e.xs[len(e.xs)-1]
+	}
+	target := q * e.cw[len(e.cw)-1]
+	i := sort.SearchFloat64s(e.cw, target)
+	if i >= len(e.xs) {
+		i = len(e.xs) - 1
+	}
+	return e.xs[i]
+}
+
+// N returns the number of samples.
+func (e *ECDF) N() int { return len(e.xs) }
+
+// Min and Max return the sample extremes.
+func (e *ECDF) Min() float64 { return e.xs[0] }
+
+// Max returns the largest sample.
+func (e *ECDF) Max() float64 { return e.xs[len(e.xs)-1] }
+
+// SeriesPoint is one (x, y) pair of a rendered figure series.
+type SeriesPoint struct {
+	X float64
+	Y float64
+}
+
+// Series is a named sequence of points, i.e. one line of a figure.
+type Series struct {
+	Name   string
+	Points []SeriesPoint
+}
+
+// SampleCDF evaluates the ECDF at each x in grid, producing a figure line.
+func (e *ECDF) SampleCDF(name string, grid []float64) Series {
+	s := Series{Name: name, Points: make([]SeriesPoint, len(grid))}
+	for i, x := range grid {
+		s.Points[i] = SeriesPoint{X: x, Y: e.P(x)}
+	}
+	return s
+}
+
+// SampleCCDF evaluates the CCDF at each x in grid.
+func (e *ECDF) SampleCCDF(name string, grid []float64) Series {
+	s := Series{Name: name, Points: make([]SeriesPoint, len(grid))}
+	for i, x := range grid {
+		s.Points[i] = SeriesPoint{X: x, Y: e.CCDF(x)}
+	}
+	return s
+}
+
+// LinearGrid returns n+1 evenly spaced values covering [lo, hi].
+func LinearGrid(lo, hi float64, n int) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n+1)
+	step := (hi - lo) / float64(n)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// LogGrid returns n+1 logarithmically spaced values covering [lo, hi],
+// lo > 0. Figures 2, 4 and 8 of the paper use log-scale distance axes.
+func LogGrid(lo, hi float64, n int) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n+1)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	step := (lhi - llo) / float64(n)
+	for i := range out {
+		out[i] = math.Exp(llo + float64(i)*step)
+	}
+	return out
+}

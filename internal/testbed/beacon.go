@@ -1,0 +1,163 @@
+package testbed
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"time"
+
+	"anycastcdn/internal/dnswire"
+	"anycastcdn/internal/topology"
+)
+
+// BeaconSample is one timed fetch.
+type BeaconSample struct {
+	Host    string
+	Site    topology.SiteID
+	Elapsed time.Duration
+}
+
+// BeaconResult is one beacon execution against the testbed.
+type BeaconResult struct {
+	ClientID uint64
+	Anycast  BeaconSample
+	Unicast  []BeaconSample
+}
+
+// BestUnicast returns the fastest unicast sample, ok=false when none.
+func (r BeaconResult) BestUnicast() (BeaconSample, bool) {
+	if len(r.Unicast) == 0 {
+		return BeaconSample{}, false
+	}
+	best := r.Unicast[0]
+	for _, s := range r.Unicast[1:] {
+		if s.Elapsed < best.Elapsed {
+			best = s
+		}
+	}
+	return best, true
+}
+
+// BeaconClient performs the paper's measurement sequence against a
+// testbed: resolve through a caching resolver (with ECS), warm up each
+// connection so DNS and TCP setup don't pollute the timing, then time the
+// fetches.
+type BeaconClient struct {
+	tb       *Testbed
+	resolver *dnswire.CachingResolver
+	http     *http.Client
+}
+
+// NewBeaconClient builds a client against a running testbed.
+func NewBeaconClient(tb *Testbed) *BeaconClient {
+	return &BeaconClient{
+		tb:       tb,
+		resolver: dnswire.NewCachingResolver(tb.DNSAddr()),
+		http:     &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// Resolver exposes the client's caching resolver (for cache statistics).
+func (bc *BeaconClient) Resolver() *dnswire.CachingResolver { return bc.resolver }
+
+// Resolve resolves a testbed hostname as the given client.
+func (bc *BeaconClient) Resolve(ctx context.Context, clientID uint64, host string) (netip.Addr, error) {
+	src := bc.tb.cfg.ClientAddr(clientID)
+	addrs, err := bc.resolver.Lookup(ctx, host, dnswire.TypeA, &src)
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	return addrs[0], nil
+}
+
+// fetch resolves host, optionally warms up, and times one probe fetch.
+func (bc *BeaconClient) fetch(ctx context.Context, clientID uint64, host, mode string, warm bool) (BeaconSample, error) {
+	addr, err := bc.Resolve(ctx, clientID, host)
+	if err != nil {
+		return BeaconSample{}, fmt.Errorf("testbed: resolving %s: %w", host, err)
+	}
+	site, ok := bc.tb.SiteOfAddr(addr)
+	if !ok {
+		return BeaconSample{}, fmt.Errorf("testbed: %s resolved to unknown address %v", host, addr)
+	}
+	base := fmt.Sprintf("http://%s/probe?c=%d&mode=%s", netip.AddrPortFrom(addr, uint16(bc.tb.Port())), clientID, mode)
+	if warm {
+		// Warm-up request: primes DNS cache and the HTTP connection pool,
+		// mirroring §3.2.2's warm-up fetch.
+		resp, err := bc.http.Get(fmt.Sprintf("http://%s/healthz", netip.AddrPortFrom(addr, uint16(bc.tb.Port()))))
+		if err == nil {
+			readAll(resp.Body)
+			resp.Body.Close()
+		}
+	}
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base, nil)
+	if err != nil {
+		return BeaconSample{}, err
+	}
+	resp, err := bc.http.Do(req)
+	if err != nil {
+		return BeaconSample{}, fmt.Errorf("testbed: fetching %s: %w", host, err)
+	}
+	readAll(resp.Body)
+	resp.Body.Close()
+	return BeaconSample{Host: host, Site: site, Elapsed: time.Since(start)}, nil
+}
+
+// RunBeaconUnique executes one beacon using a globally unique hostname
+// per fetch ("<qid>.anycast.cdn.test"), the paper's §3.2.2 technique:
+// unique names defeat resolver caching so every execution triggers a
+// fresh authoritative decision, and the query ID joins the client-side
+// HTTP result with the server-side DNS log.
+func (bc *BeaconClient) RunBeaconUnique(ctx context.Context, clientID, queryID uint64, unicastNames []string) (BeaconResult, error) {
+	res := BeaconResult{ClientID: clientID}
+	host := fmt.Sprintf("q%d.anycast.%s", queryID, Domain)
+	s, err := bc.fetch(ctx, clientID, host, "anycast", true)
+	if err != nil {
+		return res, err
+	}
+	res.Anycast = s
+	for i, name := range unicastNames {
+		host := fmt.Sprintf("q%d-%d.fe-%s.%s", queryID, i, name, Domain)
+		s, err := bc.fetch(ctx, clientID, host, "unicast", true)
+		if err != nil {
+			return res, err
+		}
+		res.Unicast = append(res.Unicast, s)
+	}
+	return res, nil
+}
+
+// RunBeacon executes one beacon for a client: the anycast fetch plus one
+// fetch per named unicast front-end (fe-<name> labels).
+func (bc *BeaconClient) RunBeacon(ctx context.Context, clientID uint64, unicastNames []string) (BeaconResult, error) {
+	res := BeaconResult{ClientID: clientID}
+	s, err := bc.fetch(ctx, clientID, "anycast."+Domain, "anycast", true)
+	if err != nil {
+		return res, err
+	}
+	res.Anycast = s
+	for _, name := range unicastNames {
+		s, err := bc.fetch(ctx, clientID, "fe-"+name+"."+Domain, "unicast", true)
+		if err != nil {
+			return res, err
+		}
+		res.Unicast = append(res.Unicast, s)
+	}
+	return res, nil
+}
+
+// FetchWWW fetches the predictor-driven hostname and reports which
+// front-end served it — the end-to-end form of §6's hybrid redirection.
+func (bc *BeaconClient) FetchWWW(ctx context.Context, clientID uint64) (BeaconSample, error) {
+	mode := "unicast"
+	// The prediction may be anycast; mode only affects injected latency
+	// lookup, so derive it from the decision.
+	if bc.tb.cfg.PredictFor != nil {
+		if _, ok := bc.tb.cfg.PredictFor(clientID); !ok {
+			mode = "anycast"
+		}
+	}
+	return bc.fetch(ctx, clientID, "www."+Domain, mode, true)
+}

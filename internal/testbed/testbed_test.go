@@ -1,0 +1,375 @@
+package testbed
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"testing"
+	"time"
+
+	"anycastcdn/internal/dnswire"
+	"anycastcdn/internal/topology"
+)
+
+// testConfig builds a 3-front-end testbed where client 1 is well routed
+// (anycast = its nearest FE 0) and client 2 is misrouted (anycast = FE 2,
+// far), with prediction redirecting client 2 to FE 0.
+func testConfig() Config {
+	base := 2 * time.Millisecond
+	rtts := map[[2]uint64]time.Duration{
+		{1, 0}: base, {1, 1}: 4 * base, {1, 2}: 8 * base,
+		{2, 0}: base, {2, 1}: 4 * base, {2, 2}: 10 * base,
+	}
+	anycast := map[uint64]topology.SiteID{1: 0, 2: 2}
+	return Config{
+		FrontEnds: []FrontEndSpec{
+			{Site: 0, Name: "newyork"},
+			{Site: 1, Name: "chicago"},
+			{Site: 2, Name: "losangeles"},
+		},
+		AnycastFor: func(c uint64) topology.SiteID { return anycast[c] },
+		PredictFor: func(c uint64) (topology.SiteID, bool) {
+			if c == 2 {
+				return 0, true
+			}
+			return 0, false
+		},
+		RTT: func(c uint64, fe topology.SiteID, anycastPath bool) time.Duration {
+			return rtts[[2]uint64{c, uint64(fe)}]
+		},
+		ClientAddr: func(c uint64) netip.Addr {
+			return netip.AddrFrom4([4]byte{10, 0, byte(c), 7})
+		},
+		ClientOf: func(p netip.Addr) (uint64, bool) {
+			a4 := p.As4()
+			if a4[0] != 10 || a4[1] != 0 {
+				return 0, false
+			}
+			return uint64(a4[2]), true
+		},
+		TTL: 30,
+	}
+}
+
+func startTB(t *testing.T) *Testbed {
+	t.Helper()
+	tb, err := Start(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tb.Close() })
+	return tb
+}
+
+func TestStartValidation(t *testing.T) {
+	if _, err := Start(Config{}); err == nil {
+		t.Fatal("empty config should fail")
+	}
+	cfg := testConfig()
+	cfg.RTT = nil
+	if _, err := Start(cfg); err == nil {
+		t.Fatal("missing RTT should fail")
+	}
+}
+
+func TestFrontEndsServeHTTP(t *testing.T) {
+	tb := startTB(t)
+	for _, fe := range testConfig().FrontEnds {
+		addr, ok := tb.FrontEndAddr(fe.Site)
+		if !ok {
+			t.Fatalf("no address for site %d", fe.Site)
+		}
+		url := fmt.Sprintf("http://%s/healthz", netip.AddrPortFrom(addr, uint16(tb.Port())))
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("front-end %s unreachable: %v", fe.Name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("front-end %s status %d", fe.Name, resp.StatusCode)
+		}
+	}
+}
+
+func TestDNSAnycastPerClient(t *testing.T) {
+	tb := startTB(t)
+	bc := NewBeaconClient(tb)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	a1, err := bc.Resolve(ctx, 1, "anycast."+Domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site1, _ := tb.SiteOfAddr(a1)
+	if site1 != 0 {
+		t.Fatalf("client 1 anycast -> site %d, want 0", site1)
+	}
+	// Distinct clients must flush cache or use distinct names; the cache
+	// key is the hostname, so a second client through the SAME resolver
+	// would get the cached answer — exactly the LDNS problem of §2.
+	bc2 := NewBeaconClient(tb)
+	a2, err := bc2.Resolve(ctx, 2, "anycast."+Domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site2, _ := tb.SiteOfAddr(a2)
+	if site2 != 2 {
+		t.Fatalf("client 2 anycast -> site %d, want 2", site2)
+	}
+}
+
+func TestDNSLDNSGranularityProblem(t *testing.T) {
+	// Two clients sharing one caching resolver: the second gets the first
+	// client's cached answer, demonstrating why LDNS-grained redirection
+	// misroutes clients of shared resolvers (§2).
+	tb := startTB(t)
+	bc := NewBeaconClient(tb)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	a1, err := bc.Resolve(ctx, 1, "anycast."+Domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := bc.Resolve(ctx, 2, "anycast."+Domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatalf("shared resolver should serve the cached answer: %v vs %v", a1, a2)
+	}
+	if bc.Resolver().CacheHits == 0 {
+		t.Fatal("expected a cache hit")
+	}
+}
+
+func TestDNSNamedFrontEnds(t *testing.T) {
+	tb := startTB(t)
+	bc := NewBeaconClient(tb)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i, name := range []string{"newyork", "chicago", "losangeles"} {
+		addr, err := bc.Resolve(ctx, 1, "fe-"+name+"."+Domain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		site, ok := tb.SiteOfAddr(addr)
+		if !ok || site != topology.SiteID(i) {
+			t.Fatalf("fe-%s -> site %d, want %d", name, site, i)
+		}
+	}
+}
+
+func TestDNSUnknownName(t *testing.T) {
+	tb := startTB(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	q := dnswire.NewQuery(1, "nope."+Domain, dnswire.TypeA)
+	resp, err := dnswire.Exchange(ctx, tb.DNSAddr(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("rcode = %d, want NXDOMAIN", resp.RCode)
+	}
+	// Out-of-zone names too.
+	q2 := dnswire.NewQuery(2, "example.org", dnswire.TypeA)
+	resp2, err := dnswire.Exchange(ctx, tb.DNSAddr(), q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("out-of-zone rcode = %d", resp2.RCode)
+	}
+}
+
+func TestBeaconMeasuresLatencyOrdering(t *testing.T) {
+	tb := startTB(t)
+	bc := NewBeaconClient(tb)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := bc.RunBeacon(ctx, 1, []string{"newyork", "losangeles"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unicast) != 2 {
+		t.Fatalf("unicast samples = %d", len(res.Unicast))
+	}
+	// Client 1: newyork (2ms) must beat losangeles (16ms) despite real
+	// network noise on loopback.
+	var ny, la BeaconSample
+	for _, s := range res.Unicast {
+		switch s.Site {
+		case 0:
+			ny = s
+		case 2:
+			la = s
+		}
+	}
+	if ny.Elapsed >= la.Elapsed {
+		t.Fatalf("newyork (%v) should be faster than losangeles (%v)", ny.Elapsed, la.Elapsed)
+	}
+	// Anycast for client 1 lands on site 0.
+	if res.Anycast.Site != 0 {
+		t.Fatalf("anycast site = %d", res.Anycast.Site)
+	}
+	best, ok := res.BestUnicast()
+	if !ok || best.Site != 0 {
+		t.Fatalf("best unicast = %+v", best)
+	}
+}
+
+func TestPredictionRedirectsMisroutedClient(t *testing.T) {
+	tb := startTB(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Client 2 is misrouted by anycast (site 2, 20ms) but the predictor
+	// sends www traffic to site 0 (2ms).
+	bc := NewBeaconClient(tb)
+	www, err := bc.FetchWWW(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if www.Site != 0 {
+		t.Fatalf("www for client 2 served by site %d, want 0 (predicted)", www.Site)
+	}
+	// Client 1 stays on anycast.
+	bc1 := NewBeaconClient(tb)
+	www1, err := bc1.FetchWWW(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if www1.Site != 0 {
+		t.Fatalf("www for client 1 served by site %d, want anycast site 0", www1.Site)
+	}
+}
+
+func TestUniqueHostnamesDefeatSharedResolverCache(t *testing.T) {
+	// With unique per-query hostnames (§3.2.2), two clients behind ONE
+	// shared resolver still get their own anycast answers — the fix for
+	// the LDNS-granularity problem that plain names suffer.
+	tb := startTB(t)
+	bc := NewBeaconClient(tb)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	r1, err := bc.RunBeaconUnique(ctx, 1, 1001, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := bc.RunBeaconUnique(ctx, 2, 1002, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Anycast.Site != 0 {
+		t.Fatalf("client 1 unique-name anycast -> site %d, want 0", r1.Anycast.Site)
+	}
+	if r2.Anycast.Site != 2 {
+		t.Fatalf("client 2 unique-name anycast -> site %d, want 2 (cache must not leak)", r2.Anycast.Site)
+	}
+}
+
+func TestRunBeaconUniqueWithUnicast(t *testing.T) {
+	tb := startTB(t)
+	bc := NewBeaconClient(tb)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := bc.RunBeaconUnique(ctx, 1, 7, []string{"newyork", "losangeles"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unicast) != 2 {
+		t.Fatalf("unicast samples = %d", len(res.Unicast))
+	}
+	if res.Unicast[0].Site != 0 || res.Unicast[1].Site != 2 {
+		t.Fatalf("unique unicast names resolved to sites %d,%d", res.Unicast[0].Site, res.Unicast[1].Site)
+	}
+}
+
+func TestBeaconResultEmpty(t *testing.T) {
+	var r BeaconResult
+	if _, ok := r.BestUnicast(); ok {
+		t.Fatal("empty result should have no best unicast")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	tb, err := Start(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Close(); err != nil {
+		t.Fatal("second close should be a no-op")
+	}
+}
+
+func TestDNSWithoutECSFallsBackToDefault(t *testing.T) {
+	// A query with no client-subnet option: the authoritative server has
+	// only the resolver to go on and returns the default site — the
+	// LDNS-granularity limitation of §2 in its purest form.
+	tb := startTB(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, name := range []string{"anycast." + Domain, "www." + Domain} {
+		q := dnswire.NewQuery(1, name, dnswire.TypeA)
+		resp, err := dnswire.Exchange(ctx, tb.DNSAddr(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.RCode != dnswire.RCodeSuccess || len(resp.Answers) != 1 {
+			t.Fatalf("%s: %+v", name, resp)
+		}
+		addr, _ := resp.Answers[0].Addr()
+		site, ok := tb.SiteOfAddr(addr)
+		if !ok || site != 0 {
+			t.Fatalf("%s resolved to site %d, want default site 0", name, site)
+		}
+	}
+}
+
+func TestDNSAAAAQueriesRejected(t *testing.T) {
+	tb := startTB(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	q := dnswire.NewQuery(2, "anycast."+Domain, dnswire.TypeAAAA)
+	resp, err := dnswire.Exchange(ctx, tb.DNSAddr(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("AAAA rcode = %d, want NXDOMAIN", resp.RCode)
+	}
+}
+
+func TestFrontEndAddrLookups(t *testing.T) {
+	tb := startTB(t)
+	if _, ok := tb.FrontEndAddr(99); ok {
+		t.Fatal("unknown site should have no address")
+	}
+	if _, ok := tb.SiteOfAddr(netip.MustParseAddr("9.9.9.9")); ok {
+		t.Fatal("unknown address should have no site")
+	}
+	addr, ok := tb.FrontEndAddr(1)
+	if !ok {
+		t.Fatal("site 1 missing")
+	}
+	site, ok := tb.SiteOfAddr(addr)
+	if !ok || site != 1 {
+		t.Fatalf("round trip: %d %v", site, ok)
+	}
+}
+
+func TestProbeRejectsMissingClientID(t *testing.T) {
+	tb := startTB(t)
+	addr, _ := tb.FrontEndAddr(0)
+	resp, err := http.Get(fmt.Sprintf("http://%s/probe", netip.AddrPortFrom(addr, uint16(tb.Port()))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}

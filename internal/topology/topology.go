@@ -1,0 +1,393 @@
+// Package topology models the network the paper's CDN lives in: the CDN's
+// own autonomous system (sites, backbone links, IGP shortest paths) and the
+// client-side ISPs with their egress policies toward the CDN.
+//
+// Two properties of this topology drive the anycast pathologies the paper's
+// traceroute case studies found (§5):
+//
+//  1. The CDN AS practices hot-potato routing internally: a request that
+//     enters at ingress router R is served by the front-end closest to R by
+//     IGP metric — not the front-end closest to the client. Some sites are
+//     peering-only (no front-end), so entering there costs extra backbone
+//     distance ("router A has a longer intradomain route to the nearest
+//     front-end").
+//  2. ISPs differ in egress policy. Most exit hot-potato at the peering
+//     point nearest the client, but some carry traffic to a centralized
+//     peering hub first (the paper's Denver→Phoenix and Moscow→Stockholm
+//     examples), and some pick among nearby peering points using tie-break
+//     rules blind to geography (BGP's "lack of insight into the underlying
+//     topology").
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"anycastcdn/internal/geo"
+)
+
+// SiteID identifies a CDN site (index into Backbone.Sites).
+type SiteID int
+
+// InvalidSite is returned when no site qualifies.
+const InvalidSite SiteID = -1
+
+// SiteSpec describes one CDN site to build.
+type SiteSpec struct {
+	Metro    string // catalog metro name
+	FrontEnd bool   // hosts a front-end cluster
+	Peering  bool   // has external peering (announces anycast)
+}
+
+// Site is a realized CDN point of presence.
+type Site struct {
+	ID       SiteID
+	Metro    geo.Metro
+	FrontEnd bool
+	Peering  bool
+}
+
+// Backbone is the CDN AS: its sites and intradomain routing.
+type Backbone struct {
+	Sites []Site
+
+	// igpDist[i][j] is the IGP shortest-path distance in km between sites
+	// i and j over backbone links.
+	igpDist [][]float64
+	// nearestFE[i] is the front-end site served from ingress i under
+	// hot-potato routing, and feDist[i] the backbone km to it.
+	nearestFE []SiteID
+	feDist    []float64
+	// nextHop[i][j] is the neighbor of i on the shortest path toward j,
+	// used for traceroute reconstruction.
+	nextHop [][]SiteID
+
+	frontEnds []SiteID
+	peerings  []SiteID
+}
+
+type edge struct {
+	to   SiteID
+	cost float64
+}
+
+// Build realizes a backbone from site specs. Each site is linked to its
+// degree nearest neighbors (minimum 2), which yields a connected,
+// redundant mesh similar in spirit to a continental backbone. Build returns
+// an error for unknown metros, duplicate sites, or a deployment with no
+// front-ends or no peering sites.
+func Build(specs []SiteSpec, degree int) (*Backbone, error) {
+	if degree < 2 {
+		degree = 2
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("topology: no sites")
+	}
+	b := &Backbone{}
+	seen := map[string]bool{}
+	for i, sp := range specs {
+		if seen[sp.Metro] {
+			return nil, fmt.Errorf("topology: duplicate site metro %q", sp.Metro)
+		}
+		seen[sp.Metro] = true
+		m, ok := geo.FindMetro(sp.Metro)
+		if !ok {
+			return nil, fmt.Errorf("topology: unknown metro %q", sp.Metro)
+		}
+		s := Site{ID: SiteID(i), Metro: m, FrontEnd: sp.FrontEnd, Peering: sp.Peering}
+		b.Sites = append(b.Sites, s)
+		if s.FrontEnd {
+			b.frontEnds = append(b.frontEnds, s.ID)
+		}
+		if s.Peering {
+			b.peerings = append(b.peerings, s.ID)
+		}
+	}
+	if len(b.frontEnds) == 0 {
+		return nil, fmt.Errorf("topology: deployment has no front-end sites")
+	}
+	if len(b.peerings) == 0 {
+		return nil, fmt.Errorf("topology: deployment has no peering sites")
+	}
+	adj := b.buildLinks(degree)
+	b.computeRouting(adj)
+	return b, nil
+}
+
+// buildLinks links each site to its `degree` nearest neighbors and returns
+// the adjacency list. Links are symmetric.
+func (b *Backbone) buildLinks(degree int) [][]edge {
+	n := len(b.Sites)
+	adj := make([][]edge, n)
+	linked := make(map[[2]SiteID]bool)
+	addLink := func(i, j SiteID) {
+		if i == j {
+			return
+		}
+		key := [2]SiteID{min(i, j), max(i, j)}
+		if linked[key] {
+			return
+		}
+		linked[key] = true
+		d := geo.DistanceKm(b.Sites[i].Metro.Point, b.Sites[j].Metro.Point)
+		adj[i] = append(adj[i], edge{to: j, cost: d})
+		adj[j] = append(adj[j], edge{to: i, cost: d})
+	}
+	pts := make([]geo.Point, n)
+	for i, s := range b.Sites {
+		pts[i] = s.Metro.Point
+	}
+	for i := range b.Sites {
+		order := geo.RankByDistance(pts[i], pts)
+		added := 0
+		for _, j := range order {
+			if SiteID(j) == SiteID(i) {
+				continue
+			}
+			addLink(SiteID(i), SiteID(j))
+			added++
+			if added >= degree {
+				break
+			}
+		}
+	}
+	// kNN graphs can leave continental clusters disconnected (no site's k
+	// nearest neighbors cross an ocean). Merge components via their
+	// shortest cross edge until one remains — these become the long-haul
+	// submarine links of the backbone.
+	for {
+		comp := components(adj)
+		if comp.count <= 1 {
+			break
+		}
+		bi, bj := -1, -1
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if comp.id[i] == comp.id[j] {
+					continue
+				}
+				if d := geo.DistanceKm(pts[i], pts[j]); d < best {
+					best, bi, bj = d, i, j
+				}
+			}
+		}
+		addLink(SiteID(bi), SiteID(bj))
+	}
+	return adj
+}
+
+type componentSet struct {
+	id    []int
+	count int
+}
+
+func components(adj [][]edge) componentSet {
+	n := len(adj)
+	id := make([]int, n)
+	for i := range id {
+		id[i] = -1
+	}
+	count := 0
+	for start := 0; start < n; start++ {
+		if id[start] != -1 {
+			continue
+		}
+		stack := []int{start}
+		id[start] = count
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range adj[u] {
+				if id[e.to] == -1 {
+					id[e.to] = count
+					stack = append(stack, int(e.to))
+				}
+			}
+		}
+		count++
+	}
+	return componentSet{id: id, count: count}
+}
+
+// computeRouting runs Dijkstra from every site, filling igpDist, nextHop,
+// and the hot-potato front-end choice per ingress.
+func (b *Backbone) computeRouting(adj [][]edge) {
+	n := len(b.Sites)
+	b.igpDist = make([][]float64, n)
+	b.nextHop = make([][]SiteID, n)
+	for src := 0; src < n; src++ {
+		dist, prev := dijkstra(adj, SiteID(src))
+		b.igpDist[src] = dist
+		// nextHop[src][dst]: first hop from src toward dst, derived by
+		// walking prev[] back from dst.
+		hops := make([]SiteID, n)
+		for dst := 0; dst < n; dst++ {
+			hops[dst] = firstHop(prev, SiteID(src), SiteID(dst))
+		}
+		b.nextHop[src] = hops
+	}
+	b.nearestFE = make([]SiteID, n)
+	b.feDist = make([]float64, n)
+	for i := 0; i < n; i++ {
+		best, bestD := InvalidSite, math.Inf(1)
+		for _, fe := range b.frontEnds {
+			if d := b.igpDist[i][fe]; d < bestD {
+				best, bestD = fe, d
+			}
+		}
+		b.nearestFE[i] = best
+		b.feDist[i] = bestD
+	}
+}
+
+func dijkstra(adj [][]edge, src SiteID) (dist []float64, prev []SiteID) {
+	n := len(adj)
+	dist = make([]float64, n)
+	prev = make([]SiteID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = InvalidSite
+	}
+	dist[src] = 0
+	// Simple O(n^2) Dijkstra; n is dozens of sites, run once at build.
+	for iter := 0; iter < n; iter++ {
+		u := -1
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < best {
+				u, best = i, dist[i]
+			}
+		}
+		if u < 0 {
+			break
+		}
+		done[u] = true
+		for _, e := range adj[u] {
+			if nd := dist[u] + e.cost; nd < dist[e.to] {
+				dist[e.to] = nd
+				prev[e.to] = SiteID(u)
+			}
+		}
+	}
+	return dist, prev
+}
+
+func firstHop(prev []SiteID, src, dst SiteID) SiteID {
+	if src == dst {
+		return src
+	}
+	cur := dst
+	for prev[cur] != InvalidSite && prev[cur] != src {
+		cur = prev[cur]
+	}
+	if prev[cur] == src {
+		return cur
+	}
+	return InvalidSite // unreachable
+}
+
+// FrontEnds returns the front-end site IDs in deployment order.
+func (b *Backbone) FrontEnds() []SiteID {
+	return append([]SiteID(nil), b.frontEnds...)
+}
+
+// PeeringSites returns the peering site IDs in deployment order.
+func (b *Backbone) PeeringSites() []SiteID {
+	return append([]SiteID(nil), b.peerings...)
+}
+
+// Site returns the site with the given ID.
+func (b *Backbone) Site(id SiteID) Site { return b.Sites[id] }
+
+// NumSites returns the number of sites.
+func (b *Backbone) NumSites() int { return len(b.Sites) }
+
+// IGPDistanceKm returns the intradomain shortest-path distance between two
+// sites in backbone kilometers.
+func (b *Backbone) IGPDistanceKm(a, c SiteID) float64 { return b.igpDist[a][c] }
+
+// HotPotatoFrontEnd returns the front-end chosen for traffic entering at
+// ingress, and the backbone distance to it. This is the CDN-side half of
+// anycast selection.
+func (b *Backbone) HotPotatoFrontEnd(ingress SiteID) (SiteID, float64) {
+	return b.nearestFE[ingress], b.feDist[ingress]
+}
+
+// Path returns the site-by-site backbone path from src to dst, inclusive.
+// Used by the traceroute reconstruction in internal/trace.
+func (b *Backbone) Path(src, dst SiteID) []SiteID {
+	if src == dst {
+		return []SiteID{src}
+	}
+	path := []SiteID{src}
+	cur := src
+	for cur != dst {
+		nxt := b.nextHop[cur][dst]
+		if nxt == InvalidSite || nxt == cur {
+			return nil // unreachable
+		}
+		path = append(path, nxt)
+		cur = nxt
+		if len(path) > len(b.Sites) {
+			return nil // cycle guard; should not happen
+		}
+	}
+	return path
+}
+
+// NearestSiteByAir returns the peering site geographically nearest to p and
+// the distance. Air distance, not IGP: this is what an outside network
+// "sees".
+func (b *Backbone) NearestSiteByAir(p geo.Point, onlyPeering bool) (SiteID, float64) {
+	best, bestD := InvalidSite, math.Inf(1)
+	for _, s := range b.Sites {
+		if onlyPeering && !s.Peering {
+			continue
+		}
+		if d := geo.DistanceKm(p, s.Metro.Point); d < bestD {
+			best, bestD = s.ID, d
+		}
+	}
+	return best, bestD
+}
+
+// RankPeeringByAir returns peering site IDs ordered by increasing air
+// distance from p.
+func (b *Backbone) RankPeeringByAir(p geo.Point) []SiteID {
+	type entry struct {
+		id SiteID
+		d  float64
+	}
+	es := make([]entry, 0, len(b.peerings))
+	for _, id := range b.peerings {
+		es = append(es, entry{id, geo.DistanceKm(p, b.Sites[id].Metro.Point)})
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].d != es[j].d {
+			return es[i].d < es[j].d
+		}
+		return es[i].id < es[j].id
+	})
+	out := make([]SiteID, len(es))
+	for i, e := range es {
+		out[i] = e.id
+	}
+	return out
+}
+
+func min(a, b SiteID) SiteID {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b SiteID) SiteID {
+	if a > b {
+		return a
+	}
+	return b
+}

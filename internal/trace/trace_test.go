@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"anycastcdn/internal/bgp"
+	"anycastcdn/internal/cdn"
+	"anycastcdn/internal/geo"
+	"anycastcdn/internal/latency"
+	"anycastcdn/internal/topology"
+)
+
+func tracer(t *testing.T) (*Tracer, *topology.Backbone, *topology.ISPModel) {
+	t.Helper()
+	dep, err := cdn.BuildDefault()
+	if err != nil {
+		t.Fatal(err)
+	}
+	isps := topology.BuildISPs(dep.Backbone, geo.World(), topology.DefaultISPModelConfig(1))
+	router := bgp.NewRouter(dep.Backbone, isps, 42, bgp.DefaultConfig())
+	return &Tracer{
+		Router:  router,
+		Latency: latency.NewModel(5, latency.DefaultConfig()),
+	}, dep.Backbone, isps
+}
+
+func centralizedISP(t *testing.T, isps *topology.ISPModel) topology.ISPID {
+	t.Helper()
+	for _, isp := range isps.ISPs {
+		if isp.Policy == topology.Centralized {
+			return isp.ID
+		}
+	}
+	t.Fatal("no centralized ISP")
+	return 0
+}
+
+func hotPotatoISP(t *testing.T, isps *topology.ISPModel, country string) topology.ISPID {
+	t.Helper()
+	for _, id := range isps.ForCountry(country) {
+		if isps.ISP(id).Policy == topology.HotPotato {
+			return id
+		}
+	}
+	for _, isp := range isps.ISPs {
+		if isp.Policy == topology.HotPotato {
+			return isp.ID
+		}
+	}
+	t.Fatal("no hot-potato ISP")
+	return 0
+}
+
+func TestTraceAnycastEndsAtFrontEnd(t *testing.T) {
+	tr, bb, isps := tracer(t)
+	boston, _ := geo.FindMetro("boston")
+	c := bgp.Client{PrefixID: 1, Point: boston.Point, ISP: hotPotatoISP(t, isps, "US")}
+	trace := tr.TraceAnycast(c, 0)
+	if !trace.Anycast {
+		t.Fatal("trace not marked anycast")
+	}
+	if len(trace.Hops) < 2 {
+		t.Fatalf("trace too short: %+v", trace.Hops)
+	}
+	last := trace.Hops[len(trace.Hops)-1]
+	if last.Kind != HopFrontEnd {
+		t.Fatalf("last hop is %v, want front-end", last.Kind)
+	}
+	found := false
+	for _, fe := range bb.FrontEnds() {
+		if bb.Site(fe).Metro.Name == last.Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("last hop %q is not a front-end site", last.Name)
+	}
+	// Cumulative distance and RTT must be non-decreasing.
+	prevKm, prevRTT := -1.0, -1.0
+	for _, h := range trace.Hops {
+		if h.CumulativeKm < prevKm || h.EstRTTms < prevRTT {
+			t.Fatalf("non-monotone trace: %+v", trace.Hops)
+		}
+		prevKm, prevRTT = h.CumulativeKm, h.EstRTTms
+	}
+}
+
+func TestTraceUnicastTwoHops(t *testing.T) {
+	tr, bb, _ := tracer(t)
+	boston, _ := geo.FindMetro("boston")
+	c := bgp.Client{PrefixID: 1, Point: boston.Point}
+	fe := bb.FrontEnds()[0]
+	trace := tr.TraceUnicast(c, fe)
+	if trace.Anycast {
+		t.Fatal("unicast trace marked anycast")
+	}
+	if len(trace.Hops) != 2 {
+		t.Fatalf("unicast trace has %d hops, want 2", len(trace.Hops))
+	}
+	if trace.TotalKm() <= 0 {
+		t.Fatal("unicast trace has zero distance")
+	}
+}
+
+func TestDiagnoseWellRouted(t *testing.T) {
+	tr, _, isps := tracer(t)
+	// A client in Boston (which hosts a front-end) on a well-behaved ISP
+	// should be near-optimal... unless the hot-potato miss fires, so scan
+	// a few prefixes for a near-optimal one.
+	boston, _ := geo.FindMetro("boston")
+	ispID := hotPotatoISP(t, isps, "US")
+	for p := uint64(0); p < 30; p++ {
+		d := tr.Diagnose(bgp.Client{PrefixID: p, Point: boston.Point, ISP: ispID}, 0)
+		if d.Category == "anycast near-optimal" {
+			if d.ExcessKm >= 100 {
+				t.Fatalf("near-optimal with %v excess km", d.ExcessKm)
+			}
+			return
+		}
+	}
+	t.Fatal("no near-optimal diagnosis found for a well-placed client")
+}
+
+func TestDiagnoseRemotePeering(t *testing.T) {
+	tr, _, isps := tracer(t)
+	// Find a centralized ISP whose hub is far from some client metro, and
+	// verify the diagnosis flags it.
+	ispID := centralizedISP(t, isps)
+	isp := isps.ISP(ispID)
+	// Place the client far from the hub: scan metros of the ISP's country
+	// and pick the farthest from hub.
+	bb := tr.Router.Backbone()
+	hubPt := bb.Site(isp.Hubs[0]).Metro.Point
+	var clientPt geo.Point
+	best := -1.0
+	for _, m := range geo.World() {
+		if m.Country != isp.Country {
+			continue
+		}
+		minD := 1e18
+		for _, h := range isp.Hubs {
+			if d := geo.DistanceKm(m.Point, bb.Site(h).Metro.Point); d < minD {
+				minD = d
+			}
+		}
+		if minD > best {
+			best, clientPt = minD, m.Point
+		}
+	}
+	_ = hubPt
+	if best < 500 {
+		t.Skipf("country %s too small to demonstrate remote peering (max hub distance %.0f km)", isp.Country, best)
+	}
+	d := tr.Diagnose(bgp.Client{PrefixID: 3, Point: clientPt, ISP: ispID}, 0)
+	if d.ExcessKm < 100 {
+		t.Skipf("client happened to be near a hub front-end (excess %.0f km)", d.ExcessKm)
+	}
+	if !strings.Contains(d.Category, "remote peering") && !strings.Contains(d.Category, "intradomain") {
+		t.Fatalf("diagnosis %q does not flag a pathology", d.Category)
+	}
+}
+
+func TestDiagnoseIntradomainDetour(t *testing.T) {
+	tr, bb, _ := tracer(t)
+	// A client right next to the Denver peering-only site: its anycast
+	// traffic enters at Denver and must ride the backbone to a front-end.
+	var denver topology.SiteID = topology.InvalidSite
+	for _, s := range bb.Sites {
+		if s.Metro.Name == "denver" {
+			denver = s.ID
+		}
+	}
+	if denver == topology.InvalidSite {
+		t.Fatal("denver missing from default deployment")
+	}
+	trace := Trace{}
+	_ = trace
+	at := tr.TraceAnycast(bgp.Client{PrefixID: 0, Point: bb.Site(denver).Metro.Point, ISP: 0}, 0)
+	// If the trace entered at denver, it must contain a backbone leg.
+	if at.Hops[1].Name == "denver" && len(at.Hops) < 3 {
+		t.Fatalf("ingress at peering-only denver must ride the backbone: %+v", at.Hops)
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	tr, _, isps := tracer(t)
+	boston, _ := geo.FindMetro("boston")
+	c := bgp.Client{PrefixID: 1, Point: boston.Point, ISP: hotPotatoISP(t, isps, "US")}
+	out := tr.TraceAnycast(c, 0).Render()
+	for _, want := range []string{"traceroute (anycast)", "client", "front-end"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if HopClient.String() != "client" || HopKind(42).String() == "" {
+		t.Fatal("hop kind names")
+	}
+}

@@ -1,0 +1,231 @@
+// Package xrand provides deterministic, hash-derived random substreams.
+//
+// The simulator needs randomness that is (a) reproducible from a single
+// seed and (b) stable per entity: the latency noise a client prefix sees on
+// day 12 must not depend on how many other prefixes were simulated before
+// it. xrand derives independent streams by hashing a root seed together
+// with arbitrary labels and integers (e.g. "latency", prefixID, day) using
+// SplitMix64-style mixing, and seeds a small PCG-like generator from the
+// digest.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Stream is a deterministic pseudo-random stream. The zero value is a valid
+// stream seeded with 0. Stream is not safe for concurrent use; derive one
+// stream per goroutine with Derive.
+type Stream struct {
+	state uint64
+	inc   uint64
+}
+
+// New returns a stream seeded from seed.
+func New(seed uint64) *Stream {
+	s := &Stream{state: mix64(seed), inc: mix64(seed^0x9e3779b97f4a7c15) | 1}
+	s.Uint64() // warm up so similar seeds diverge immediately
+	return s
+}
+
+// mix64 is the SplitMix64 finalizer: a bijective mixing of 64-bit values
+// with good avalanche behaviour.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashLabel folds a string label into a 64-bit value.
+func hashLabel(label string) uint64 {
+	// FNV-1a, then mixed. FNV alone has weak high bits.
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	return mix64(h)
+}
+
+// DeriveSeed combines a root seed, a label, and any number of integer keys
+// into a new seed. It is the basis for per-entity substreams.
+func DeriveSeed(root uint64, label string, keys ...uint64) uint64 {
+	h := mix64(root ^ hashLabel(label))
+	for _, k := range keys {
+		h = mix64(h ^ mix64(k))
+	}
+	return h
+}
+
+// Derive returns a new independent stream identified by label and keys.
+// Streams derived with the same arguments from equal parents are identical.
+func (s *Stream) Derive(label string, keys ...uint64) *Stream {
+	return New(DeriveSeed(s.inc^s.state, label, keys...))
+}
+
+// Substream returns a stream for (label, keys) derived from a root seed
+// without constructing an intermediate stream.
+func Substream(root uint64, label string, keys ...uint64) *Stream {
+	return New(DeriveSeed(root, label, keys...))
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *Stream) Uint64() uint64 {
+	// PCG-XSH-RR style on 64-bit state; simple and fast, quality is plenty
+	// for simulation noise.
+	old := s.state
+	s.state = old*6364136223846793005 + s.inc
+	xorshifted := ((old >> 18) ^ old) >> 27
+	rot := uint(old >> 59)
+	out := bits.RotateLeft64(xorshifted, -int(rot))
+	return mix64(out)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative int64.
+func (s *Stream) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Bool returns true with probability p.
+func (s *Stream) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller).
+func (s *Stream) NormFloat64() float64 {
+	// Marsaglia polar method; rejects ~21% of pairs.
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// LogNormal returns a log-normal variate with the given location mu and
+// scale sigma of the underlying normal.
+func (s *Stream) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*s.NormFloat64())
+}
+
+// Exp returns an exponential variate with the given mean. Mean must be > 0.
+func (s *Stream) Exp(mean float64) float64 {
+	u := s.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// WeightedChoice returns an index in [0, len(weights)) with probability
+// proportional to weights[i]. Weights must be non-negative with a positive
+// sum; otherwise it returns -1.
+func (s *Stream) WeightedChoice(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			return -1
+		}
+		total += w
+	}
+	if total <= 0 {
+		return -1
+	}
+	target := s.Float64() * total
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Zipf draws from a Zipf-like distribution over ranks [1, n] with exponent
+// alpha > 0 using inverse transform over the precomputed CDF in z.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent alpha.
+func NewZipf(n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -alpha)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// Rank draws a rank in [0, n).
+func (z *Zipf) Rank(s *Stream) int {
+	u := s.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Weight returns the probability mass of rank i.
+func (z *Zipf) Weight(i int) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }

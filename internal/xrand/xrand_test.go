@@ -1,0 +1,280 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds produced %d equal draws", same)
+	}
+}
+
+func TestDeriveStable(t *testing.T) {
+	root := New(7)
+	x := root.Derive("latency", 3, 12).Uint64()
+	y := New(7).Derive("latency", 3, 12).Uint64()
+	if x != y {
+		t.Fatal("Derive is not stable across identical parents")
+	}
+	z := New(7).Derive("latency", 3, 13).Uint64()
+	if x == z {
+		t.Fatal("Derive did not differentiate on key")
+	}
+	w := New(7).Derive("volume", 3, 12).Uint64()
+	if x == w {
+		t.Fatal("Derive did not differentiate on label")
+	}
+}
+
+func TestDeriveIndependentOfDrawCount(t *testing.T) {
+	a := New(9)
+	a.Uint64()
+	a.Uint64()
+	// Substream derivation must not depend on how many draws happened on an
+	// unrelated stream constructed from the same root seed.
+	x := Substream(9, "x", 1).Uint64()
+	y := Substream(9, "x", 1).Uint64()
+	if x != y {
+		t.Fatal("Substream is not stable")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(4)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	for n := 1; n < 50; n++ {
+		for i := 0; i < 100; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(6)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v far from 1", variance)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 10000; i++ {
+		if v := s.LogNormal(1, 0.5); v <= 0 {
+			t.Fatalf("LogNormal returned non-positive %v", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(10)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(5)
+	}
+	mean := sum / n
+	if math.Abs(mean-5) > 0.1 {
+		t.Fatalf("Exp mean %v far from 5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(11)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	s := New(12)
+	vals := []int{1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	var got int
+	for _, v := range vals {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("Shuffle changed multiset: %v", vals)
+	}
+}
+
+func TestWeightedChoiceDistribution(t *testing.T) {
+	s := New(13)
+	weights := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		idx := s.WeightedChoice(weights)
+		if idx < 0 || idx > 2 {
+			t.Fatalf("WeightedChoice out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	if f := float64(counts[2]) / n; math.Abs(f-0.7) > 0.02 {
+		t.Fatalf("heavy weight drawn with frequency %v, want ~0.7", f)
+	}
+	if f := float64(counts[0]) / n; math.Abs(f-0.1) > 0.02 {
+		t.Fatalf("light weight drawn with frequency %v, want ~0.1", f)
+	}
+}
+
+func TestWeightedChoiceDegenerate(t *testing.T) {
+	s := New(14)
+	if got := s.WeightedChoice(nil); got != -1 {
+		t.Fatalf("WeightedChoice(nil) = %d, want -1", got)
+	}
+	if got := s.WeightedChoice([]float64{0, 0}); got != -1 {
+		t.Fatalf("WeightedChoice(zeros) = %d, want -1", got)
+	}
+	if got := s.WeightedChoice([]float64{1, -1}); got != -1 {
+		t.Fatalf("WeightedChoice(negative) = %d, want -1", got)
+	}
+	if got := s.WeightedChoice([]float64{0, 3, 0}); got != 1 {
+		t.Fatalf("WeightedChoice singleton = %d, want 1", got)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1000, 1.0)
+	s := New(15)
+	counts := make([]int, 1000)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Rank(s)]++
+	}
+	if counts[0] <= counts[10] {
+		t.Fatalf("Zipf rank 0 (%d) should dominate rank 10 (%d)", counts[0], counts[10])
+	}
+	if counts[0] < n/20 {
+		t.Fatalf("Zipf rank 0 drew %d, expected a heavy head", counts[0])
+	}
+}
+
+func TestZipfWeightsSumToOne(t *testing.T) {
+	z := NewZipf(100, 0.9)
+	var sum float64
+	for i := 0; i < z.N(); i++ {
+		w := z.Weight(i)
+		if w <= 0 {
+			t.Fatalf("Zipf weight %d is non-positive: %v", i, w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Zipf weights sum to %v, want 1", sum)
+	}
+}
+
+func TestZipfRankInRangeProperty(t *testing.T) {
+	z := NewZipf(37, 1.1)
+	f := func(seed uint64) bool {
+		s := New(seed)
+		r := z.Rank(s)
+		return r >= 0 && r < 37
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveSeedAvalancheProperty(t *testing.T) {
+	// Flipping a single key bit should change the derived seed.
+	f := func(root, key uint64) bool {
+		a := DeriveSeed(root, "l", key)
+		b := DeriveSeed(root, "l", key^1)
+		return a != b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkDerive(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Derive("bench", uint64(i))
+	}
+}
