@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# ci.sh — the full local gate, in the order failures are cheapest:
+#
+#   1. build everything
+#   2. go vet (stdlib checks)
+#   3. anycastvet (this repo's invariant suite: determinism, unchecked
+#      errors, mutex hygiene, no panics in library code)
+#   4. unit tests (which re-run anycastvet over the tree via
+#      internal/analysis/self_test.go)
+#   5. race detector over the concurrent packages: the dnswire servers,
+#      the parallel simulation core, and the loopback testbed
+#
+# Usage: ./ci.sh
+set -eu
+
+echo '== go build ./...'
+go build ./...
+
+echo '== go vet ./...'
+go vet ./...
+
+echo '== anycastvet ./...'
+go run ./cmd/anycastvet ./...
+
+echo '== go test ./...'
+go test ./...
+
+echo '== go test -race (concurrent packages)'
+go test -race ./internal/dnswire/ ./internal/sim/ ./internal/testbed/
+
+echo '== ci.sh: all gates passed'

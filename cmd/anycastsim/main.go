@@ -50,7 +50,7 @@ func createCSV(dir, name, header string) (*csvFile, error) {
 	}
 	w := bufio.NewWriterSize(f, 1<<20)
 	if _, err := fmt.Fprintln(w, header); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	return &csvFile{f: f, w: w}, nil
@@ -58,7 +58,7 @@ func createCSV(dir, name, header string) (*csvFile, error) {
 
 func (c *csvFile) close() error {
 	if err := c.w.Flush(); err != nil {
-		c.f.Close()
+		_ = c.f.Close()
 		return err
 	}
 	return c.f.Close()

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"testing"
+)
+
+// checkFixture parses and type-checks an in-memory package (stdlib
+// imports only), runs one analyzer plus suppression handling, and returns
+// the diagnostics as "file.go:line:check" strings for table-driven
+// comparison.
+func checkFixture(t *testing.T, an *Analyzer, path string, files map[string]string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	var astFiles []*ast.File
+	var names []string
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, files[name], parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", name, err)
+		}
+		astFiles = append(astFiles, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", nil)}
+	tpkg, err := conf.Check(path, fset, astFiles, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	pkg := &Package{Path: path, Dir: ".", Fset: fset, Files: astFiles, Types: tpkg, Info: info}
+	var out []string
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{an}) {
+		out = append(out, fmt.Sprintf("%s:%d:%s", d.File, d.Line, d.Check))
+	}
+	return out
+}
+
+// wantDiags compares got (from checkFixture) against want, reporting both
+// directions of mismatch.
+func wantDiags(t *testing.T, got, want []string) {
+	t.Helper()
+	gotSet := map[string]bool{}
+	for _, g := range got {
+		gotSet[g] = true
+	}
+	wantSet := map[string]bool{}
+	for _, w := range want {
+		wantSet[w] = true
+	}
+	for _, w := range want {
+		if !gotSet[w] {
+			t.Errorf("missing diagnostic %s (got %v)", w, got)
+		}
+	}
+	for _, g := range got {
+		if !wantSet[g] {
+			t.Errorf("unexpected diagnostic %s (want %v)", g, want)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module. In-package
+// _test.go files are included; external (_test-suffixed) test packages are
+// not — the repo has none, and the invariants target library code.
+type Package struct {
+	// Path is the import path ("anycastcdn/internal/sim").
+	Path string
+	// Dir is the package directory relative to the module root ("." for
+	// the root package).
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// LoadModule parses and type-checks every package under the module rooted
+// at root (the directory containing go.mod), in dependency order, using
+// only the standard library: module-internal imports are served from the
+// packages already checked, standard-library imports from the compiler's
+// export data. File names in diagnostics are relative to root.
+func LoadModule(root string) ([]*Package, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	type rawPkg struct {
+		path, dir string
+		files     []*ast.File
+		imports   []string
+	}
+	raw := map[string]*rawPkg{} // by import path
+	for _, dir := range dirs {
+		path := modPath
+		if dir != "." {
+			path = modPath + "/" + filepath.ToSlash(dir)
+		}
+		entries, err := os.ReadDir(filepath.Join(root, dir))
+		if err != nil {
+			return nil, err
+		}
+		rp := &rawPkg{path: path, dir: dir}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			rel := filepath.Join(dir, e.Name())
+			src, err := os.ReadFile(filepath.Join(root, rel))
+			if err != nil {
+				return nil, err
+			}
+			f, err := parser.ParseFile(fset, filepath.ToSlash(rel), src, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parsing %s: %w", rel, err)
+			}
+			// Skip external test packages (package foo_test).
+			if strings.HasSuffix(f.Name.Name, "_test") {
+				continue
+			}
+			rp.files = append(rp.files, f)
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if p == modPath || strings.HasPrefix(p, modPath+"/") {
+					rp.imports = append(rp.imports, p)
+				}
+			}
+		}
+		if len(rp.files) > 0 {
+			raw[path] = rp
+		}
+	}
+
+	// Topologically sort by module-internal imports so dependencies are
+	// type-checked before their importers.
+	graph := map[string][]string{}
+	for path, rp := range raw {
+		graph[path] = rp.imports
+	}
+	order, err := topoSort(graph)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{
+		std:  importer.ForCompiler(fset, "gc", nil),
+		pkgs: map[string]*types.Package{},
+	}
+	var out []*Package
+	for _, path := range order {
+		rp := raw[path]
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, rp.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+		}
+		imp.pkgs[path] = tpkg
+		out = append(out, &Package{
+			Path:  path,
+			Dir:   rp.dir,
+			Fset:  fset,
+			Files: rp.files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// moduleImporter serves module-internal packages from already-checked
+// results and everything else (the standard library) from export data.
+type moduleImporter struct {
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// modulePath reads the module declaration from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: %s is not a module root: %w", root, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module declaration in %s/go.mod", root)
+}
+
+// packageDirs lists directories under root that contain .go files,
+// skipping hidden directories, testdata, and vendor trees.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				dirs = append(dirs, rel)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// topoSort orders paths so every package follows its dependencies.
+func topoSort(graph map[string][]string) ([]string, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var order []string
+	var visit func(string) error
+	visit = func(p string) error {
+		switch color[p] {
+		case black:
+			return nil
+		case gray:
+			return fmt.Errorf("analysis: import cycle through %s", p)
+		}
+		color[p] = gray
+		for _, d := range graph[p] {
+			if _, ok := graph[d]; !ok {
+				continue // resolved by the importer (stdlib) or missing; the type checker will complain
+			}
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		color[p] = black
+		order = append(order, p)
+		return nil
+	}
+	var keys []string
+	for p := range graph {
+		keys = append(keys, p)
+	}
+	sort.Strings(keys)
+	for _, p := range keys {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RestrictedDeterminism lists the packages (and their subpackages) whose
+// outputs must be bit-for-bit reproducible from a seed: the simulation
+// core, the prediction pipeline, the experiment harness, and the client
+// population model. Everything the paper's figures are computed from flows
+// through these.
+var RestrictedDeterminism = []string{
+	"anycastcdn/internal/sim",
+	"anycastcdn/internal/core",
+	"anycastcdn/internal/experiments",
+	"anycastcdn/internal/clients",
+}
+
+// randConstructors are the math/rand names that build explicitly seeded
+// generators and are therefore replay-safe.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"NewPCG":    true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// Nondeterminism forbids the global math/rand functions and bare
+// time.Now() calls in the deterministic packages: all randomness there
+// must come from injected xrand substreams and all timestamps from an
+// injected clock, so a rerun with the same seed replays exactly.
+var Nondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "forbid global math/rand and bare time.Now() in replay-critical packages",
+	Run:  runNondeterminism,
+}
+
+func runNondeterminism(pass *Pass) {
+	if !pathRestricted(pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if pn := pass.PkgNameOf(sel); pn != nil &&
+						pn.Imported().Path() == "time" && sel.Sel.Name == "Now" {
+						pass.Reportf(n.Pos(),
+							"bare time.Now() breaks experiment replay; inject a clock (now func() time.Time) like dnswire.CachingResolver.Now")
+					}
+				}
+			case *ast.SelectorExpr:
+				pn := pass.PkgNameOf(n)
+				if pn == nil {
+					return true
+				}
+				p := pn.Imported().Path()
+				if p != "math/rand" && p != "math/rand/v2" {
+					return true
+				}
+				// Types (rand.Rand, rand.Source, …) and seeded
+				// constructors are fine; package-level functions draw from
+				// the shared global source and are not.
+				if _, isFunc := pass.Pkg.Info.Uses[n.Sel].(*types.Func); isFunc && !randConstructors[n.Sel.Name] {
+					pass.Reportf(n.Pos(),
+						"global %s.%s is nondeterministic across runs; use an injected xrand substream", p, n.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// pathRestricted reports whether path is one of the deterministic
+// packages or nested below one.
+func pathRestricted(path string) bool {
+	for _, p := range RestrictedDeterminism {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// libraryPrefix is the import-path subtree in which panicking is
+// forbidden. cmd/ and examples/ binaries may exit however they like;
+// library code must return errors so callers (including long-running
+// servers) can degrade instead of dying.
+const libraryPrefix = "anycastcdn/internal"
+
+// NoPanic forbids panic calls in internal library packages outside test
+// files. The rare legitimate panic (a documented math/rand-style contract
+// violation) must carry a //lint:ignore nopanic justification.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panic in internal library code; return errors instead",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *Pass) {
+	path := pass.Pkg.Path
+	if path != libraryPrefix && !strings.HasPrefix(path, libraryPrefix+"/") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			// Only the builtin counts; a shadowing local func is fine.
+			if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+				pass.Reportf(call.Pos(),
+					"panic in library code; return an error so callers can recover")
+			}
+			return true
+		})
+	}
+}

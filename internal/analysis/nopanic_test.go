@@ -1,0 +1,77 @@
+package analysis
+
+import "testing"
+
+func TestNoPanic(t *testing.T) {
+	cases := []struct {
+		name  string
+		path  string
+		files map[string]string
+		want  []string
+	}{
+		{
+			name: "panic in internal library code",
+			path: "anycastcdn/internal/geo",
+			files: map[string]string{"a.go": `package geo
+
+func f() {
+	panic("boom")
+}
+`},
+			want: []string{"a.go:4:nopanic"},
+		},
+		{
+			name: "cmd binaries may panic",
+			path: "anycastcdn/cmd/repro",
+			files: map[string]string{"a.go": `package main
+
+func f() {
+	panic("boom")
+}
+`},
+			want: nil,
+		},
+		{
+			name: "test files may panic",
+			path: "anycastcdn/internal/geo",
+			files: map[string]string{"a_test.go": `package geo
+
+func f() {
+	panic("boom")
+}
+`},
+			want: nil,
+		},
+		{
+			name: "shadowing local panic is not the builtin",
+			path: "anycastcdn/internal/geo",
+			files: map[string]string{"a.go": `package geo
+
+func f() {
+	panic := func(string) {}
+	panic("fine")
+}
+`},
+			want: nil,
+		},
+		{
+			name: "justified ignore survives",
+			path: "anycastcdn/internal/geo",
+			files: map[string]string{"a.go": `package geo
+
+func f(n int) {
+	if n < 0 {
+		//lint:ignore nopanic documented contract violation, mirrors stdlib behavior
+		panic("negative n")
+	}
+}
+`},
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantDiags(t, checkFixture(t, NoPanic, tc.path, tc.files), tc.want)
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// ignoreKey locates one //lint:ignore directive.
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// collectIgnores gathers //lint:ignore directives from a package's
+// comments. A directive suppresses matching diagnostics on its own line
+// (trailing comment) and on the line directly below it (comment above the
+// offending statement). Malformed directives — a missing check name or a
+// missing justification — are themselves reported as "lint" diagnostics,
+// so the escape hatch cannot silently rot.
+func collectIgnores(pkg *Package, report func(Diagnostic)) map[ignoreKey]map[string]bool {
+	out := map[ignoreKey]map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					report(Diagnostic{
+						File:    pos.Filename,
+						Line:    pos.Line,
+						Col:     pos.Column,
+						Check:   "lint",
+						Message: "malformed //lint:ignore: want \"//lint:ignore <check> <reason>\"",
+					})
+					continue
+				}
+				key := ignoreKey{file: pos.Filename, line: pos.Line}
+				if out[key] == nil {
+					out[key] = map[string]bool{}
+				}
+				out[key][fields[0]] = true
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether d is covered by an ignore directive on its
+// line or the line above.
+func suppressed(ignores map[ignoreKey]map[string]bool, d Diagnostic) bool {
+	for _, line := range []int{d.Line, d.Line - 1} {
+		if checks, ok := ignores[ignoreKey{file: d.File, line: line}]; ok && checks[d.Check] {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies analyzers to packages and returns the surviving diagnostics
+// sorted by file, line, column, and check.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		collect := func(d Diagnostic) { raw = append(raw, d) }
+		ignores := collectIgnores(pkg, collect)
+		for _, an := range analyzers {
+			pass := &Pass{Analyzer: an, Pkg: pkg, report: collect}
+			an.Run(pass)
+		}
+		for _, d := range raw {
+			if !suppressed(ignores, d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+}

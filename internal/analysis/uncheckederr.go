@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// uncheckedMethods are the method names whose error results must not be
+// dropped: connection/listener teardown, net.Conn deadline setters, and
+// the buffered-writer/encoder flush family. These are exactly the calls
+// whose silent failure corrupts measurements (a deadline that never
+// armed, a CSV row that never hit disk) rather than crashing loudly.
+var uncheckedMethods = map[string]bool{
+	"Close":            true,
+	"Flush":            true,
+	"Encode":           true,
+	"Sync":             true,
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+// UncheckedErr flags statements that drop the error result of the methods
+// above. A plain `x.Close()` statement must become `err := x.Close()`
+// (handled) or `_ = x.Close()` (an explicit, reviewable discard).
+// `defer x.Close()` is allowed as idiomatic best-effort cleanup; deferring
+// any of the other methods still discards a meaningful error and is
+// flagged.
+var UncheckedErr = &Analyzer{
+	Name: "uncheckederr",
+	Doc:  "flag dropped errors from Close, Flush, Encode, Sync, and deadline setters",
+	Run:  runUncheckedErr,
+}
+
+func runUncheckedErr(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDropped(pass, call, "")
+				}
+			case *ast.GoStmt:
+				checkDropped(pass, n.Call, "go ")
+			case *ast.DeferStmt:
+				if name, recv, ok := watchedCall(pass, n.Call); ok && name != "Close" {
+					pass.Reportf(n.Call.Pos(),
+						"deferred %s.%s drops its error; call it in a deferred closure and handle the error", recv, name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkDropped reports call when it is a watched method used as a bare
+// statement.
+func checkDropped(pass *Pass, call *ast.CallExpr, prefix string) {
+	if name, recv, ok := watchedCall(pass, call); ok {
+		pass.Reportf(call.Pos(),
+			"%s%s.%s drops its error; handle it or assign to _ explicitly", prefix, recv, name)
+	}
+}
+
+// watchedCall reports whether call invokes one of uncheckedMethods with an
+// error (as last result) in its signature, returning the method name and
+// the receiver's source text.
+func watchedCall(pass *Pass, call *ast.CallExpr) (name, recv string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || !uncheckedMethods[sel.Sel.Name] {
+		return "", "", false
+	}
+	fn, isFn := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig {
+		return "", "", false
+	}
+	res := sig.Results()
+	if res.Len() == 0 || !isErrorType(res.At(res.Len()-1).Type()) {
+		return "", "", false
+	}
+	return sel.Sel.Name, types.ExprString(sel.X), true
+}

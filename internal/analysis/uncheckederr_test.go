@@ -1,0 +1,118 @@
+package analysis
+
+import "testing"
+
+// closerFixture defines a local type with the watched method shapes so
+// cases stay self-contained.
+const closerFixture = `package x
+
+import "time"
+
+type conn struct{}
+
+func (conn) Close() error                  { return nil }
+func (conn) SetDeadline(time.Time) error   { return nil }
+func (conn) Flush() error                  { return nil }
+func (conn) Encode(any) error              { return nil }
+
+type quietCloser struct{}
+
+func (quietCloser) Close() {} // no error result; never flagged
+`
+
+func TestUncheckedErr(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "bare statements drop errors",
+			src: `package x
+
+import "time"
+
+func f(c conn) {
+	c.Close()
+	c.SetDeadline(time.Time{})
+	c.Flush()
+	c.Encode(1)
+}
+`,
+			want: []string{"b.go:6:uncheckederr", "b.go:7:uncheckederr", "b.go:8:uncheckederr", "b.go:9:uncheckederr"},
+		},
+		{
+			name: "handled, discarded, and deferred close are fine",
+			src: `package x
+
+func f(c conn) error {
+	if err := c.Close(); err != nil {
+		return err
+	}
+	_ = c.Close()
+	defer c.Close()
+	return nil
+}
+`,
+			want: nil,
+		},
+		{
+			name: "deferring a flush still loses the error",
+			src: `package x
+
+func f(c conn) {
+	defer c.Flush()
+}
+`,
+			want: []string{"b.go:4:uncheckederr"},
+		},
+		{
+			name: "close without an error result is not watched",
+			src: `package x
+
+func f(q quietCloser) {
+	q.Close()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "go statement drops the error",
+			src: `package x
+
+func f(c conn) {
+	go c.Close()
+}
+`,
+			want: []string{"b.go:4:uncheckederr"},
+		},
+		{
+			name: "lint ignore with reason suppresses",
+			src: `package x
+
+func f(c conn) {
+	//lint:ignore uncheckederr teardown on a path where the error is unreachable
+	c.Close()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "lint ignore without reason reports lint and keeps the finding",
+			src: `package x
+
+func f(c conn) {
+	//lint:ignore uncheckederr
+	c.Close()
+}
+`,
+			want: []string{"b.go:4:lint", "b.go:5:uncheckederr"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			files := map[string]string{"a.go": closerFixture, "b.go": tc.src}
+			wantDiags(t, checkFixture(t, UncheckedErr, "anycastcdn/internal/fixture", files), tc.want)
+		})
+	}
+}

@@ -34,7 +34,11 @@ func startServer(t *testing.T, h Handler) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { s.Close() })
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("closing server: %v", err)
+		}
+	})
 	return s
 }
 

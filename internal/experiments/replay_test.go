@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+
+	"anycastcdn/internal/sim"
+)
+
+// TestExperimentReplayIdentical runs the full pipeline — simulation,
+// catchment analysis, and the §6 day-over-day prediction figure — twice
+// from one seed and requires byte-identical rendered reports. This is the
+// end-to-end form of the determinism invariant the analysis suite
+// enforces statically: if any bare time.Now() or global math/rand use
+// crept into the sim/core/experiments path, this test is designed to
+// catch the drift the analyzers missed.
+func TestExperimentReplayIdentical(t *testing.T) {
+	render := func() (catchment, prediction string) {
+		cfg := sim.DefaultConfig(31)
+		cfg.Prefixes = 900
+		cfg.Days = 8
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSuite(res)
+		return s.Catchments(10).Render(), s.Figure9().Render()
+	}
+	c1, p1 := render()
+	c2, p2 := render()
+	if c1 != c2 {
+		t.Errorf("catchment report differs across same-seed replays:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", c1, c2)
+	}
+	if p1 != p2 {
+		t.Errorf("prediction report differs across same-seed replays:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", p1, p2)
+	}
+	if c1 == "" || p1 == "" {
+		t.Error("empty report; replay comparison is vacuous")
+	}
+}

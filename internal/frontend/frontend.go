@@ -152,7 +152,9 @@ func (p *Proxy) Warm(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("frontend: warm-up: %w", err)
 	}
-	resp.Body.Close()
+	if err := resp.Body.Close(); err != nil {
+		return fmt.Errorf("frontend: warm-up close: %w", err)
+	}
 	return nil
 }
 
@@ -169,40 +171,60 @@ type FetchResult struct {
 	ServedBy string
 }
 
+// Clock supplies the current time to measurement paths. Injecting one
+// (instead of calling time.Now inline) keeps timing observable and
+// replayable in tests, the same pattern as dnswire.CachingResolver.Now.
+type Clock func() time.Time
+
 // ColdFetch performs one request over a fresh TCP connection across a
 // path with the given RTT — what a client pays without a CDN (direct to
 // the data center) or on its very first contact with a front-end.
 func ColdFetch(ctx context.Context, addr string, rtt time.Duration, query string) (FetchResult, error) {
+	return ColdFetchClock(ctx, addr, rtt, query, time.Now)
+}
+
+// ColdFetchClock is ColdFetch with an injected clock for deterministic
+// timing in tests.
+func ColdFetchClock(ctx context.Context, addr string, rtt time.Duration, query string, now Clock) (FetchResult, error) {
 	transport := &http.Transport{
 		DialContext:       Dialer(rtt),
 		DisableKeepAlives: true,
 	}
 	defer transport.CloseIdleConnections()
 	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
-	return timedFetch(ctx, client, addr, query)
+	return timedFetch(ctx, client, addr, query, now)
 }
 
 // SessionFetch performs requests over a client that reuses its
 // connection (a browser keeping its front-end connection alive).
 type SessionFetch struct {
 	client *http.Client
+	// Now is the measurement clock; defaults to time.Now.
+	Now Clock
 }
 
 // NewSessionFetch builds a keep-alive client across a path with the given
 // RTT.
 func NewSessionFetch(rtt time.Duration) *SessionFetch {
-	return &SessionFetch{client: &http.Client{
-		Transport: &http.Transport{
-			DialContext:         Dialer(rtt),
-			MaxIdleConnsPerHost: 4,
+	return &SessionFetch{
+		client: &http.Client{
+			Transport: &http.Transport{
+				DialContext:         Dialer(rtt),
+				MaxIdleConnsPerHost: 4,
+			},
+			Timeout: 30 * time.Second,
 		},
-		Timeout: 30 * time.Second,
-	}}
+		Now: time.Now,
+	}
 }
 
 // Fetch performs one timed request.
 func (s *SessionFetch) Fetch(ctx context.Context, addr, query string) (FetchResult, error) {
-	return timedFetch(ctx, s.client, addr, query)
+	now := s.Now
+	if now == nil {
+		now = time.Now
+	}
+	return timedFetch(ctx, s.client, addr, query, now)
 }
 
 // Close releases idle connections.
@@ -212,13 +234,13 @@ func (s *SessionFetch) Close() {
 	}
 }
 
-func timedFetch(ctx context.Context, client *http.Client, addr, query string) (FetchResult, error) {
+func timedFetch(ctx context.Context, client *http.Client, addr, query string, now Clock) (FetchResult, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		"http://"+addr+"/?q="+url.QueryEscape(query), nil)
 	if err != nil {
 		return FetchResult{}, err
 	}
-	start := time.Now()
+	start := now()
 	resp, err := client.Do(req)
 	if err != nil {
 		return FetchResult{}, fmt.Errorf("frontend: fetch: %w", err)
@@ -231,7 +253,7 @@ func timedFetch(ctx context.Context, client *http.Client, addr, query string) (F
 		}
 	}
 	return FetchResult{
-		Elapsed:  time.Since(start),
+		Elapsed:  now().Sub(start),
 		ServedBy: resp.Header.Get("X-Served-By"),
 	}, nil
 }

@@ -18,12 +18,20 @@ func setup(t *testing.T) (*Backend, *Proxy) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { b.Close() })
+	t.Cleanup(func() {
+		if err := b.Close(); err != nil {
+			t.Errorf("closing backend: %v", err)
+		}
+	})
 	p, err := NewProxy(b.Addr(), farRTT)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { p.Close() })
+	t.Cleanup(func() {
+		if err := p.Close(); err != nil {
+			t.Errorf("closing proxy: %v", err)
+		}
+	})
 	return b, p
 }
 
@@ -176,5 +184,45 @@ func BenchmarkProxyFetch(b *testing.B) {
 		if _, err := s.Fetch(ctx, p.Addr(), "bench"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// fakeClock advances one millisecond per reading, making Elapsed exactly
+// deterministic: timedFetch reads the clock once at start and once at end,
+// so every fetch measures precisely 1ms regardless of real scheduling.
+func fakeClock() func() time.Time {
+	var ticks int64
+	return func() time.Time {
+		ticks++
+		return time.Unix(0, ticks*int64(time.Millisecond))
+	}
+}
+
+func TestColdFetchClockInjection(t *testing.T) {
+	b, _ := setup(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := ColdFetchClock(ctx, b.Addr(), 0, "q", fakeClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed != time.Millisecond {
+		t.Fatalf("Elapsed = %v with fake clock, want exactly 1ms", res.Elapsed)
+	}
+}
+
+func TestSessionFetchClockInjection(t *testing.T) {
+	b, _ := setup(t)
+	s := NewSessionFetch(0)
+	defer s.Close()
+	s.Now = fakeClock()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := s.Fetch(ctx, b.Addr(), "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed != time.Millisecond {
+		t.Fatalf("Elapsed = %v with fake clock, want exactly 1ms", res.Elapsed)
 	}
 }

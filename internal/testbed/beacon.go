@@ -47,6 +47,11 @@ type BeaconClient struct {
 	tb       *Testbed
 	resolver *dnswire.CachingResolver
 	http     *http.Client
+	// Now is the measurement clock; defaults to time.Now so live runs
+	// measure wall time, while tests can inject a fake clock and get
+	// deterministic Elapsed values (same pattern as
+	// dnswire.CachingResolver.Now).
+	Now func() time.Time
 }
 
 // NewBeaconClient builds a client against a running testbed.
@@ -55,7 +60,16 @@ func NewBeaconClient(tb *Testbed) *BeaconClient {
 		tb:       tb,
 		resolver: dnswire.NewCachingResolver(tb.DNSAddr()),
 		http:     &http.Client{Timeout: 10 * time.Second},
+		Now:      time.Now,
 	}
+}
+
+// now returns the injected clock, guarding against a zeroed field.
+func (bc *BeaconClient) now() time.Time {
+	if bc.Now == nil {
+		return time.Now()
+	}
+	return bc.Now()
 }
 
 // Resolver exposes the client's caching resolver (for cache statistics).
@@ -88,10 +102,10 @@ func (bc *BeaconClient) fetch(ctx context.Context, clientID uint64, host, mode s
 		resp, err := bc.http.Get(fmt.Sprintf("http://%s/healthz", netip.AddrPortFrom(addr, uint16(bc.tb.Port()))))
 		if err == nil {
 			readAll(resp.Body)
-			resp.Body.Close()
+			_ = resp.Body.Close() // warm-up is best-effort; a close error can't affect the measurement
 		}
 	}
-	start := time.Now()
+	start := bc.now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base, nil)
 	if err != nil {
 		return BeaconSample{}, err
@@ -101,8 +115,11 @@ func (bc *BeaconClient) fetch(ctx context.Context, clientID uint64, host, mode s
 		return BeaconSample{}, fmt.Errorf("testbed: fetching %s: %w", host, err)
 	}
 	readAll(resp.Body)
-	resp.Body.Close()
-	return BeaconSample{Host: host, Site: site, Elapsed: time.Since(start)}, nil
+	elapsed := bc.now().Sub(start)
+	if err := resp.Body.Close(); err != nil {
+		return BeaconSample{}, fmt.Errorf("testbed: closing %s response: %w", host, err)
+	}
+	return BeaconSample{Host: host, Site: site, Elapsed: elapsed}, nil
 }
 
 // RunBeaconUnique executes one beacon using a globally unique hostname

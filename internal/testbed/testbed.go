@@ -91,12 +91,12 @@ func Start(cfg Config) (*Testbed, error) {
 		names: map[string]topology.SiteID{},
 	}
 	if err := tb.startFrontEnds(); err != nil {
-		tb.Close()
+		_ = tb.Close() // best-effort cleanup; the start error is what matters
 		return nil, err
 	}
 	srv, err := dnswire.NewServer("127.0.0.1:0", dnswire.HandlerFunc(tb.handleDNS))
 	if err != nil {
-		tb.Close()
+		_ = tb.Close()
 		return nil, err
 	}
 	tb.dns = srv
@@ -122,7 +122,7 @@ attempt:
 			ln, err := net.Listen("tcp", fmt.Sprintf("%s:%d", feLoopback(i), port))
 			if err != nil {
 				for _, l := range lns {
-					l.Close()
+					_ = l.Close() // unwinding a failed bind attempt
 				}
 				lastErr = err
 				continue attempt
@@ -192,7 +192,10 @@ func (tb *Testbed) Close() error {
 		cancel()
 	}
 	for _, ln := range tb.lns {
-		ln.Close()
+		// Shutdown above already closed listeners handed to a server; this
+		// catches listeners bound but never served, where double-close
+		// errors are expected and meaningless.
+		_ = ln.Close()
 	}
 	return first
 }

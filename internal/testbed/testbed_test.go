@@ -58,7 +58,11 @@ func startTB(t *testing.T) *Testbed {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { tb.Close() })
+	t.Cleanup(func() {
+		if err := tb.Close(); err != nil {
+			t.Errorf("closing testbed: %v", err)
+		}
+	})
 	return tb
 }
 
@@ -85,7 +89,7 @@ func TestFrontEndsServeHTTP(t *testing.T) {
 		if err != nil {
 			t.Fatalf("front-end %s unreachable: %v", fe.Name, err)
 		}
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("front-end %s status %d", fe.Name, resp.StatusCode)
 		}
@@ -368,8 +372,30 @@ func TestProbeRejectsMissingClientID(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestBeaconClockInjection pins the injected-clock refactor: with a fake
+// clock advancing 1ms per reading, a beacon fetch reads it exactly twice
+// (start, end) and reports exactly 1ms, independent of real scheduling.
+func TestBeaconClockInjection(t *testing.T) {
+	tb := startTB(t)
+	bc := NewBeaconClient(tb)
+	var ticks int64
+	bc.Now = func() time.Time {
+		ticks++
+		return time.Unix(0, ticks*int64(time.Millisecond))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := bc.RunBeacon(ctx, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Anycast.Elapsed != time.Millisecond {
+		t.Fatalf("Elapsed = %v with fake clock, want exactly 1ms", res.Anycast.Elapsed)
 	}
 }

@@ -93,6 +93,7 @@ func (s *Stream) Float64() float64 {
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
 func (s *Stream) Intn(n int) int {
 	if n <= 0 {
+		//lint:ignore nopanic mirrors math/rand.Intn's documented contract for drop-in compatibility
 		panic("xrand: Intn with non-positive n")
 	}
 	return int(s.Uint64() % uint64(n))
@@ -189,6 +190,7 @@ type Zipf struct {
 // NewZipf builds a Zipf sampler over n ranks with exponent alpha.
 func NewZipf(n int, alpha float64) *Zipf {
 	if n <= 0 {
+		//lint:ignore nopanic mirrors math/rand.NewZipf's documented contract for drop-in compatibility
 		panic("xrand: NewZipf with non-positive n")
 	}
 	cdf := make([]float64, n)
