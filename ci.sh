@@ -4,11 +4,15 @@
 #   1. build everything
 #   2. go vet (stdlib checks)
 #   3. anycastvet (this repo's invariant suite: determinism, unchecked
-#      errors, mutex hygiene, no panics in library code)
+#      errors, mutex hygiene, no panics in library code, goroutine
+#      join/cancel paths, ctx propagation in dnswire) — plus a second,
+#      explicit pass of the two lifecycle analyzers so a regression in
+#      either is named in the CI log, not buried in the full-suite run
 #   4. unit tests (which re-run anycastvet over the tree via
 #      internal/analysis/self_test.go)
 #   5. race detector over the concurrent packages: the dnswire servers,
-#      the parallel simulation core, and the loopback testbed
+#      the parallel simulation core, the loopback testbed, the HTTP
+#      front-ends, and the client population generator
 #
 # Usage: ./ci.sh
 set -eu
@@ -22,10 +26,13 @@ go vet ./...
 echo '== anycastvet ./...'
 go run ./cmd/anycastvet ./...
 
+echo '== anycastvet -checks goroutineleak,ctxpropagation ./...'
+go run ./cmd/anycastvet -checks goroutineleak,ctxpropagation ./...
+
 echo '== go test ./...'
 go test ./...
 
 echo '== go test -race (concurrent packages)'
-go test -race ./internal/dnswire/ ./internal/sim/ ./internal/testbed/
+go test -race ./internal/dnswire/ ./internal/sim/ ./internal/testbed/ ./internal/frontend/ ./internal/clients/
 
 echo '== ci.sh: all gates passed'

@@ -1,7 +1,8 @@
 // Command anycastvet runs the repository's custom static-analysis suite
 // (internal/analysis) over the module and reports invariant violations:
 // nondeterminism in replay-critical packages, dropped errors on the
-// network paths, mutex misuse, and panics in library code.
+// network paths, mutex misuse, panics in library code, goroutines with no
+// join/cancel path, and dnswire net I/O that ignores the caller's ctx.
 //
 // Usage:
 //
@@ -9,6 +10,7 @@
 //	go run ./cmd/anycastvet ./internal/sim/... # one subtree
 //	go run ./cmd/anycastvet -json ./...        # machine-readable output
 //	go run ./cmd/anycastvet -list              # describe the analyzers
+//	go run ./cmd/anycastvet -checks goroutineleak,ctxpropagation ./...
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure.
 package main

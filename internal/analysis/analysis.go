@@ -39,6 +39,8 @@ type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
 	report   func(Diagnostic)
+
+	declCache map[*types.Func]*ast.FuncDecl
 }
 
 // Reportf records a diagnostic at pos.
@@ -69,6 +71,24 @@ func (p *Pass) PkgNameOf(sel *ast.SelectorExpr) *types.PkgName {
 	return pn
 }
 
+// FuncDeclOf returns the declaration of fn when fn is declared in this
+// package, or nil (external functions, interface methods, builtins).
+func (p *Pass) FuncDeclOf(fn *types.Func) *ast.FuncDecl {
+	if p.declCache == nil {
+		p.declCache = map[*types.Func]*ast.FuncDecl{}
+		for _, f := range p.Pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					if obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						p.declCache[obj] = fd
+					}
+				}
+			}
+		}
+	}
+	return p.declCache[fn]
+}
+
 // Diagnostic is one reported violation. File is relative to the module
 // root when produced by LoadModule.
 type Diagnostic struct {
@@ -85,7 +105,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Nondeterminism, UncheckedErr, MutexHygiene, NoPanic}
+	return []*Analyzer{Nondeterminism, UncheckedErr, MutexHygiene, NoPanic, GoroutineLeak, CtxPropagation}
 }
 
 // isErrorType reports whether t is the built-in error interface.

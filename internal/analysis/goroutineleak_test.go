@@ -1,0 +1,156 @@
+package analysis
+
+import "testing"
+
+func TestGoroutineLeak(t *testing.T) {
+	cases := []struct {
+		name  string
+		path  string
+		files map[string]string
+		want  []string
+	}{
+		{
+			name: "bare spawn with no join path",
+			path: "anycastcdn/internal/geo",
+			files: map[string]string{"a.go": `package geo
+
+func work() {}
+
+func f() {
+	go work()
+}
+`},
+			want: []string{"a.go:6:goroutineleak"},
+		},
+		{
+			name: "literal with no join path",
+			path: "anycastcdn/internal/geo",
+			files: map[string]string{"a.go": `package geo
+
+func f() {
+	go func() {
+		for {
+		}
+	}()
+}
+`},
+			want: []string{"a.go:4:goroutineleak"},
+		},
+		{
+			name: "waitgroup-tracked literal",
+			path: "anycastcdn/internal/geo",
+			files: map[string]string{"a.go": `package geo
+
+import "sync"
+
+func f() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+`},
+			want: nil,
+		},
+		{
+			name: "done-channel close in same-package callee",
+			path: "anycastcdn/internal/geo",
+			files: map[string]string{"a.go": `package geo
+
+type srv struct{ done chan struct{} }
+
+func (s *srv) serve() {
+	defer close(s.done)
+}
+
+func (s *srv) start() {
+	go s.serve()
+}
+`},
+			want: nil,
+		},
+		{
+			name: "ctx-parked watcher literal",
+			path: "anycastcdn/internal/geo",
+			files: map[string]string{"a.go": `package geo
+
+import "context"
+
+func f(ctx context.Context) func() {
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-stop:
+		}
+	}()
+	return func() { close(stop) }
+}
+`},
+			want: nil,
+		},
+		{
+			name: "spawning an external-package method is flagged",
+			path: "anycastcdn/internal/geo",
+			files: map[string]string{"a.go": `package geo
+
+import (
+	"net"
+	"net/http"
+)
+
+func f(srv *http.Server, ln net.Listener) {
+	go srv.Serve(ln)
+}
+`},
+			want: []string{"a.go:9:goroutineleak"},
+		},
+		{
+			name: "cmd binaries are exempt",
+			path: "anycastcdn/cmd/repro",
+			files: map[string]string{"a.go": `package main
+
+func work() {}
+
+func f() {
+	go work()
+}
+`},
+			want: nil,
+		},
+		{
+			name: "test files are exempt",
+			path: "anycastcdn/internal/geo",
+			files: map[string]string{"a_test.go": `package geo
+
+func work() {}
+
+func f() {
+	go work()
+}
+`},
+			want: nil,
+		},
+		{
+			name: "justified ignore survives",
+			path: "anycastcdn/internal/geo",
+			files: map[string]string{"a.go": `package geo
+
+func work() {}
+
+func f() {
+	//lint:ignore goroutineleak process-lifetime singleton, joined at exit by the OS
+	go work()
+}
+`},
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantDiags(t, checkFixture(t, GoroutineLeak, tc.path, tc.files), tc.want)
+		})
+	}
+}

@@ -3,7 +3,6 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 )
 
 // RestrictedDeterminism lists the packages (and their subpackages) whose
@@ -81,10 +80,5 @@ func runNondeterminism(pass *Pass) {
 // pathRestricted reports whether path is one of the deterministic
 // packages or nested below one.
 func pathRestricted(path string) bool {
-	for _, p := range RestrictedDeterminism {
-		if path == p || strings.HasPrefix(path, p+"/") {
-			return true
-		}
-	}
-	return false
+	return pathInList(path, RestrictedDeterminism)
 }

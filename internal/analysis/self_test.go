@@ -29,18 +29,20 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
-// TestSuiteShape pins the advertised analyzer set: at least the four
+// TestSuiteShape pins the advertised analyzer set: at least the six
 // invariants the repo documents, each with a name and doc.
 func TestSuiteShape(t *testing.T) {
 	ans := Analyzers()
-	if len(ans) < 4 {
-		t.Fatalf("Analyzers() = %d analyzers, want >= 4", len(ans))
+	if len(ans) < 6 {
+		t.Fatalf("Analyzers() = %d analyzers, want >= 6", len(ans))
 	}
 	want := map[string]bool{
 		"nondeterminism": false,
 		"uncheckederr":   false,
 		"mutexhygiene":   false,
 		"nopanic":        false,
+		"goroutineleak":  false,
+		"ctxpropagation": false,
 	}
 	for _, an := range ans {
 		if an.Name == "" || an.Doc == "" || an.Run == nil {

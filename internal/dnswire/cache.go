@@ -13,6 +13,13 @@ import (
 // the LDNS behaviour the paper's beacon depends on: the warm-up request
 // populates the cache so the measured fetch pays no DNS latency (§3.2.2),
 // and short TTLs are how DNS-based redirection stays responsive (§2).
+//
+// Locking contract: all mutable state (cache, counters, in-flight table,
+// rng) is guarded by mu; counters are exposed only through Stats(), which
+// snapshots under the same mutex. Concurrent cache misses for one key are
+// collapsed into a single upstream exchange (singleflight); waiters share
+// the leader's result or error, and a waiter whose own ctx is canceled
+// abandons the wait with ctx.Err().
 type CachingResolver struct {
 	// Server is the upstream authoritative address.
 	Server string
@@ -20,13 +27,23 @@ type CachingResolver struct {
 	Now func() time.Time
 	// MaxTTL caps cached lifetimes.
 	MaxTTL time.Duration
+	// Config tunes upstream exchanges (retry, per-attempt timeout).
+	Config ExchangeConfig
 
-	mu    sync.Mutex
-	cache map[cacheKey]cacheEntry
-	rng   *rand.Rand
+	mu       sync.Mutex
+	cache    map[cacheKey]cacheEntry
+	inflight map[cacheKey]*inflightLookup
+	rng      *rand.Rand
 
-	// Lookups and CacheHits count resolver activity.
-	Lookups   int
+	lookups   int
+	cacheHits int
+}
+
+// CacheStats is a snapshot of resolver activity counters.
+type CacheStats struct {
+	// Lookups counts Lookup calls.
+	Lookups int
+	// CacheHits counts lookups served from a fresh cache entry.
 	CacheHits int
 }
 
@@ -40,36 +57,84 @@ type cacheEntry struct {
 	expires time.Time
 }
 
+// inflightLookup is one in-progress upstream fetch; done is closed once
+// addrs/err are final.
+type inflightLookup struct {
+	done  chan struct{}
+	addrs []netip.Addr
+	err   error
+}
+
 // NewCachingResolver builds a resolver against an authoritative server
 // address.
 func NewCachingResolver(server string) *CachingResolver {
 	return &CachingResolver{
-		Server: server,
-		Now:    time.Now,
-		MaxTTL: time.Hour,
-		cache:  map[cacheKey]cacheEntry{},
-		rng:    rand.New(rand.NewSource(1)),
+		Server:   server,
+		Now:      time.Now,
+		MaxTTL:   time.Hour,
+		cache:    map[cacheKey]cacheEntry{},
+		inflight: map[cacheKey]*inflightLookup{},
+		rng:      rand.New(rand.NewSource(1)),
 	}
 }
 
+// Stats snapshots the activity counters under the resolver's mutex.
+func (r *CachingResolver) Stats() CacheStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return CacheStats{Lookups: r.lookups, CacheHits: r.cacheHits}
+}
+
 // Lookup resolves name/qtype, serving from cache while entries are fresh.
-// ecs optionally attaches a client-subnet option (nil to omit).
+// ecs optionally attaches a client-subnet option (nil to omit). Concurrent
+// misses for the same key share one upstream query.
 func (r *CachingResolver) Lookup(ctx context.Context, name string, qtype uint16, ecs *netip.Addr) ([]netip.Addr, error) {
 	name = normalizeName(name)
 	key := cacheKey{name, qtype}
 	now := r.Now()
 	r.mu.Lock()
-	r.Lookups++
+	r.lookups++
 	if e, ok := r.cache[key]; ok && now.Before(e.expires) {
-		r.CacheHits++
+		r.cacheHits++
 		addrs := append([]netip.Addr(nil), e.addrs...)
 		r.mu.Unlock()
 		return addrs, nil
 	}
+	if call, ok := r.inflight[key]; ok {
+		// Another goroutine is already fetching this key; wait for its
+		// result instead of stampeding the upstream.
+		r.mu.Unlock()
+		select {
+		case <-call.done:
+			if call.err != nil {
+				return nil, call.err
+			}
+			return append([]netip.Addr(nil), call.addrs...), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	call := &inflightLookup{done: make(chan struct{})}
+	if r.inflight == nil {
+		r.inflight = map[cacheKey]*inflightLookup{}
+	}
+	r.inflight[key] = call
 	id := uint16(r.rng.Intn(1 << 16))
 	r.mu.Unlock()
 
-	q := NewQuery(id, name, qtype)
+	addrs, err := r.fetch(ctx, id, key, ecs, now)
+	call.addrs, call.err = addrs, err
+	r.mu.Lock()
+	delete(r.inflight, key)
+	r.mu.Unlock()
+	close(call.done)
+	return addrs, err
+}
+
+// fetch performs the upstream exchange for key and caches a successful
+// answer.
+func (r *CachingResolver) fetch(ctx context.Context, id uint16, key cacheKey, ecs *netip.Addr, now time.Time) ([]netip.Addr, error) {
+	q := NewQuery(id, key.name, key.qtype)
 	if ecs != nil {
 		bits := uint8(24)
 		if ecs.Is6() && !ecs.Is4In6() {
@@ -77,17 +142,17 @@ func (r *CachingResolver) Lookup(ctx context.Context, name string, qtype uint16,
 		}
 		q.SetECS(*ecs, bits)
 	}
-	resp, err := Exchange(ctx, r.Server, q)
+	resp, err := ExchangeWithConfig(ctx, r.Server, q, r.Config)
 	if err != nil {
 		return nil, err
 	}
 	if resp.RCode != RCodeSuccess {
-		return nil, fmt.Errorf("dnswire: %s: rcode %d", name, resp.RCode)
+		return nil, fmt.Errorf("dnswire: %s: rcode %d", key.name, resp.RCode)
 	}
 	var addrs []netip.Addr
 	minTTL := uint32(0)
 	for _, rec := range resp.Answers {
-		if rec.Type != qtype || normalizeName(rec.Name) != name {
+		if rec.Type != key.qtype || normalizeName(rec.Name) != key.name {
 			continue
 		}
 		if a, ok := rec.Addr(); ok {
@@ -98,7 +163,7 @@ func (r *CachingResolver) Lookup(ctx context.Context, name string, qtype uint16,
 		}
 	}
 	if len(addrs) == 0 {
-		return nil, fmt.Errorf("dnswire: %s: no %d answers", name, qtype)
+		return nil, fmt.Errorf("dnswire: %s: no %d answers", key.name, key.qtype)
 	}
 	ttl := time.Duration(minTTL) * time.Second
 	if ttl > r.MaxTTL {

@@ -1,0 +1,465 @@
+package dnswire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServerCloseDrainsInFlightHandlers is the drain-on-Close regression
+// test: it parks a flood of handlers mid-query, releases them while Close
+// runs, and then reads handler-side state WITHOUT synchronization. The
+// seed server returned from Close while handlers were still running, so
+// this read raced (caught by -race) and undercounted; with the WaitGroup
+// drain, every handler happens-before Close's return.
+func TestServerCloseDrainsInFlightHandlers(t *testing.T) {
+	const n = 20
+	entered := make(chan struct{}, n)
+	release := make(chan struct{})
+	var mu sync.Mutex
+	served := 0
+	h := HandlerFunc(func(q *Message, _ netip.AddrPort) *Message {
+		entered <- struct{}{}
+		<-release
+		time.Sleep(5 * time.Millisecond) // keep the handler in flight while Close runs
+		mu.Lock()
+		served++
+		mu.Unlock()
+		return q.Reply()
+	})
+	s, err := NewServer("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("udp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < n; i++ {
+		pkt, err := NewQuery(uint16(i), "drain.test", TypeA).Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		<-entered
+	}
+	close(release)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately unsynchronized: Close's drain is the only thing
+	// ordering the handler writes before this read.
+	if served != n {
+		t.Fatalf("Close returned with %d/%d handlers drained", served, n)
+	}
+}
+
+// TestTCPServerCloseDrainsInFlightQueries is the TCP twin: each
+// connection's in-flight query must finish (and its response be written)
+// before Close returns.
+func TestTCPServerCloseDrainsInFlightQueries(t *testing.T) {
+	const n = 10
+	entered := make(chan struct{}, n)
+	release := make(chan struct{})
+	var mu sync.Mutex
+	served := 0
+	h := HandlerFunc(func(q *Message, _ netip.AddrPort) *Message {
+		entered <- struct{}{}
+		<-release
+		time.Sleep(5 * time.Millisecond)
+		mu.Lock()
+		served++
+		mu.Unlock()
+		return q.Reply()
+	})
+	s, err := NewTCPServer("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := make([]net.Conn, 0, n)
+	defer func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		c, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+		if err := writeTCPMessage(c, NewQuery(uint16(i), "draintcp.test", TypeA)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		<-entered
+	}
+	close(release)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if served != n {
+		t.Fatalf("Close returned with %d/%d in-flight queries drained", served, n)
+	}
+	// The drained responses must actually have been written before the
+	// connections were torn down.
+	for i, c := range conns {
+		resp, err := readTCPMessage(c)
+		if err != nil {
+			t.Fatalf("conn %d: response not written before close: %v", i, err)
+		}
+		if resp.ID != uint16(i) {
+			t.Fatalf("conn %d: response ID %d", i, resp.ID)
+		}
+	}
+}
+
+// TestTCPServerCloseBoundedByDrainTimeout pins the other side of the
+// contract: a handler wedged in user code cannot hold Close hostage
+// beyond the configured drain timeout.
+func TestTCPServerCloseBoundedByDrainTimeout(t *testing.T) {
+	stuck := make(chan struct{})
+	entered := make(chan struct{})
+	h := HandlerFunc(func(q *Message, _ netip.AddrPort) *Message {
+		close(entered)
+		<-stuck // wedged until the test ends
+		return nil
+	})
+	s, err := NewTCPServer("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetDrainTimeout(50 * time.Millisecond)
+	defer close(stuck)
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := writeTCPMessage(c, NewQuery(1, "stuck.test", TypeA)); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	start := time.Now()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close took %v with a wedged handler; drain timeout must bound it", elapsed)
+	}
+}
+
+// TestExchangeReturnsCtxErrOnCancel asserts the cancellation contract:
+// canceling the ctx interrupts the blocked read immediately (well under
+// the 5 s fallback deadline the seed rode out) and surfaces ctx.Err().
+func TestExchangeReturnsCtxErrOnCancel(t *testing.T) {
+	h := HandlerFunc(func(q *Message, _ netip.AddrPort) *Message { return nil }) // never answers
+	s := startServer(t, h)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	timer := time.AfterFunc(10*time.Millisecond, cancel)
+	defer timer.Stop()
+	start := time.Now()
+	_, err := Exchange(ctx, s.Addr(), NewQuery(7, "cancel.test", TypeA))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// ~10ms cancel + wakeup; allow generous CI slack but stay far below
+	// the 5s fallback deadline.
+	if elapsed > time.Second {
+		t.Fatalf("Exchange returned %v after cancellation; the read must be interrupted", elapsed)
+	}
+}
+
+// TestExchangeGarbledDatagramsHonorCancel reproduces the seed bug where a
+// garbled datagram put Exchange back into a blocking read that ignored
+// cancellation until the fallback deadline.
+func TestExchangeGarbledDatagramsHonorCancel(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	go func() {
+		buf := make([]byte, 512)
+		for {
+			_, from, err := pc.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			// Reply with something that is not DNS; Exchange must loop
+			// back into its read rather than erroring out.
+			_, _ = pc.WriteTo([]byte("not dns at all"), from)
+		}
+	}()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	timer := time.AfterFunc(10*time.Millisecond, cancel)
+	defer timer.Stop()
+	start := time.Now()
+	_, err = Exchange(ctx, pc.LocalAddr().String(), NewQuery(9, "garbled.test", TypeA))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("Exchange swallowed garbled datagrams for %v after cancellation", elapsed)
+	}
+}
+
+// dropFirstHandler stays silent for the first query of each ID and
+// answers retries, exercising the retry-with-backoff path.
+type dropFirstHandler struct {
+	addr netip.Addr
+
+	mu      sync.Mutex
+	seen    map[uint16]int
+	queries int
+}
+
+func (h *dropFirstHandler) HandleQuery(q *Message, _ netip.AddrPort) *Message {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.seen == nil {
+		h.seen = map[uint16]int{}
+	}
+	h.seen[q.ID]++
+	h.queries++
+	if h.seen[q.ID] == 1 {
+		return nil // drop the first attempt
+	}
+	r := q.Reply()
+	r.Answers = append(r.Answers, ARecord(q.Questions[0].Name, 30, h.addr))
+	return r
+}
+
+func (h *dropFirstHandler) total() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.queries
+}
+
+func TestExchangeRetriesOnTimeout(t *testing.T) {
+	h := &dropFirstHandler{addr: netip.MustParseAddr("192.0.2.8")}
+	s := startServer(t, h)
+	cfg := ExchangeConfig{Attempts: 3, Timeout: 200 * time.Millisecond, Backoff: 10 * time.Millisecond}
+	resp, err := ExchangeWithConfig(context.Background(), s.Addr(), NewQuery(11, "retry.test", TypeA), cfg)
+	if err != nil {
+		t.Fatalf("retry should recover from one dropped datagram: %v", err)
+	}
+	if a, ok := resp.Answers[0].Addr(); !ok || a != h.addr {
+		t.Fatalf("answer = %v", resp.Answers)
+	}
+	if got := h.total(); got != 2 {
+		t.Fatalf("server saw %d queries, want 2 (drop + retry)", got)
+	}
+}
+
+func TestExchangeRetryExhaustionReportsTimeout(t *testing.T) {
+	h := HandlerFunc(func(q *Message, _ netip.AddrPort) *Message { return nil })
+	s := startServer(t, h)
+	cfg := ExchangeConfig{Attempts: 2, Timeout: 50 * time.Millisecond, Backoff: 5 * time.Millisecond}
+	_, err := ExchangeWithConfig(context.Background(), s.Addr(), NewQuery(12, "dead.test", TypeA), cfg)
+	if err == nil {
+		t.Fatal("exchange against a silent server must fail")
+	}
+	if !isTimeoutErr(err) {
+		t.Fatalf("exhaustion error should preserve the timeout cause: %v", err)
+	}
+}
+
+// slowHandler delays every answer, holding the singleflight window open.
+type slowHandler struct {
+	addr    netip.Addr
+	delay   time.Duration
+	queries int
+	mu      sync.Mutex
+}
+
+func (h *slowHandler) HandleQuery(q *Message, _ netip.AddrPort) *Message {
+	h.mu.Lock()
+	h.queries++
+	h.mu.Unlock()
+	time.Sleep(h.delay)
+	r := q.Reply()
+	r.Answers = append(r.Answers, ARecord(q.Questions[0].Name, 60, h.addr))
+	return r
+}
+
+func (h *slowHandler) total() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.queries
+}
+
+// TestCachingResolverSingleflight asserts that concurrent misses for one
+// key collapse into a single upstream query instead of a stampede.
+func TestCachingResolverSingleflight(t *testing.T) {
+	h := &slowHandler{addr: netip.MustParseAddr("192.0.2.20"), delay: 100 * time.Millisecond}
+	s := startServer(t, h)
+	r := NewCachingResolver(s.Addr())
+	const n = 8
+	var wg sync.WaitGroup
+	addrs := make([][]netip.Addr, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			addrs[i], errs[i] = r.Lookup(context.Background(), "flight.test", TypeA, nil)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("lookup %d: %v", i, errs[i])
+		}
+		if len(addrs[i]) != 1 || addrs[i][0] != h.addr {
+			t.Fatalf("lookup %d: addrs = %v", i, addrs[i])
+		}
+	}
+	if got := h.total(); got != 1 {
+		t.Fatalf("upstream saw %d queries for one key, want 1 (singleflight)", got)
+	}
+	if st := r.Stats(); st.Lookups != n {
+		t.Fatalf("stats lookups = %d, want %d", st.Lookups, n)
+	}
+}
+
+// TestCachingResolverSingleflightWaiterCancel: a waiter whose own ctx is
+// canceled abandons the shared flight instead of blocking on the leader.
+func TestCachingResolverSingleflightWaiterCancel(t *testing.T) {
+	h := &slowHandler{addr: netip.MustParseAddr("192.0.2.21"), delay: 300 * time.Millisecond}
+	s := startServer(t, h)
+	r := NewCachingResolver(s.Addr())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := r.Lookup(context.Background(), "waiters.test", TypeA, nil)
+		leaderErr <- err
+	}()
+	// Give the leader time to register the in-flight entry.
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(10*time.Millisecond, cancel)
+	defer timer.Stop()
+	start := time.Now()
+	_, err := r.Lookup(ctx, "waiters.test", TypeA, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Fatalf("canceled waiter blocked %v on the leader's flight", elapsed)
+	}
+	if err := <-leaderErr; err != nil {
+		t.Fatalf("leader lookup: %v", err)
+	}
+}
+
+// TestCachingResolverStatsUnderConcurrency hammers Lookup and Stats
+// concurrently; the race detector gate (-race) verifies the counters are
+// only ever touched under the mutex.
+func TestCachingResolverStatsUnderConcurrency(t *testing.T) {
+	h := &staticHandler{addr: netip.MustParseAddr("192.0.2.22"), ttl: 60}
+	s := startServer(t, h)
+	r := NewCachingResolver(s.Addr())
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := r.Lookup(context.Background(), "stats.test", TypeA, nil); err != nil {
+					t.Errorf("lookup: %v", err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				_ = r.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	if st := r.Stats(); st.Lookups != 100 {
+		t.Fatalf("lookups = %d, want 100", st.Lookups)
+	}
+}
+
+// TestServerServfailWithEDNSLimit covers TruncateFor's interaction with
+// the SERVFAIL fallback in Server.handle: when the handler's response
+// cannot be packed, TruncateFor fails first, handle falls through to
+// Pack, and the SERVFAIL degradation must still reach the client.
+func TestServerServfailWithEDNSLimit(t *testing.T) {
+	h := HandlerFunc(func(q *Message, _ netip.AddrPort) *Message {
+		r := q.Reply()
+		long := make([]byte, 70) // labels are capped at 63 bytes; this cannot pack
+		for i := range long {
+			long[i] = 'a'
+		}
+		r.Answers = append(r.Answers, Record{
+			Name: string(long) + ".test", Type: TypeA, Class: ClassIN, TTL: 1,
+			Data: []byte{1, 2, 3, 4},
+		})
+		return r
+	})
+	s := startServer(t, h)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	q := NewQuery(13, "badpack.test", TypeA)
+	q.EDNS = true
+	q.UDPSize = 512
+	resp, err := Exchange(ctx, s.Addr(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != RCodeServFail {
+		t.Fatalf("rcode = %d, want SERVFAIL", resp.RCode)
+	}
+	if resp.Truncated || len(resp.Answers) != 0 {
+		t.Fatalf("SERVFAIL fallback should be a bare reply: %+v", resp)
+	}
+}
+
+// TestExchangeWithFallbackTCPStillTruncated: when the authoritative
+// answer carries TC=1 even over TCP, the fallback returns it as-is — no
+// larger transport exists and retrying would loop forever.
+func TestExchangeWithFallbackTCPStillTruncated(t *testing.T) {
+	h := HandlerFunc(func(q *Message, _ netip.AddrPort) *Message {
+		r := q.Reply()
+		r.Truncated = true
+		return r
+	})
+	udp, err := NewServer("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer udp.Close()
+	tcp, err := NewTCPServer("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := ExchangeWithFallback(ctx, udp.Addr(), tcp.Addr(), NewQuery(14, "tc.test", TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Truncated {
+		t.Fatal("a TC=1 TCP response must be surfaced to the caller, not retried")
+	}
+}

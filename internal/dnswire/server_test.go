@@ -154,8 +154,8 @@ func TestCachingResolver(t *testing.T) {
 	if h.queries.Load() != 1 {
 		t.Fatalf("server saw %d queries, want 1 (second lookup cached)", h.queries.Load())
 	}
-	if r.CacheHits != 1 || r.Lookups != 2 {
-		t.Fatalf("cache stats: hits=%d lookups=%d", r.CacheHits, r.Lookups)
+	if st := r.Stats(); st.CacheHits != 1 || st.Lookups != 2 {
+		t.Fatalf("cache stats: hits=%d lookups=%d", st.CacheHits, st.Lookups)
 	}
 	// Expire and refetch.
 	now = now.Add(2 * time.Minute)

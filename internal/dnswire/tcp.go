@@ -53,13 +53,22 @@ func readTCPMessage(r io.Reader) (*Message, error) {
 }
 
 // TCPServer serves DNS over TCP.
+//
+// Lifecycle mirrors Server: every accepted connection runs on a tracked
+// goroutine, and Close stops accepting, lets in-flight queries finish
+// writing their responses (bounded by the drain timeout), and force-closes
+// any connection still open after that.
 type TCPServer struct {
 	ln      net.Listener
 	handler Handler
 
 	mu     sync.Mutex
 	closed bool
-	done   chan struct{}
+	drain  time.Duration
+	conns  map[net.Conn]struct{}
+
+	done     chan struct{}  // accept loop exit
+	handlers sync.WaitGroup // per-connection handlers
 }
 
 // NewTCPServer starts serving framed DNS on a TCP address.
@@ -71,7 +80,13 @@ func NewTCPServer(addr string, h Handler) (*TCPServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dnswire: listen tcp: %w", err)
 	}
-	s := &TCPServer{ln: ln, handler: h, done: make(chan struct{})}
+	s := &TCPServer{
+		ln:      ln,
+		handler: h,
+		drain:   DefaultDrainTimeout,
+		conns:   map[net.Conn]struct{}{},
+		done:    make(chan struct{}),
+	}
 	go s.serve()
 	return s, nil
 }
@@ -79,7 +94,16 @@ func NewTCPServer(addr string, h Handler) (*TCPServer, error) {
 // Addr returns the server's TCP address.
 func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting and closes the listener.
+// SetDrainTimeout bounds how long Close waits for in-flight handlers.
+func (s *TCPServer) SetDrainTimeout(d time.Duration) {
+	s.mu.Lock()
+	s.drain = d
+	s.mu.Unlock()
+}
+
+// Close stops accepting, drains in-flight queries (each connection
+// finishes the query it is serving but takes no new ones), and after the
+// drain timeout force-closes whatever is left.
 func (s *TCPServer) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -87,10 +111,35 @@ func (s *TCPServer) Close() error {
 		return nil
 	}
 	s.closed = true
+	drain := s.drain
 	s.mu.Unlock()
 	err := s.ln.Close()
 	<-s.done
+	// The accept loop has exited, so the connection set is final. Nudge
+	// idle connections out of their blocking reads; a handler mid-query
+	// still gets its response written before it notices the shutdown.
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.SetReadDeadline(time.Unix(1, 0)) // wakeup only; the handler exits on the read error
+	}
+	s.mu.Unlock()
+	if !drainWait(&s.handlers, drain) {
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.Close() // drain timeout expired; abandon the connection
+		}
+		s.mu.Unlock()
+		// Bounded again: a handler stuck inside user code (not a conn
+		// read) must not wedge Close forever.
+		drainWait(&s.handlers, drain)
+	}
 	return err
+}
+
+func (s *TCPServer) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 func (s *TCPServer) serve() {
@@ -100,16 +149,36 @@ func (s *TCPServer) serve() {
 		if err != nil {
 			return
 		}
-		go s.handleConn(conn)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close() // lost the race with Close; refuse the connection
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.handlers.Add(1)
+		go func() {
+			defer s.handlers.Done()
+			s.handleConn(conn)
+		}()
 	}
 }
 
-// handleConn processes queries on one connection until EOF or error; RFC
-// 7766 allows multiple queries per connection.
+// handleConn processes queries on one connection until EOF, error, or
+// server shutdown; RFC 7766 allows multiple queries per connection.
 func (s *TCPServer) handleConn(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close() // teardown; the peer sees EOF either way
+	}()
 	from := addrPortOfTCP(conn.RemoteAddr())
 	for {
+		if s.isClosed() {
+			return
+		}
 		if err := conn.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
 			return
 		}
@@ -140,26 +209,44 @@ func addrPortOfTCP(a net.Addr) netip.AddrPort {
 }
 
 // ExchangeTCP sends one query over TCP and reads the matching response.
+// Timeouts are retried with backoff on a fresh connection; ctx
+// cancellation interrupts an in-flight read immediately.
 func ExchangeTCP(ctx context.Context, server string, q *Message) (*Message, error) {
+	return ExchangeTCPWithConfig(ctx, server, q, ExchangeConfig{})
+}
+
+// ExchangeTCPWithConfig is ExchangeTCP with explicit retry/timeout tuning.
+func ExchangeTCPWithConfig(ctx context.Context, server string, q *Message, cfg ExchangeConfig) (*Message, error) {
+	return exchangeRetry(ctx, cfg, func(timeout time.Duration) (*Message, error) {
+		return exchangeTCPOnce(ctx, server, q, timeout)
+	})
+}
+
+// exchangeTCPOnce performs a single dial-send-receive attempt over TCP.
+func exchangeTCPOnce(ctx context.Context, server string, q *Message, timeout time.Duration) (*Message, error) {
 	d := net.Dialer{}
 	conn, err := d.DialContext(ctx, "tcp", server)
 	if err != nil {
 		return nil, fmt.Errorf("dnswire: dial tcp %s: %w", server, err)
 	}
 	defer conn.Close()
-	dl, ok := ctx.Deadline()
-	if !ok {
-		dl = time.Now().Add(5 * time.Second)
-	}
-	if err := conn.SetDeadline(dl); err != nil {
+	stop := watchCancel(ctx, conn)
+	defer stop()
+	if err := conn.SetDeadline(attemptDeadline(ctx, timeout)); err != nil {
 		return nil, err
 	}
 	if err := writeTCPMessage(conn, q); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, fmt.Errorf("dnswire: send tcp: %w", err)
 	}
 	for {
 		resp, err := readTCPMessage(conn)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
 			return nil, fmt.Errorf("dnswire: receive tcp: %w", err)
 		}
 		if resp.ID != q.ID || !resp.Response {
@@ -171,7 +258,9 @@ func ExchangeTCP(ctx context.Context, server string, q *Message) (*Message, erro
 
 // ExchangeWithFallback queries over UDP and retries over TCP when the
 // response arrives truncated (TC=1), per RFC 7766. tcpServer may be empty
-// to reuse the UDP server address.
+// to reuse the UDP server address. A response that is still truncated
+// after the TCP retry is returned as-is — there is no bigger transport to
+// escalate to, and looping would never terminate.
 func ExchangeWithFallback(ctx context.Context, udpServer, tcpServer string, q *Message) (*Message, error) {
 	resp, err := Exchange(ctx, udpServer, q)
 	if err != nil {

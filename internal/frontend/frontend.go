@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"net/http/httputil"
 	"net/url"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -64,8 +65,9 @@ func Dialer(rtt time.Duration) func(ctx context.Context, network, addr string) (
 
 // Backend is the origin "data center" HTTP server.
 type Backend struct {
-	srv *http.Server
-	ln  net.Listener
+	srv     *http.Server
+	ln      net.Listener
+	serving sync.WaitGroup
 	// Requests counts requests served.
 	Requests atomic.Int64
 }
@@ -86,25 +88,33 @@ func NewBackend() (*Backend, error) {
 		fmt.Fprintf(w, "results for %q\n", r.URL.Query().Get("q"))
 	})
 	b.srv = &http.Server{Handler: mux}
-	go b.srv.Serve(ln)
+	b.serving.Add(1)
+	go func() {
+		defer b.serving.Done()
+		// Serve returns ErrServerClosed after Shutdown; nothing to handle.
+		_ = b.srv.Serve(ln)
+	}()
 	return b, nil
 }
 
 // Addr returns the backend's address.
 func (b *Backend) Addr() string { return b.ln.Addr().String() }
 
-// Close shuts the backend down.
+// Close shuts the backend down and waits for the serve goroutine to exit.
 func (b *Backend) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
-	return b.srv.Shutdown(ctx)
+	err := b.srv.Shutdown(ctx)
+	b.serving.Wait()
+	return err
 }
 
 // Proxy is a front-end: it terminates client connections and relays
 // requests to the backend over a warm, persistent connection pool.
 type Proxy struct {
-	srv *http.Server
-	ln  net.Listener
+	srv     *http.Server
+	ln      net.Listener
+	serving sync.WaitGroup
 	// Relayed counts relayed requests.
 	Relayed atomic.Int64
 }
@@ -134,7 +144,12 @@ func NewProxy(backendAddr string, backendRTT time.Duration) (*Proxy, error) {
 		rp.ServeHTTP(w, r)
 	})
 	p.srv = &http.Server{Handler: mux}
-	go p.srv.Serve(ln)
+	p.serving.Add(1)
+	go func() {
+		defer p.serving.Done()
+		// Serve returns ErrServerClosed after Shutdown; nothing to handle.
+		_ = p.srv.Serve(ln)
+	}()
 	return p, nil
 }
 
@@ -158,11 +173,13 @@ func (p *Proxy) Warm(ctx context.Context) error {
 	return nil
 }
 
-// Close shuts the proxy down.
+// Close shuts the proxy down and waits for the serve goroutine to exit.
 func (p *Proxy) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
-	return p.srv.Shutdown(ctx)
+	err := p.srv.Shutdown(ctx)
+	p.serving.Wait()
+	return err
 }
 
 // FetchResult is one timed client fetch.

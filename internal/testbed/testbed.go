@@ -69,6 +69,7 @@ type Testbed struct {
 	names   map[string]topology.SiteID // fe-<name> -> site
 	servers []*http.Server
 	lns     []net.Listener
+	serving sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
@@ -137,7 +138,13 @@ attempt:
 			tb.names["fe-"+fe.Name] = fe.Site
 			srv := &http.Server{Handler: tb.frontEndHandler(fe.Site)}
 			tb.servers = append(tb.servers, srv)
-			go srv.Serve(lns[i])
+			ln := lns[i]
+			tb.serving.Add(1)
+			go func() {
+				defer tb.serving.Done()
+				// Serve returns ErrServerClosed after Shutdown; nothing to handle.
+				_ = srv.Serve(ln)
+			}()
 		}
 		return nil
 	}
@@ -197,6 +204,7 @@ func (tb *Testbed) Close() error {
 		// errors are expected and meaningless.
 		_ = ln.Close()
 	}
+	tb.serving.Wait()
 	return first
 }
 

@@ -142,7 +142,7 @@ func TestDNSLDNSGranularityProblem(t *testing.T) {
 	if a1 != a2 {
 		t.Fatalf("shared resolver should serve the cached answer: %v vs %v", a1, a2)
 	}
-	if bc.Resolver().CacheHits == 0 {
+	if bc.Resolver().Stats().CacheHits == 0 {
 		t.Fatal("expected a cache hit")
 	}
 }
