@@ -44,6 +44,7 @@ import (
 	"anycastcdn/internal/testbed"
 	"anycastcdn/internal/topology"
 	"anycastcdn/internal/trace"
+	"anycastcdn/internal/units"
 )
 
 // Simulation layer.
@@ -74,6 +75,10 @@ type (
 	LatencyConfig = latency.Config
 	// LDNS is a resolver of the DNS substrate.
 	LDNS = dns.LDNS
+	// Millis is a latency in milliseconds (see internal/units).
+	Millis = units.Millis
+	// Kilometers is a distance in kilometers (see internal/units).
+	Kilometers = units.Kilometers
 )
 
 // Prediction layer (the paper's §6 contribution).

@@ -5,12 +5,18 @@
 #   2. go vet (stdlib checks)
 #   3. anycastvet (this repo's invariant suite: determinism, unchecked
 #      errors, mutex hygiene, no panics in library code, goroutine
-#      join/cancel paths, ctx propagation in dnswire) — plus a second,
-#      explicit pass of the two lifecycle analyzers so a regression in
-#      either is named in the CI log, not buried in the full-suite run
+#      join/cancel paths, ctx propagation in dnswire, dimensional safety
+#      for ms/km quantities, documented locking contracts) — the JSON run
+#      leaves anycastvet.json in the CI log as a machine-readable
+#      artifact and names the offending check on failure, then explicit
+#      passes of the lifecycle and dimensional analyzers so a regression
+#      in any of them is named in the CI log, not buried in the
+#      full-suite run
 #   4. unit tests (which re-run anycastvet over the tree via
 #      internal/analysis/self_test.go)
-#   5. race detector over the concurrent packages: the dnswire servers,
+#   5. fuzz smoke: 5 seconds each on the DNS wire decoder and the /24
+#      parser, enough to replay the corpus and shake out shallow panics
+#   6. race detector over the concurrent packages: the dnswire servers,
 #      the parallel simulation core, the loopback testbed, the HTTP
 #      front-ends, and the client population generator
 #
@@ -23,14 +29,25 @@ go build ./...
 echo '== go vet ./...'
 go vet ./...
 
-echo '== anycastvet ./...'
-go run ./cmd/anycastvet ./...
+echo '== anycastvet -json ./... (artifact: anycastvet.json)'
+if ! go run ./cmd/anycastvet -json ./... > anycastvet.json; then
+	echo 'ci.sh: anycastvet reported violations; offending check(s):' >&2
+	grep -o '"check": *"[a-z0-9]*"' anycastvet.json | sort -u >&2
+	exit 1
+fi
 
 echo '== anycastvet -checks goroutineleak,ctxpropagation ./...'
 go run ./cmd/anycastvet -checks goroutineleak,ctxpropagation ./...
 
+echo '== anycastvet -checks unitsafety,lockdoc ./...'
+go run ./cmd/anycastvet -checks unitsafety,lockdoc ./...
+
 echo '== go test ./...'
 go test ./...
+
+echo '== fuzz smoke (5s per target)'
+go test -run '^$' -fuzz FuzzMessageUnpack -fuzztime 5s ./internal/dnswire/
+go test -run '^$' -fuzz FuzzParsePrefix24 -fuzztime 5s ./internal/netaddr/
 
 echo '== go test -race (concurrent packages)'
 go test -race ./internal/dnswire/ ./internal/sim/ ./internal/testbed/ ./internal/frontend/ ./internal/clients/

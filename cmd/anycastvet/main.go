@@ -2,7 +2,9 @@
 // (internal/analysis) over the module and reports invariant violations:
 // nondeterminism in replay-critical packages, dropped errors on the
 // network paths, mutex misuse, panics in library code, goroutines with no
-// join/cancel path, and dnswire net I/O that ignores the caller's ctx.
+// join/cancel path, dnswire net I/O that ignores the caller's ctx,
+// bare-float64 latency/distance quantities that bypass internal/units,
+// and exported mutex-holding types with no documented locking contract.
 //
 // Usage:
 //

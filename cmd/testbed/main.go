@@ -24,6 +24,7 @@ import (
 	"anycastcdn/internal/sim"
 	"anycastcdn/internal/testbed"
 	"anycastcdn/internal/topology"
+	"anycastcdn/internal/units"
 )
 
 func main() {
@@ -70,7 +71,7 @@ func run(seed uint64, nClients, nFE int) error {
 		}
 		// Anycast landed outside the stood-up subset: fall back to the
 		// nearest stood-up front-end to the ingress.
-		best, bestD := specs[0].Site, 1e18
+		best, bestD := specs[0].Site, units.Kilometers(1e18)
 		for _, sp := range specs {
 			d := w.Router.Backbone().IGPDistanceKm(a.Ingress, sp.Site)
 			if d < bestD {
@@ -96,7 +97,7 @@ func run(seed uint64, nClients, nFE int) error {
 			Unicast:    a.Unicast,
 		}
 		// Scale down 4x so the demo completes quickly.
-		return time.Duration(model.BaseRTTms(p)/4) * time.Millisecond
+		return time.Duration(model.BaseRTTms(p).Float()/4) * time.Millisecond
 	}
 	// Train the §6 predictor on one simulated day of beacons.
 	res, err := sim.RunWorld(cfg, w)

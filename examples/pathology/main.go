@@ -23,7 +23,7 @@ func main() {
 	type finding struct {
 		d     anycastcdn.Diagnosis
 		c     anycastcdn.Client
-		exKm  float64
+		exKm  anycastcdn.Kilometers
 		categ string
 	}
 	var findings []finding

@@ -49,7 +49,7 @@ func main() {
 		var wTotal, wImproved, wWorse, net float64
 		for _, e := range evals {
 			wTotal += e.Weight
-			net += e.ImprovementMs * e.Weight
+			net += e.ImprovementMs.Float() * e.Weight
 			switch {
 			case e.ImprovementMs >= 1:
 				wImproved += e.Weight

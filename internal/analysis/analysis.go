@@ -1,8 +1,9 @@
 // Package analysis is anycastvet: a small, dependency-free static-analysis
 // framework (stdlib go/ast + go/types only) that enforces the repository's
 // cross-cutting invariants — deterministic simulation code, disciplined
-// error handling on the network paths, mutex hygiene, and no panics in
-// library packages.
+// error handling on the network paths, mutex hygiene, no panics in
+// library packages, dimensional safety for the ms/km quantities in
+// internal/units, and documented locking contracts.
 //
 // The paper's results (anycast vs. unicast latency deltas, catchments,
 // day-over-day prediction) are only trustworthy if a rerun with the same
@@ -105,7 +106,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Nondeterminism, UncheckedErr, MutexHygiene, NoPanic, GoroutineLeak, CtxPropagation}
+	return []*Analyzer{Nondeterminism, UncheckedErr, MutexHygiene, NoPanic, GoroutineLeak, CtxPropagation, UnitSafety, LockDoc}
 }
 
 // isErrorType reports whether t is the built-in error interface.

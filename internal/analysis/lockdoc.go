@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockDoc requires every exported type in an internal/ package that holds
+// a sync.Mutex or sync.RWMutex field directly to state its locking
+// contract in the doc comment: which fields the lock guards, or that the
+// type is safe for concurrent use. The check is lexical — the doc must
+// mention "lock", "guard", or "concurren(t|cy)" — because the point is
+// that a human wrote the contract down, not that a machine can verify it.
+//
+// Only direct fields count: a type that embeds a documented lock-holding
+// type inherits that type's contract.
+var LockDoc = &Analyzer{
+	Name: "lockdoc",
+	Doc:  "exported mutex-holding types in internal/ must document their locking contract",
+	Run:  runLockDoc,
+}
+
+func runLockDoc(pass *Pass) {
+	if !strings.Contains(pass.Pkg.Path, "/internal/") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() || pass.InTestFile(ts.Pos()) {
+					continue
+				}
+				obj, ok := pass.Pkg.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok || !hasDirectLockField(obj.Type()) {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if doc == nil || !mentionsLocking(doc.Text()) {
+					pass.Reportf(ts.Name.Pos(),
+						"exported type %s holds a sync lock but its doc comment does not state the locking contract; say what the mutex guards (mention \"lock\", \"guard\", or \"concurrent\")", ts.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+// mentionsLocking reports whether the doc text names the locking contract.
+func mentionsLocking(doc string) bool {
+	low := strings.ToLower(doc)
+	return strings.Contains(low, "lock") ||
+		strings.Contains(low, "guard") ||
+		strings.Contains(low, "concurren")
+}
+
+// hasDirectLockField reports whether t's underlying struct has a field
+// whose type is sync.Mutex or sync.RWMutex (or a pointer to one).
+func hasDirectLockField(t types.Type) bool {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if p, ok := ft.Underlying().(*types.Pointer); ok {
+			ft = p.Elem()
+		}
+		if isSyncLock(ft) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSyncLock reports whether t is exactly sync.Mutex or sync.RWMutex.
+func isSyncLock(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}

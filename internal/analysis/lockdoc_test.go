@@ -1,0 +1,56 @@
+package analysis
+
+// TestLockDoc seeds the canonical violation — an exported mutex-holding
+// type whose doc says nothing about locking — next to a compliant type,
+// a doc-less type, and the exemptions (unexported, lock-free).
+import "testing"
+
+const lockDocFixture = `package fix
+
+import "sync"
+
+// Registry is a set of things.
+type Registry struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// Store is safe for concurrent use; mu guards m.
+type Store struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+type Bare struct {
+	mu sync.Mutex
+}
+
+// pool is an internal free list.
+type pool struct {
+	mu sync.Mutex
+}
+
+// Plain needs no contract.
+type Plain struct {
+	N int
+}
+`
+
+func TestLockDoc(t *testing.T) {
+	got := checkFixture(t, LockDoc, "anycastcdn/internal/fix", map[string]string{
+		"fix.go": lockDocFixture,
+	})
+	wantDiags(t, got, []string{
+		"fix.go:6:lockdoc",  // Registry: doc without a locking word
+		"fix.go:17:lockdoc", // Bare: no doc at all
+	})
+}
+
+// TestLockDocOnlyInternal checks the rule stays out of cmd/ and the root
+// package: the contract requirement is for the library surface.
+func TestLockDocOnlyInternal(t *testing.T) {
+	got := checkFixture(t, LockDoc, "anycastcdn/cmd/tool", map[string]string{
+		"fix.go": lockDocFixture,
+	})
+	wantDiags(t, got, nil)
+}

@@ -20,10 +20,10 @@ var RestrictedDeterminism = []string{
 // randConstructors are the math/rand names that build explicitly seeded
 // generators and are therefore replay-safe.
 var randConstructors = map[string]bool{
-	"New":       true,
-	"NewSource": true,
-	"NewZipf":   true,
-	"NewPCG":    true, // math/rand/v2
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
 	"NewChaCha8": true,
 }
 

@@ -29,12 +29,12 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
-// TestSuiteShape pins the advertised analyzer set: at least the six
+// TestSuiteShape pins the advertised analyzer set: at least the eight
 // invariants the repo documents, each with a name and doc.
 func TestSuiteShape(t *testing.T) {
 	ans := Analyzers()
-	if len(ans) < 6 {
-		t.Fatalf("Analyzers() = %d analyzers, want >= 6", len(ans))
+	if len(ans) < 8 {
+		t.Fatalf("Analyzers() = %d analyzers, want >= 8", len(ans))
 	}
 	want := map[string]bool{
 		"nondeterminism": false,
@@ -43,6 +43,8 @@ func TestSuiteShape(t *testing.T) {
 		"nopanic":        false,
 		"goroutineleak":  false,
 		"ctxpropagation": false,
+		"unitsafety":     false,
+		"lockdoc":        false,
 	}
 	for _, an := range ans {
 		if an.Name == "" || an.Doc == "" || an.Run == nil {

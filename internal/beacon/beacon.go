@@ -23,13 +23,14 @@ import (
 	"anycastcdn/internal/geo"
 	"anycastcdn/internal/latency"
 	"anycastcdn/internal/topology"
+	"anycastcdn/internal/units"
 	"anycastcdn/internal/xrand"
 )
 
 // TargetSample is the measured latency to one front-end.
 type TargetSample struct {
 	Site  topology.SiteID
-	RTTms float64
+	RTTms units.Millis
 }
 
 // Measurement is one beacon execution: the anycast sample plus three
@@ -60,7 +61,7 @@ func (m Measurement) BestUnicast() TargetSample {
 
 // AnycastPenaltyMs returns how much slower anycast was than the best
 // unicast sample (negative when anycast won), the quantity of Figure 3.
-func (m Measurement) AnycastPenaltyMs() float64 {
+func (m Measurement) AnycastPenaltyMs() units.Millis {
 	return m.Anycast.RTTms - m.BestUnicast().RTTms
 }
 
@@ -146,6 +147,6 @@ func (e *Executor) sample(rc bgp.Client, day int, a bgp.Assignment, queryID, slo
 	// analysis in §5-6 sees integer-ms latencies.
 	return TargetSample{
 		Site:  a.FrontEnd,
-		RTTms: math.Round(measured),
+		RTTms: units.Millis(math.Round(measured.Float())),
 	}
 }

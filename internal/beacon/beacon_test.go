@@ -169,8 +169,8 @@ func TestNearerCandidatesFasterOnAverage(t *testing.T) {
 		rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
 		assign := f.exec.Router.Assign(rc, f.exec.Router.BaseIngress(rc))
 		_, samples := f.exec.MeasureCandidates(c, 0, assign, 1000+c.ID)
-		first += samples[0].RTTms
-		last += samples[len(samples)-1].RTTms
+		first += samples[0].RTTms.Float()
+		last += samples[len(samples)-1].RTTms.Float()
 		n++
 	}
 	if first/float64(n) >= last/float64(n) {

@@ -26,6 +26,7 @@ import (
 
 	"anycastcdn/internal/geo"
 	"anycastcdn/internal/topology"
+	"anycastcdn/internal/units"
 	"anycastcdn/internal/xrand"
 )
 
@@ -45,9 +46,9 @@ type Assignment struct {
 	// Ingress).
 	FrontEnd topology.SiteID
 	// AirKm is the great-circle distance from the client to the ingress.
-	AirKm float64
+	AirKm units.Kilometers
 	// BackboneKm is the IGP distance from ingress to front-end.
-	BackboneKm float64
+	BackboneKm units.Kilometers
 	// Unicast marks a beacon unicast path (ingresses at the front-end's
 	// own peering point; see latency.Path.Unicast).
 	Unicast bool

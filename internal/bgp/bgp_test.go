@@ -177,7 +177,7 @@ func TestUnicastAssignment(t *testing.T) {
 		t.Fatal("unicast path has no backbone leg")
 	}
 	want := geo.DistanceKm(boston.Point, b.Site(fe).Metro.Point)
-	if math.Abs(a.AirKm-want) > 1e-9 {
+	if math.Abs(a.AirKm.Float()-want.Float()) > 1e-9 {
 		t.Fatalf("unicast air distance %v, want %v", a.AirKm, want)
 	}
 }
@@ -281,7 +281,7 @@ func TestSwitchTargetsMostlyNearby(t *testing.T) {
 			if sched[d].FrontEnd != sched[d-1].FrontEnd {
 				a := b.Site(sched[d-1].FrontEnd).Metro.Point
 				bb := b.Site(sched[d].FrontEnd).Metro.Point
-				dists = append(dists, geo.DistanceKm(a, bb))
+				dists = append(dists, geo.DistanceKm(a, bb).Float())
 			}
 		}
 	}

@@ -67,7 +67,7 @@ func TestAssignmentInvariantsProperty(t *testing.T) {
 			return false
 		}
 		want := geo.DistanceKm(c.Point, b.Site(ing).Metro.Point)
-		return abs(a.AirKm-want) < 1e-9 && !a.Unicast
+		return abs(a.AirKm.Float()-want.Float()) < 1e-9 && !a.Unicast
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)

@@ -16,6 +16,7 @@ import (
 	"anycastcdn/internal/geo"
 	"anycastcdn/internal/netaddr"
 	"anycastcdn/internal/topology"
+	"anycastcdn/internal/units"
 	"anycastcdn/internal/xrand"
 )
 
@@ -39,7 +40,7 @@ type Config struct {
 	N int
 	// ScatterMedianKm is the median distance of a prefix from its metro
 	// center.
-	ScatterMedianKm float64
+	ScatterMedianKm units.Kilometers
 	// VolumeSigma is the lognormal sigma of per-prefix query volume; the
 	// paper's volumes are heavily skewed.
 	VolumeSigma float64
@@ -85,7 +86,7 @@ func Generate(metros []geo.Metro, isps *topology.ISPModel, cfg Config) (*Populat
 		}
 		m := metros[mi]
 		rs := xrand.Substream(cfg.Seed, "client", uint64(i))
-		scatter := cfg.ScatterMedianKm * rs.LogNormal(0, 0.8)
+		scatter := units.Kilometers(cfg.ScatterMedianKm.Float() * rs.LogNormal(0, 0.8))
 		point := m.Offset(scatter, rs.Float64()*360)
 		ispIDs := isps.ForCountry(m.Country)
 		if len(ispIDs) == 0 {

@@ -105,7 +105,7 @@ func TestClientsNearTheirMetro(t *testing.T) {
 	}
 	var dists []float64
 	for _, c := range pop.Clients {
-		dists = append(dists, geo.DistanceKm(c.Point, metroByName[c.Metro]))
+		dists = append(dists, geo.DistanceKm(c.Point, metroByName[c.Metro]).Float())
 	}
 	sort.Float64s(dists)
 	med := dists[len(dists)/2]

@@ -5,6 +5,7 @@ import (
 
 	"anycastcdn/internal/dns"
 	"anycastcdn/internal/stats"
+	"anycastcdn/internal/units"
 )
 
 // Evaluation is the next-interval outcome for one client /24 (§6): the
@@ -18,7 +19,7 @@ type Evaluation struct {
 	Predicted Target
 	// ImprovementMs = anycast percentile − predicted-target percentile.
 	// Zero when the scheme predicted anycast.
-	ImprovementMs float64
+	ImprovementMs units.Millis
 	// Weight is the client's query volume (Figure 9 weights by volume).
 	Weight float64
 }
@@ -51,7 +52,7 @@ func (ev Evaluator) Evaluate(pred *Predictions, next []Observation, volumes map[
 		client uint64
 		target Target
 	}
-	samples := map[ckey][]float64{}
+	samples := map[ckey][]units.Millis{}
 	ldnsOf := map[uint64]dns.LDNSID{}
 	for _, o := range next {
 		samples[ckey{o.ClientID, o.Target}] = append(samples[ckey{o.ClientID, o.Target}], o.RTTms)

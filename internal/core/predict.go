@@ -30,6 +30,7 @@ import (
 	"anycastcdn/internal/dns"
 	"anycastcdn/internal/stats"
 	"anycastcdn/internal/topology"
+	"anycastcdn/internal/units"
 )
 
 // Target is a redirection choice: the anycast VIP or a unicast front-end.
@@ -53,7 +54,7 @@ type Observation struct {
 	ClientID uint64
 	LDNS     dns.LDNSID
 	Target   Target
-	RTTms    float64
+	RTTms    units.Millis
 	// Slot records which beacon measurement this was: 0 = anycast,
 	// 1 = the front-end closest to the LDNS, 2-3 = the weighted-random
 	// candidates (§3.3). Baselines like geo-DNS key off slot 1.
@@ -122,7 +123,7 @@ type Config struct {
 	// HybridMarginMs only redirects a group away from anycast when the
 	// predicted gain exceeds this margin (0 reproduces the paper's plain
 	// scheme; positive values give the hybrid policy).
-	HybridMarginMs float64
+	HybridMarginMs units.Millis
 }
 
 // DefaultConfig is the paper's configuration.
@@ -167,7 +168,7 @@ type Predictions struct {
 	Grouping Grouping
 	byGroup  map[uint64]Target
 	// Scores holds the winning metric value per group (for ablations).
-	scores map[uint64]float64
+	scores map[uint64]units.Millis
 }
 
 // sampleKey indexes per-(group, target) samples during training.
@@ -178,7 +179,7 @@ type sampleKey struct {
 
 // Train builds predictions from one interval's observations.
 func (p *Predictor) Train(obs []Observation, g Grouping) *Predictions {
-	samples := map[sampleKey][]float64{}
+	samples := map[sampleKey][]units.Millis{}
 	groups := map[uint64]bool{}
 	for _, o := range obs {
 		k := sampleKey{groupKey(o, g), o.Target}
@@ -188,7 +189,7 @@ func (p *Predictor) Train(obs []Observation, g Grouping) *Predictions {
 	pr := &Predictions{
 		Grouping: g,
 		byGroup:  make(map[uint64]Target, len(groups)),
-		scores:   make(map[uint64]float64, len(groups)),
+		scores:   make(map[uint64]units.Millis, len(groups)),
 	}
 	// Deterministic iteration: sort group ids.
 	ids := make([]uint64, 0, len(groups))
@@ -217,7 +218,7 @@ func (p *Predictor) Train(obs []Observation, g Grouping) *Predictions {
 
 // pickTarget scores the group's qualifying targets and returns the best.
 // anycastScore is the anycast target's score (inf if unmeasured).
-func (p *Predictor) pickTarget(group uint64, samples map[sampleKey][]float64) (best Target, bestScore, anycastScore float64, ok bool) {
+func (p *Predictor) pickTarget(group uint64, samples map[sampleKey][]units.Millis) (best Target, bestScore, anycastScore units.Millis, ok bool) {
 	// Collect qualifying targets deterministically: anycast first, then
 	// unicast by site id.
 	var targets []Target

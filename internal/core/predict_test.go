@@ -7,6 +7,7 @@ import (
 	"anycastcdn/internal/beacon"
 	"anycastcdn/internal/dns"
 	"anycastcdn/internal/topology"
+	"anycastcdn/internal/units"
 )
 
 // mkObs builds n observations for one (client, ldns, target) with the
@@ -14,7 +15,7 @@ import (
 func mkObs(client uint64, ldns dns.LDNSID, t Target, rtts ...float64) []Observation {
 	out := make([]Observation, len(rtts))
 	for i, r := range rtts {
-		out[i] = Observation{ClientID: client, LDNS: ldns, Target: t, RTTms: r}
+		out[i] = Observation{ClientID: client, LDNS: ldns, Target: t, RTTms: units.Millis(r)}
 	}
 	return out
 }
@@ -226,7 +227,7 @@ func TestEvaluateImprovement(t *testing.T) {
 	if e.ClientID != 10 || e.Weight != 3 || e.Predicted != fe1 {
 		t.Fatalf("bad evaluation %+v", e)
 	}
-	if math.Abs(e.ImprovementMs-21) > 1e-9 {
+	if math.Abs(e.ImprovementMs.Float()-21) > 1e-9 {
 		t.Fatalf("improvement %v, want 21", e.ImprovementMs)
 	}
 }
@@ -294,7 +295,7 @@ func BenchmarkTrain(b *testing.B) {
 				t = AnycastTarget
 			}
 			for k := 0; k < 25; k++ {
-				obs = append(obs, Observation{ClientID: c, LDNS: dns.LDNSID(c % 20), Target: t, RTTms: float64(20 + fe*5 + k%7)})
+				obs = append(obs, Observation{ClientID: c, LDNS: dns.LDNSID(c % 20), Target: t, RTTms: units.Millis(20 + fe*5 + k%7)})
 			}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"anycastcdn/internal/dns"
 	"anycastcdn/internal/topology"
+	"anycastcdn/internal/units"
 	"anycastcdn/internal/xrand"
 )
 
@@ -25,7 +26,7 @@ func genObservations(seed uint64, n int) []Observation {
 			ClientID: client,
 			LDNS:     dns.LDNSID(client % 3),
 			Target:   target,
-			RTTms:    10 + rs.Float64()*90,
+			RTTms:    units.Millis(10 + rs.Float64()*90),
 			Slot:     uint8(rs.Intn(4)),
 		}
 	}
@@ -69,10 +70,10 @@ func TestTrainChoosesQualifyingMinimumProperty(t *testing.T) {
 		obs := genObservations(seed, 400)
 		pred := p.Train(obs, ByPrefix)
 		// Recompute by brute force.
-		byGroupTarget := map[uint64]map[Target][]float64{}
+		byGroupTarget := map[uint64]map[Target][]units.Millis{}
 		for _, o := range obs {
 			if byGroupTarget[o.ClientID] == nil {
-				byGroupTarget[o.ClientID] = map[Target][]float64{}
+				byGroupTarget[o.ClientID] = map[Target][]units.Millis{}
 			}
 			byGroupTarget[o.ClientID][o.Target] = append(byGroupTarget[o.ClientID][o.Target], o.RTTms)
 		}
@@ -108,8 +109,8 @@ func TestTrainChoosesQualifyingMinimumProperty(t *testing.T) {
 	}
 }
 
-func quantileOf(xs []float64, q float64) float64 {
-	s := append([]float64(nil), xs...)
+func quantileOf(xs []units.Millis, q float64) units.Millis {
+	s := append([]units.Millis(nil), xs...)
 	for i := 1; i < len(s); i++ {
 		for j := i; j > 0 && s[j] < s[j-1]; j-- {
 			s[j], s[j-1] = s[j-1], s[j]
@@ -124,7 +125,7 @@ func quantileOf(xs []float64, q float64) float64 {
 	if lo+1 >= len(s) {
 		return s[len(s)-1]
 	}
-	return s[lo]*(1-frac) + s[lo+1]*frac
+	return units.Millis(s[lo].Float()*(1-frac) + s[lo+1].Float()*frac)
 }
 
 func TestEvaluateWeightsProperty(t *testing.T) {

@@ -166,6 +166,10 @@ func (m *Mapping) Resolver(clientID uint64) LDNS {
 // LDNS it considers the ten front-ends closest to the (geolocated) LDNS as
 // candidates, and per beacon execution returns the geographically closest
 // candidate plus two distance-weighted random picks.
+//
+// Safe for concurrent use: the per-LDNS candidate cache is guarded by mu;
+// the deployment, geo database, and candidate count are read-only after
+// construction.
 type Authority struct {
 	dep   *cdn.Deployment
 	geoDB *geo.DB

@@ -159,7 +159,7 @@ func TestAuthorityCandidates(t *testing.T) {
 		if !site.FrontEnd {
 			t.Fatalf("candidate %s is not a front-end", site.Metro.Name)
 		}
-		d := geo.DistanceKm(boston.Point, site.Metro.Point)
+		d := geo.DistanceKm(boston.Point, site.Metro.Point).Float()
 		if d < prev {
 			t.Fatal("candidates not sorted by distance")
 		}

@@ -34,6 +34,9 @@ const DefaultDrainTimeout = 2 * time.Second
 // handlers (bounded by the drain timeout) before releasing the socket, so
 // a returned Close guarantees no handler is still running against caller
 // state and no response is written to a closed socket.
+//
+// mu guards the closed flag and drain timeout; the socket and handler are
+// set once at construction and safe to read concurrently.
 type Server struct {
 	conn    net.PacketConn
 	handler Handler

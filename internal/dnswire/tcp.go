@@ -58,6 +58,8 @@ func readTCPMessage(r io.Reader) (*Message, error) {
 // goroutine, and Close stops accepting, lets in-flight queries finish
 // writing their responses (bounded by the drain timeout), and force-closes
 // any connection still open after that.
+//
+// mu guards the closed flag, drain timeout, and the live-connection set.
 type TCPServer struct {
 	ln      net.Listener
 	handler Handler

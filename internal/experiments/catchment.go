@@ -7,6 +7,7 @@ import (
 	"anycastcdn/internal/geo"
 	"anycastcdn/internal/stats"
 	"anycastcdn/internal/topology"
+	"anycastcdn/internal/units"
 )
 
 // Catchments characterizes each front-end's anycast catchment on day 0 of
@@ -24,7 +25,7 @@ func (s *Suite) Catchments(topN int) Report {
 	type agg struct {
 		clients int
 		volume  float64
-		dists   []float64
+		dists   []units.Kilometers
 	}
 	perFE := map[topology.SiteID]*agg{}
 	var totalVolume float64

@@ -13,6 +13,7 @@ import (
 	"anycastcdn/internal/sim"
 	"anycastcdn/internal/stats"
 	"anycastcdn/internal/topology"
+	"anycastcdn/internal/units"
 )
 
 // Headline is one paper-vs-measured comparison point.
@@ -68,7 +69,7 @@ type Comparison struct {
 	Day      int
 	// ImprovementMs > 0 means some unicast front-end's median beat the
 	// anycast median by that much.
-	ImprovementMs float64
+	ImprovementMs units.Millis
 	BestSite      topology.SiteID
 	Volume        float64
 }
@@ -97,8 +98,8 @@ func dailyComparison(ms []beacon.Measurement, day int, vols map[uint64]float64) 
 		client uint64
 		site   topology.SiteID
 	}
-	anycast := map[uint64][]float64{}
-	unicast := map[key][]float64{}
+	anycast := map[uint64][]units.Millis{}
+	unicast := map[key][]units.Millis{}
 	for _, m := range ms {
 		anycast[m.ClientID] = append(anycast[m.ClientID], m.Anycast.RTTms)
 		for _, u := range m.Unicast {
@@ -125,7 +126,7 @@ func dailyComparison(ms []beacon.Measurement, day int, vols map[uint64]float64) 
 		if err != nil {
 			continue
 		}
-		bestMed := -1.0
+		bestMed := units.Millis(-1)
 		var bestSite topology.SiteID = topology.InvalidSite
 		sites := perClientSites[id]
 		sort.Slice(sites, func(i, j int) bool { return sites[i].site < sites[j].site })
@@ -160,7 +161,7 @@ func dailyComparison(ms []beacon.Measurement, day int, vols map[uint64]float64) 
 func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
 
 // km formats a distance.
-func km(d float64) string { return fmt.Sprintf("%.0f km", d) }
+func km(d units.Kilometers) string { return fmt.Sprintf("%.0f km", d) }
 
 // msStr formats a latency.
-func msStr(d float64) string { return fmt.Sprintf("%.1f ms", d) }
+func msStr(d units.Millis) string { return fmt.Sprintf("%.1f ms", d) }

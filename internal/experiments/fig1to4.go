@@ -8,6 +8,7 @@ import (
 	"anycastcdn/internal/cdn"
 	"anycastcdn/internal/geo"
 	"anycastcdn/internal/stats"
+	"anycastcdn/internal/units"
 	"anycastcdn/internal/xrand"
 )
 
@@ -22,7 +23,7 @@ func (s *Suite) Figure1() Report {
 	)
 	w := s.Res.World
 	ns := []int{1, 3, 5, 7, 9}
-	mins := make(map[int][]float64, len(ns)) // N -> per-client min latency
+	mins := make(map[int][]units.Millis, len(ns)) // N -> per-client min latency
 	clientsToUse := w.Population.Clients
 	if len(clientsToUse) > maxClients {
 		clientsToUse = clientsToUse[:maxClients]
@@ -31,14 +32,14 @@ func (s *Suite) Figure1() Report {
 		rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
 		assign := w.Router.Assign(rc, w.Router.BaseIngress(rc))
 		// Latency per candidate rank, min over repetitions.
-		var perRank []float64
+		var perRank []units.Millis
 		for rep := 0; rep < repetitions; rep++ {
 			qid := xrand.DeriveSeed(s.Res.Cfg.Seed, "fig1", c.ID, uint64(rep))
 			_, samples := w.Executor.MeasureCandidates(c, 0, assign, qid)
 			if perRank == nil {
-				perRank = make([]float64, len(samples))
+				perRank = make([]units.Millis, len(samples))
 				for i := range perRank {
-					perRank[i] = math.Inf(1)
+					perRank[i] = units.Millis(math.Inf(1))
 				}
 			}
 			for i, ts := range samples {
@@ -52,7 +53,7 @@ func (s *Suite) Figure1() Report {
 			if k > len(perRank) {
 				k = len(perRank)
 			}
-			best := math.Inf(1)
+			best := units.Millis(math.Inf(1))
 			for i := 0; i < k; i++ {
 				if perRank[i] < best {
 					best = perRank[i]
@@ -66,8 +67,8 @@ func (s *Suite) Figure1() Report {
 		XLabel: "min latency (ms)",
 		YLabel: "CDF of /24s",
 	}
-	grid := stats.LinearGrid(0, 200, 20)
-	medianAt := map[int]float64{}
+	grid := stats.LinearGrid[units.Millis](0, 200, 20)
+	medianAt := map[int]units.Millis{}
 	for _, n := range ns {
 		e, err := stats.NewECDF(mins[n])
 		if err != nil {
@@ -102,7 +103,7 @@ func (s *Suite) Figure2() Report {
 	for i, fe := range fes {
 		pts[i] = w.Deployment.Backbone.Site(fe.Site).Metro.Point
 	}
-	dists := make([][]float64, 4) // rank -> per-client distance
+	dists := make([][]units.Kilometers, 4) // rank -> per-client distance
 	var weights []float64
 	for _, c := range w.Population.Clients {
 		order := geo.RankByDistance(c.Point, pts)
@@ -116,8 +117,8 @@ func (s *Suite) Figure2() Report {
 		XLabel: "distance (km, log)",
 		YLabel: "CDF of clients weighted by query volume",
 	}
-	grid := stats.LogGrid(64, 8192, 14)
-	var medians [4]float64
+	grid := stats.LogGrid[units.Kilometers](64, 8192, 14)
+	var medians [4]units.Kilometers
 	for r := 0; r < 4; r++ {
 		e, err := stats.NewWeightedECDF(dists[r], weights)
 		if err != nil {
@@ -202,7 +203,7 @@ func (s *Suite) Figure3() Report {
 	for _, c := range w.Population.Clients {
 		countryOf[c.ID] = c.Country
 	}
-	var europe, world, us []float64
+	var europe, world, us []units.Millis
 	days := len(s.Res.Beacons)
 	if days > maxDays {
 		days = maxDays
@@ -224,11 +225,11 @@ func (s *Suite) Figure3() Report {
 		XLabel: "anycast - best unicast (ms)",
 		YLabel: "CCDF of requests",
 	}
-	grid := stats.LinearGrid(0, 100, 20)
+	grid := stats.LinearGrid[units.Millis](0, 100, 20)
 	var worldAt25, worldAt100 float64
 	for _, line := range []struct {
 		name string
-		data []float64
+		data []units.Millis
 	}{{"Europe", europe}, {"World", world}, {"United States", us}} {
 		e, err := stats.NewECDF(line.data)
 		if err != nil {
@@ -268,7 +269,8 @@ func (s *Suite) Figure4() Report {
 	// distances may be geolocation error, and the same is true here.
 	geoDB := geo.NewDB(s.Res.Cfg.Seed, s.Res.Cfg.GeoMedianErrKm,
 		s.Res.Cfg.GeoGrossRate, s.Res.Cfg.GeoGrossKm)
-	var toFE, past, weights []float64
+	var toFE, past []units.Kilometers
+	var weights []float64
 	for _, r := range s.Res.Passive.Records() {
 		if r.Day != 0 || r.Queries == 0 {
 			continue
@@ -287,10 +289,10 @@ func (s *Suite) Figure4() Report {
 		XLabel: "distance (km, log)",
 		YLabel: "CDF",
 	}
-	grid := stats.LogGrid(64, 8192, 14)
+	grid := stats.LogGrid[units.Kilometers](64, 8192, 14)
 	var lines []Headline
-	add := func(name string, data []float64, wts []float64) *stats.ECDF {
-		var e *stats.ECDF
+	add := func(name string, data []units.Kilometers, wts []float64) *stats.ECDF[units.Kilometers] {
+		var e *stats.ECDF[units.Kilometers]
 		var err error
 		if wts == nil {
 			e, err = stats.NewECDF(data)

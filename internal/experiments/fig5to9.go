@@ -6,6 +6,7 @@ import (
 
 	"anycastcdn/internal/core"
 	"anycastcdn/internal/stats"
+	"anycastcdn/internal/units"
 )
 
 // Figure5 reproduces the daily poor-path prevalence analysis (§5): for
@@ -13,7 +14,7 @@ import (
 // median latency beats the anycast median by more than each threshold.
 // Paper averages: 19% see any improvement, 12% see >= 10 ms, 4% >= 50 ms.
 func (s *Suite) Figure5() Report {
-	thresholds := []float64{0, 10, 25, 50, 100}
+	thresholds := []units.Millis{0, 10, 25, 50, 100}
 	daily := s.DailyComparisons()
 	fig := &stats.Figure{
 		Title:  "Figure 5: daily fraction of /24s improvable over anycast by threshold",
@@ -101,7 +102,7 @@ func (s *Suite) Figure6() Report {
 		XLabel: "number of days",
 		YLabel: "CDF of client /24s with any poor day",
 	}
-	grid := stats.LinearGrid(1, 15, 14)
+	grid := stats.LinearGrid[float64](1, 15, 14)
 	var oneDay, fivePlus, fiveConsec float64
 	if e, err := stats.NewECDF(counts); err == nil {
 		fig.Series = append(fig.Series, e.SampleCDF("# days", grid))
@@ -168,9 +169,10 @@ func (s *Suite) Figure8() Report {
 		XLabel: "distance (km, log)",
 		YLabel: "CDF of front-end changes",
 	}
-	var med, within2000 float64
+	var med units.Kilometers
+	var within2000 float64
 	if e, err := stats.NewECDF(dists); err == nil {
-		fig.Series = append(fig.Series, e.SampleCDF("front-end changes", stats.LogGrid(64, 8192, 14)))
+		fig.Series = append(fig.Series, e.SampleCDF("front-end changes", stats.LogGrid[units.Kilometers](64, 8192, 14)))
 		med = e.Quantile(0.5)
 		within2000 = e.P(2000)
 	}
@@ -225,10 +227,11 @@ func (s *Suite) figure9(cfg core.Config) Report {
 		XLabel: "improvement (ms)",
 		YLabel: "CDF of weighted /24s",
 	}
-	grid := stats.LinearGrid(-400, 400, 32)
+	grid := stats.LinearGrid[units.Millis](-400, 400, 32)
 	var lines []Headline
 	for _, spec := range specs {
-		var improvements, weights []float64
+		var improvements []units.Millis
+		var weights []float64
 		for d := 0; d+1 < days; d++ {
 			trained := pred.Train(obs[d], spec.grouping)
 			evals := core.Evaluator{Percentile: spec.pctile, MinSamples: 2}.

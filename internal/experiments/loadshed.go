@@ -8,6 +8,7 @@ import (
 	"anycastcdn/internal/sim"
 	"anycastcdn/internal/stats"
 	"anycastcdn/internal/topology"
+	"anycastcdn/internal/units"
 )
 
 // LoadShedding demonstrates the FastRoute-style load-aware anycast layer
@@ -189,7 +190,7 @@ func withdrawalCascade(bb *topology.Backbone, demand map[topology.SiteID]float64
 
 func nearestStandingFE(bb *topology.Backbone, ingress topology.SiteID, withdrawn map[topology.SiteID]bool) topology.SiteID {
 	best := topology.InvalidSite
-	bestD := 1e18
+	bestD := units.Kilometers(1e18)
 	for _, fe := range bb.FrontEnds() {
 		if withdrawn[fe] {
 			continue

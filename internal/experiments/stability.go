@@ -8,6 +8,7 @@ import (
 	"anycastcdn/internal/dns"
 	"anycastcdn/internal/stats"
 	"anycastcdn/internal/topology"
+	"anycastcdn/internal/units"
 )
 
 // dnsID converts a stored resolver id back to its typed form.
@@ -37,12 +38,12 @@ func (s *Suite) MetricStability() Report {
 	days := len(s.Res.Beacons)
 	// series[p][pair] = per-day percentile values (NaN-free; missing days
 	// skipped).
-	perPair := make([]map[pairKey][]float64, len(percentiles))
+	perPair := make([]map[pairKey][]units.Millis, len(percentiles))
 	for i := range perPair {
-		perPair[i] = map[pairKey][]float64{}
+		perPair[i] = map[pairKey][]units.Millis{}
 	}
 	for day := 0; day < days; day++ {
-		byPair := map[pairKey][]float64{}
+		byPair := map[pairKey][]units.Millis{}
 		for _, m := range s.Res.Beacons[day] {
 			byPair[pairKey{m.ClientID, 0, true}] = append(byPair[pairKey{m.ClientID, 0, true}], m.Anycast.RTTms)
 			for _, u := range m.Unicast {
@@ -69,7 +70,8 @@ func (s *Suite) MetricStability() Report {
 	}
 	var covByPct []float64
 	for i, p := range percentiles {
-		var covs, deltas []float64
+		var covs []float64
+		var deltas []units.Millis
 		for _, series := range perPair[i] {
 			if len(series) < 3 {
 				continue
@@ -117,7 +119,7 @@ func (s *Suite) MetricStability() Report {
 // policies — anycast-only, full DNS prediction, and the hybrid with a
 // safety margin — the comparison a CDN operator would actually use to
 // decide.
-func (s *Suite) HybridDeployment(marginMs float64) Report {
+func (s *Suite) HybridDeployment(marginMs units.Millis) Report {
 	days := len(s.Res.Beacons)
 	vols := s.Res.Volumes()
 	obs := make([][]core.Observation, days)
@@ -134,16 +136,17 @@ func (s *Suite) HybridDeployment(marginMs float64) Report {
 		{"anycast only", nil, false},
 		{"geo-DNS (closest to LDNS)", nil, true},
 		{"DNS prediction (plain §6)", &core.Config{Metric: core.MetricP25, MinMeasurements: 20}, false},
-		{fmt.Sprintf("hybrid (%.0f ms margin)", marginMs),
+		{fmt.Sprintf("hybrid (%.0f ms margin)", marginMs.Float()),
 			&core.Config{Metric: core.MetricP25, MinMeasurements: 20, HybridMarginMs: marginMs}, false},
 	}
 	tb := &stats.Table{
 		Title:   "§6 extension: month-long deployment comparison (query-weighted)",
 		Columns: []string{"policy", "median ms", "p75 ms", "p95 ms", "redirected share"},
 	}
-	var medians []float64
+	var medians []units.Millis
 	for _, pol := range policies {
-		var lat, w []float64
+		var lat []units.Millis
+		var w []float64
 		var redirW, totW float64
 		var pred *core.Predictions
 		var predictor *core.Predictor
@@ -197,7 +200,7 @@ func (s *Suite) HybridDeployment(marginMs float64) Report {
 
 // served is one client-day outcome under a policy.
 type served struct {
-	latency    float64
+	latency    units.Millis
 	weight     float64
 	redirected bool
 }
@@ -212,7 +215,7 @@ func serveDay(dayObs []core.Observation, pred *core.Predictions, geoDNS bool, vo
 		client uint64
 		target core.Target
 	}
-	samples := map[k][]float64{}
+	samples := map[k][]units.Millis{}
 	closestOf := map[uint64]core.Target{}
 	ldns := map[uint64]int{}
 	for _, o := range dayObs {

@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"anycastcdn/internal/units"
 )
 
 // EarthRadiusKm is the mean Earth radius used for great-circle distances.
-const EarthRadiusKm = 6371.0
+const EarthRadiusKm units.Kilometers = 6371.0
 
 // Point is a position on Earth in degrees.
 type Point struct {
@@ -36,7 +38,7 @@ func (p Point) String() string {
 
 // DistanceKm returns the great-circle (haversine) distance between two
 // points in kilometers.
-func DistanceKm(a, b Point) float64 {
+func DistanceKm(a, b Point) units.Kilometers {
 	const degToRad = math.Pi / 180
 	lat1 := a.Lat * degToRad
 	lat2 := b.Lat * degToRad
@@ -48,7 +50,7 @@ func DistanceKm(a, b Point) float64 {
 	if h > 1 {
 		h = 1
 	}
-	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+	return units.Kilometers(2 * EarthRadiusKm.Float() * math.Asin(math.Sqrt(h)))
 }
 
 // Region is a coarse world region used to slice results (Figure 3 reports
@@ -80,12 +82,12 @@ type Metro struct {
 // Offset returns a point displaced from the metro center by approximately
 // dKm kilometers at the given bearing in degrees. Used to scatter client
 // prefixes around their metro.
-func (m Metro) Offset(dKm, bearingDeg float64) Point {
+func (m Metro) Offset(dKm units.Kilometers, bearingDeg float64) Point {
 	const degToRad = math.Pi / 180
 	br := bearingDeg * degToRad
 	lat1 := m.Point.Lat * degToRad
 	lon1 := m.Point.Lon * degToRad
-	ad := dKm / EarthRadiusKm
+	ad := dKm.Float() / EarthRadiusKm.Float()
 	lat2 := math.Asin(math.Sin(lat1)*math.Cos(ad) + math.Cos(lat1)*math.Sin(ad)*math.Cos(br))
 	lon2 := lon1 + math.Atan2(math.Sin(br)*math.Sin(ad)*math.Cos(lat1),
 		math.Cos(ad)-math.Sin(lat1)*math.Sin(lat2))
@@ -96,9 +98,9 @@ func (m Metro) Offset(dKm, bearingDeg float64) Point {
 
 // NearestIndex returns the index of the point in pts nearest to p, and the
 // distance. It returns (-1, +Inf) for an empty slice.
-func NearestIndex(p Point, pts []Point) (int, float64) {
+func NearestIndex(p Point, pts []Point) (int, units.Kilometers) {
 	best := -1
-	bestD := math.Inf(1)
+	bestD := units.Kilometers(math.Inf(1))
 	for i, q := range pts {
 		if d := DistanceKm(p, q); d < bestD {
 			best, bestD = i, d
@@ -112,7 +114,7 @@ func NearestIndex(p Point, pts []Point) (int, float64) {
 func RankByDistance(p Point, pts []Point) []int {
 	type entry struct {
 		idx int
-		d   float64
+		d   units.Kilometers
 	}
 	es := make([]entry, len(pts))
 	for i, q := range pts {

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"anycastcdn/internal/units"
 )
 
 func TestDistanceKnownPairs(t *testing.T) {
@@ -29,7 +31,7 @@ func TestDistanceKnownPairs(t *testing.T) {
 			t.Fatalf("metro %q missing", c.b)
 		}
 		got := DistanceKm(ma.Point, mb.Point)
-		if math.Abs(got-c.wantKm) > c.toleranceK {
+		if math.Abs(got.Float()-c.wantKm) > c.toleranceK {
 			t.Errorf("distance %s-%s = %.0f km, want %.0f±%.0f", c.a, c.b, got, c.wantKm, c.toleranceK)
 		}
 	}
@@ -42,14 +44,14 @@ func TestDistanceProperties(t *testing.T) {
 		b := Point{Lat: clamp(lat2, -90, 90), Lon: clamp(lon2, -180, 180)}
 		dab := DistanceKm(a, b)
 		dba := DistanceKm(b, a)
-		if math.Abs(dab-dba) > 1e-6 {
+		if math.Abs(dab.Float()-dba.Float()) > 1e-6 {
 			return false
 		}
 		if DistanceKm(a, a) > 1e-6 {
 			return false
 		}
 		// Great-circle distance is bounded by half the circumference.
-		return dab >= 0 && dab <= math.Pi*EarthRadiusKm+1e-6
+		return dab >= 0 && dab.Float() <= math.Pi*EarthRadiusKm.Float()+1e-6
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
@@ -80,14 +82,14 @@ func TestPointValid(t *testing.T) {
 
 func TestOffsetDistance(t *testing.T) {
 	m, _ := FindMetro("chicago")
-	for _, d := range []float64{1, 50, 500, 3000} {
+	for _, d := range []units.Kilometers{1, 50, 500, 3000} {
 		for _, brg := range []float64{0, 45, 90, 180, 270} {
 			p := m.Offset(d, brg)
 			if !p.Valid() {
 				t.Fatalf("Offset(%v,%v) produced invalid point %v", d, brg, p)
 			}
 			got := DistanceKm(m.Point, p)
-			if math.Abs(got-d) > d*0.01+0.1 {
+			if math.Abs(got.Float()-d.Float()) > d.Float()*0.01+0.1 {
 				t.Errorf("Offset(%v km, %v deg): actual distance %.2f km", d, brg, got)
 			}
 		}
@@ -100,7 +102,7 @@ func TestOffsetCrossesAntimeridian(t *testing.T) {
 	if !p.Valid() {
 		t.Fatalf("offset across antimeridian produced invalid point %v", p)
 	}
-	if d := DistanceKm(m.Point, p); math.Abs(d-200) > 3 {
+	if d := DistanceKm(m.Point, p); math.Abs(d.Float()-200) > 3 {
 		t.Fatalf("antimeridian offset distance = %.1f, want ~200", d)
 	}
 }
@@ -119,7 +121,7 @@ func TestNearestIndex(t *testing.T) {
 	if d < 100 || d > 500 {
 		t.Fatalf("new-york to boston distance %.0f out of expected range", d)
 	}
-	if idx, d := NearestIndex(ny.Point, nil); idx != -1 || !math.IsInf(d, 1) {
+	if idx, d := NearestIndex(ny.Point, nil); idx != -1 || !math.IsInf(d.Float(), 1) {
 		t.Fatal("NearestIndex on empty slice should be (-1, +Inf)")
 	}
 }
@@ -140,7 +142,7 @@ func TestRankByDistance(t *testing.T) {
 		}
 	}
 	// Property: distances are non-decreasing along the ranking.
-	prev := -1.0
+	prev := units.Kilometers(-1)
 	for _, idx := range order {
 		d := DistanceKm(ny.Point, pts[idx])
 		if d < prev {
@@ -216,7 +218,7 @@ func TestGeoDBConsistentAndBounded(t *testing.T) {
 	var errs []float64
 	for id := uint64(0); id < 2000; id++ {
 		p := db.Locate(id, truth)
-		errs = append(errs, DistanceKm(truth, p))
+		errs = append(errs, DistanceKm(truth, p).Float())
 	}
 	med := median(errs)
 	if med < 15 || med > 60 {

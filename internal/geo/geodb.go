@@ -1,6 +1,9 @@
 package geo
 
-import "anycastcdn/internal/xrand"
+import (
+	"anycastcdn/internal/units"
+	"anycastcdn/internal/xrand"
+)
 
 // DB is a geolocation database with an error model. The paper's analysis
 // depends on geolocation twice: the authoritative DNS ranks front-ends by
@@ -13,19 +16,19 @@ import "anycastcdn/internal/xrand"
 type DB struct {
 	// MedianErrorKm is the median displacement of a normal lookup.
 	// Commercial databases at city granularity are typically tens of km off.
-	MedianErrorKm float64
+	MedianErrorKm units.Kilometers
 	// GrossErrorRate is the probability that a lookup is wildly wrong
 	// (e.g. geolocated to a registrant address on another continent).
 	GrossErrorRate float64
 	// GrossErrorKm is the scale of a gross error displacement.
-	GrossErrorKm float64
+	GrossErrorKm units.Kilometers
 
 	seed uint64
 }
 
 // NewDB returns a database with the given error model rooted at seed.
 // A zero MedianErrorKm produces perfect lookups.
-func NewDB(seed uint64, medianErrKm, grossRate, grossKm float64) *DB {
+func NewDB(seed uint64, medianErrKm units.Kilometers, grossRate float64, grossKm units.Kilometers) *DB {
 	return &DB{
 		MedianErrorKm:  medianErrKm,
 		GrossErrorRate: grossRate,
@@ -46,12 +49,12 @@ func (db *DB) Locate(id uint64, truth Point) Point {
 	}
 	rs := xrand.Substream(db.seed, "geodb", id)
 	bearing := rs.Float64() * 360
-	var dist float64
+	var dist units.Kilometers
 	if rs.Bool(db.GrossErrorRate) {
-		dist = rs.Exp(db.GrossErrorKm)
+		dist = units.Kilometers(rs.Exp(db.GrossErrorKm.Float()))
 	} else {
 		// Lognormal with median MedianErrorKm and moderate spread.
-		dist = db.MedianErrorKm * rs.LogNormal(0, 0.75)
+		dist = units.Kilometers(db.MedianErrorKm.Float() * rs.LogNormal(0, 0.75))
 	}
 	m := Metro{Point: truth}
 	return m.Offset(dist, bearing)

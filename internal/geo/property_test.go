@@ -1,0 +1,53 @@
+package geo
+
+import (
+	"math"
+	"testing"
+
+	"anycastcdn/internal/units"
+	"anycastcdn/internal/xrand"
+)
+
+// randPoint draws a point uniformly over the sphere's surface (uniform
+// longitude, arcsine-distributed latitude) so the triples exercise the
+// poles and the antimeridian, not just the temperate band.
+func randPoint(rs *xrand.Stream) Point {
+	return Point{
+		Lat: math.Asin(2*rs.Float64()-1) * 180 / math.Pi,
+		Lon: rs.Float64()*360 - 180,
+	}
+}
+
+// TestDistanceKmMetricProperties checks that great-circle distance is a
+// metric on xrand-seeded random triples: symmetric, non-negative, zero
+// on identical points, bounded by half the circumference, and obeying
+// the triangle inequality.
+func TestDistanceKmMetricProperties(t *testing.T) {
+	const trials = 2000
+	halfCircumference := math.Pi * EarthRadiusKm.Float()
+	for i := 0; i < trials; i++ {
+		rs := xrand.Substream(42, "geo-metric", uint64(i))
+		a, b, c := randPoint(rs), randPoint(rs), randPoint(rs)
+
+		ab := DistanceKm(a, b)
+		ba := DistanceKm(b, a)
+		bc := DistanceKm(b, c)
+		ac := DistanceKm(a, c)
+
+		if ab != ba {
+			t.Fatalf("trial %d: DistanceKm not symmetric: %v vs %v (a=%+v b=%+v)", i, ab, ba, a, b)
+		}
+		if ab.Float() < 0 || ab.Float() > halfCircumference+1e-6 {
+			t.Fatalf("trial %d: DistanceKm(%+v, %+v) = %v out of [0, %v]", i, a, b, ab, halfCircumference)
+		}
+		if self := DistanceKm(a, a); self != 0 {
+			t.Fatalf("trial %d: DistanceKm(p, p) = %v, want 0 (p=%+v)", i, self, a)
+		}
+		// Triangle inequality with a float tolerance: haversine is exact
+		// to ~1e-9 relative, so a meter of slack at Earth scale is ample.
+		if ac.Float() > ab.Float()+bc.Float()+1e-3 {
+			t.Fatalf("trial %d: triangle inequality violated: d(a,c)=%v > d(a,b)+d(b,c)=%v (a=%+v b=%+v c=%+v)",
+				i, ac, units.Kilometers(ab.Float()+bc.Float()), a, b, c)
+		}
+	}
+}

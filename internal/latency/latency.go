@@ -22,6 +22,7 @@
 package latency
 
 import (
+	"anycastcdn/internal/units"
 	"anycastcdn/internal/xrand"
 )
 
@@ -34,11 +35,11 @@ type Path struct {
 	EntryKey uint64
 	// AirKm is the great-circle distance of the public Internet leg
 	// (client to ingress/front-end).
-	AirKm float64
+	AirKm units.Kilometers
 	// BackboneKm is the CDN-internal distance (ingress to front-end);
 	// zero for unicast paths, which ingress at the front-end's own
 	// peering point per §3.1 of the paper.
-	BackboneKm float64
+	BackboneKm units.Kilometers
 	// Household distinguishes end hosts within the /24: a prefix contains
 	// many households with different access links, so measurements from
 	// the same /24 to the same front-end still differ by a few ms
@@ -70,31 +71,31 @@ type Config struct {
 	// LastMileMedianMs and LastMileSigma parameterize the lognormal
 	// access-network delay per prefix; HouseholdSigma adds per-household
 	// variation around the prefix's base (see Path.Household).
-	LastMileMedianMs float64
+	LastMileMedianMs units.Millis
 	LastMileSigma    float64
 	HouseholdSigma   float64
 	// CongestionDailyRate is the probability that a given path suffers a
 	// transient congestion event on a given day; CongestionMeanMs is the
 	// mean of the exponential extra delay.
 	CongestionDailyRate float64
-	CongestionMeanMs    float64
+	CongestionMeanMs    units.Millis
 	// JitterMeanMs is the mean per-sample exponential jitter.
-	JitterMeanMs float64
+	JitterMeanMs units.Millis
 	// JitterBurstProb and JitterBurstMeanMs model the heavy tail of
 	// one-shot browser measurements (cross traffic, wifi retransmits,
 	// renderer scheduling): with probability JitterBurstProb a sample
 	// gains an additional exponential delay. Bursts dominate per-request
 	// comparisons (Figure 3) but medians wash them out (Figure 5).
 	JitterBurstProb   float64
-	JitterBurstMeanMs float64
+	JitterBurstMeanMs units.Millis
 	// UnicastDetourMedianMs and UnicastDetourSigma parameterize the
 	// lognormal per-(prefix, front-end) haul penalty of unicast beacon
 	// paths (see Path.Unicast).
-	UnicastDetourMedianMs float64
+	UnicastDetourMedianMs units.Millis
 	UnicastDetourSigma    float64
 	// PrimitiveTimingBiasMs is the mean positive bias of JavaScript
 	// primitive timings versus the W3C Resource Timing API (§3.2.2).
-	PrimitiveTimingBiasMs float64
+	PrimitiveTimingBiasMs units.Millis
 	// ResourceTimingSupportRate is the fraction of browsers supporting
 	// the Resource Timing API, whose measurements replace primitive ones.
 	ResourceTimingSupportRate float64
@@ -137,9 +138,9 @@ func NewModel(seed uint64, cfg Config) *Model {
 func (m *Model) Config() Config { return m.cfg }
 
 // LastMileMs returns the prefix's stable access-network delay.
-func (m *Model) LastMileMs(prefixID uint64) float64 {
+func (m *Model) LastMileMs(prefixID uint64) units.Millis {
 	rs := xrand.Substream(m.seed, "lastmile", prefixID)
-	return m.cfg.LastMileMedianMs * rs.LogNormal(0, m.cfg.LastMileSigma)
+	return units.Millis(m.cfg.LastMileMedianMs.Float() * rs.LogNormal(0, m.cfg.LastMileSigma))
 }
 
 // inflation returns the stable inflation factor for a path.
@@ -150,11 +151,11 @@ func (m *Model) inflation(p Path) float64 {
 
 // BaseRTTms returns the stable (no congestion, no jitter) round-trip time
 // of a path in milliseconds.
-func (m *Model) BaseRTTms(p Path) float64 {
-	prop := 2 * p.AirKm * m.inflation(p) / m.cfg.FiberKmPerMs
-	backbone := 2 * p.BackboneKm * m.cfg.BackboneInflation / m.cfg.FiberKmPerMs
-	lastMile := m.LastMileMs(p.PrefixID) * m.householdFactor(p)
-	return lastMile + prop + backbone + m.unicastDetourMs(p)
+func (m *Model) BaseRTTms(p Path) units.Millis {
+	prop := 2 * p.AirKm.Float() * m.inflation(p) / m.cfg.FiberKmPerMs
+	backbone := 2 * p.BackboneKm.Float() * m.cfg.BackboneInflation / m.cfg.FiberKmPerMs
+	lastMile := m.LastMileMs(p.PrefixID).Float() * m.householdFactor(p)
+	return units.Millis(lastMile + prop + backbone + m.unicastDetourMs(p).Float())
 }
 
 // householdFactor returns the stable multiplicative last-mile variation of
@@ -169,51 +170,51 @@ func (m *Model) householdFactor(p Path) float64 {
 
 // unicastDetourMs returns the stable haul penalty of a unicast beacon path
 // (zero for anycast paths).
-func (m *Model) unicastDetourMs(p Path) float64 {
+func (m *Model) unicastDetourMs(p Path) units.Millis {
 	if !p.Unicast || m.cfg.UnicastDetourMedianMs <= 0 {
 		return 0
 	}
 	rs := xrand.Substream(m.seed, "unicast-detour", p.PrefixID, p.EntryKey)
-	return m.cfg.UnicastDetourMedianMs * rs.LogNormal(0, m.cfg.UnicastDetourSigma)
+	return units.Millis(m.cfg.UnicastDetourMedianMs.Float() * rs.LogNormal(0, m.cfg.UnicastDetourSigma))
 }
 
 // CongestionMs returns the extra delay the path suffers on the given day
 // (zero on most days). The event is stable within a day, producing the
 // "poor path for exactly one day" pattern of Figure 6.
-func (m *Model) CongestionMs(p Path, day int) float64 {
+func (m *Model) CongestionMs(p Path, day int) units.Millis {
 	rs := xrand.Substream(m.seed, "congestion", p.PrefixID, p.EntryKey, uint64(day))
 	if !rs.Bool(m.cfg.CongestionDailyRate) {
 		return 0
 	}
-	return rs.Exp(m.cfg.CongestionMeanMs)
+	return units.Millis(rs.Exp(m.cfg.CongestionMeanMs.Float()))
 }
 
 // DayRTTms returns the path RTT for a given day including any congestion
 // event but no per-sample jitter.
-func (m *Model) DayRTTms(p Path, day int) float64 {
+func (m *Model) DayRTTms(p Path, day int) units.Millis {
 	return m.BaseRTTms(p) + m.CongestionMs(p, day)
 }
 
 // SampleRTTms returns one measured RTT sample: day RTT plus per-sample
 // jitter. sampleKey must differ between samples of the same path and day.
-func (m *Model) SampleRTTms(p Path, day int, sampleKey uint64) float64 {
+func (m *Model) SampleRTTms(p Path, day int, sampleKey uint64) units.Millis {
 	rs := xrand.Substream(m.seed, "jitter", p.PrefixID, p.EntryKey, uint64(day), sampleKey)
-	rtt := m.DayRTTms(p, day) + rs.Exp(m.cfg.JitterMeanMs)
+	rtt := m.DayRTTms(p, day).Float() + rs.Exp(m.cfg.JitterMeanMs.Float())
 	if m.cfg.JitterBurstProb > 0 && rs.Bool(m.cfg.JitterBurstProb) {
-		rtt += rs.Exp(m.cfg.JitterBurstMeanMs)
+		rtt += rs.Exp(m.cfg.JitterBurstMeanMs.Float())
 	}
-	return rtt
+	return units.Millis(rtt)
 }
 
 // MeasuredRTTms applies the beacon's timing-API model to a true sample:
 // browsers without Resource Timing support report a positively biased
 // value from JavaScript primitive timings (§3.2.2 of the paper).
 // browserKey identifies the client browser so support is stable per client.
-func (m *Model) MeasuredRTTms(trueRTT float64, browserKey uint64, sampleKey uint64) float64 {
+func (m *Model) MeasuredRTTms(trueRTT units.Millis, browserKey uint64, sampleKey uint64) units.Millis {
 	rs := xrand.Substream(m.seed, "timing", browserKey)
 	if rs.Bool(m.cfg.ResourceTimingSupportRate) {
 		return trueRTT
 	}
 	bias := xrand.Substream(m.seed, "timing-bias", browserKey, sampleKey)
-	return trueRTT + bias.Exp(m.cfg.PrimitiveTimingBiasMs)
+	return trueRTT + units.Millis(bias.Exp(m.cfg.PrimitiveTimingBiasMs.Float()))
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"anycastcdn/internal/units"
 )
 
 func model() *Model { return NewModel(42, DefaultConfig()) }
@@ -42,8 +44,8 @@ func TestBaseRTTPositiveProperty(t *testing.T) {
 		p := Path{
 			PrefixID:   prefix,
 			EntryKey:   entry,
-			AirKm:      math.Abs(math.Mod(air, 20000)),
-			BackboneKm: math.Abs(math.Mod(backbone, 20000)),
+			AirKm:      units.Kilometers(math.Abs(math.Mod(air, 20000))),
+			BackboneKm: units.Kilometers(math.Abs(math.Mod(backbone, 20000))),
 		}
 		return m.BaseRTTms(p) > 0
 	}
@@ -80,7 +82,7 @@ func TestLastMileDistribution(t *testing.T) {
 		if v <= 0 {
 			t.Fatalf("non-positive last mile %v", v)
 		}
-		vals = append(vals, v)
+		vals = append(vals, v.Float())
 	}
 	med := medianOf(vals)
 	if med < 6 || med > 13 {

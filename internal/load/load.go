@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"anycastcdn/internal/topology"
+	"anycastcdn/internal/units"
 )
 
 // Layer is one anycast ring: the set of sites announcing that ring's VIP.
@@ -95,7 +96,7 @@ func (bal *Balancer) ShedFraction(layer int, site topology.SiteID) float64 {
 // that traffic, as FastRoute does, so shed load actually moves.
 func (bal *Balancer) frontEndAtLayer(ingress topology.SiteID, layer int, exclude topology.SiteID) topology.SiteID {
 	best := topology.InvalidSite
-	bestD := math.Inf(1)
+	bestD := units.Kilometers(math.Inf(1))
 	for _, s := range bal.layers[layer].Sites {
 		if s == exclude && len(bal.layers[layer].Sites) > 1 {
 			continue

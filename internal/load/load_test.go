@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"anycastcdn/internal/topology"
+	"anycastcdn/internal/units"
 	"anycastcdn/internal/xrand"
 )
 
@@ -256,7 +257,7 @@ func demandOn(b *topology.Backbone, demand map[topology.SiteID]float64, withdraw
 
 func nearestStanding(b *topology.Backbone, from topology.SiteID, fes []topology.SiteID, withdrawn map[topology.SiteID]bool) topology.SiteID {
 	best := topology.InvalidSite
-	bestD := 1e18
+	bestD := units.Kilometers(1e18)
 	for _, s := range fes {
 		if withdrawn[s] || s == from {
 			continue

@@ -9,6 +9,7 @@ import (
 
 	"anycastcdn/internal/geo"
 	"anycastcdn/internal/topology"
+	"anycastcdn/internal/units"
 )
 
 // DayRecord summarizes one client /24's production traffic on one day.
@@ -82,8 +83,8 @@ func (l *Log) CumulativeSwitched(days int) []float64 {
 
 // SwitchDistancesKm computes Figure 8's sample: for every front-end change
 // in the log, the distance between the old and new front-end sites.
-func (l *Log) SwitchDistancesKm(b *topology.Backbone) []float64 {
-	var out []float64
+func (l *Log) SwitchDistancesKm(b *topology.Backbone) []units.Kilometers {
+	var out []units.Kilometers
 	for _, r := range l.records {
 		if !r.FrontEndChanged() {
 			continue

@@ -85,7 +85,7 @@ func TestSwitchDistances(t *testing.T) {
 		t.Fatalf("got %d switch distances, want 1", len(ds))
 	}
 	wantD := geo.DistanceKm(b.Site(0).Metro.Point, b.Site(1).Metro.Point)
-	if math.Abs(ds[0]-wantD) > 1e-9 {
+	if math.Abs(ds[0].Float()-wantD.Float()) > 1e-9 {
 		t.Fatalf("distance %v, want %v", ds[0], wantD)
 	}
 }

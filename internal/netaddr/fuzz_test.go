@@ -1,0 +1,41 @@
+package netaddr
+
+import "testing"
+
+// FuzzParsePrefix24 checks the /24 parser never panics and that every
+// accepted prefix survives String -> ParsePrefix24 and Octets ->
+// FromOctets round trips. Prefix identity is the aggregation key for all
+// client measurements, so a parse/format asymmetry would silently split
+// or merge /24 populations.
+func FuzzParsePrefix24(f *testing.F) {
+	for _, s := range []string{
+		"192.0.2.0/24",     // canonical
+		"0.0.0.0/24",       // zero value
+		"255.255.255.0/24", // top of the space
+		"192.0.2.1/24",     // host bits set
+		"10.1.2.0/23",      // wrong mask
+		"2001:db8::/24",    // not IPv4
+		"not a prefix",
+		"192.0.2.0/24/24",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix24(s)
+		if err != nil {
+			return
+		}
+		s2 := p.String()
+		p2, err := ParsePrefix24(s2)
+		if err != nil {
+			t.Fatalf("ParsePrefix24(%q).String() = %q does not reparse: %v", s, s2, err)
+		}
+		if p2 != p {
+			t.Fatalf("String round trip changed prefix: %v -> %v", p, p2)
+		}
+		a, b, c := p.Octets()
+		if FromOctets(a, b, c) != p {
+			t.Fatalf("Octets round trip changed prefix: %v", p)
+		}
+	})
+}

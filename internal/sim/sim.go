@@ -19,6 +19,7 @@ import (
 	"anycastcdn/internal/latency"
 	"anycastcdn/internal/logs"
 	"anycastcdn/internal/topology"
+	"anycastcdn/internal/units"
 	"anycastcdn/internal/xrand"
 )
 
@@ -44,9 +45,9 @@ type Config struct {
 	Deployment cdn.Preset
 	// GeoMedianErrKm / GeoGrossRate / GeoGrossKm configure the
 	// geolocation database error model used by the authority.
-	GeoMedianErrKm float64
+	GeoMedianErrKm units.Kilometers
 	GeoGrossRate   float64
-	GeoGrossKm     float64
+	GeoGrossKm     units.Kilometers
 	// Routing, Latency, ISP, DNS and client sub-configurations. Zero
 	// values are replaced by defaults derived from Seed.
 	Routing *bgp.Config

@@ -2,6 +2,13 @@
 // uses: empirical CDFs and CCDFs (weighted and unweighted), quantiles, the
 // coefficient of variation the paper used to choose its prediction metric,
 // and fixed-grid series sampling for rendering figures as tables.
+//
+// Everything is generic over ~float64 so the dimension-typed quantities in
+// internal/units (Millis, Kilometers) flow through quantiles and CDFs
+// without unwrapping: the quantile of a []units.Millis is a units.Millis.
+// All arithmetic happens on the underlying float64 in the same operation
+// order as the pre-generic implementation, so same-seed replays are
+// byte-identical.
 package stats
 
 import (
@@ -13,23 +20,28 @@ import (
 // ErrEmpty is returned by operations over empty samples.
 var ErrEmpty = errors.New("stats: empty sample")
 
+// less mirrors sort.Float64s ordering: ascending, NaNs first.
+func less[T ~float64](a, b T) bool {
+	return a < b || (math.IsNaN(float64(a)) && !math.IsNaN(float64(b)))
+}
+
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
 // interpolation between order statistics (type-7, the common default).
 // xs need not be sorted. It returns an error for empty input or q outside
 // [0, 1].
-func Quantile(xs []float64, q float64) (float64, error) {
+func Quantile[T ~float64](xs []T, q float64) (T, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
 	if q < 0 || q > 1 || math.IsNaN(q) {
 		return 0, errors.New("stats: quantile out of range")
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
+	s := append([]T(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
 	return quantileSorted(s, q), nil
 }
 
-func quantileSorted(s []float64, q float64) float64 {
+func quantileSorted[T ~float64](s []T, q float64) T {
 	if len(s) == 1 {
 		return s[0]
 	}
@@ -40,42 +52,43 @@ func quantileSorted(s []float64, q float64) float64 {
 		return s[lo]
 	}
 	frac := pos - float64(lo)
-	return s[lo]*(1-frac) + s[hi]*frac
+	return T(float64(s[lo])*(1-frac) + float64(s[hi])*frac)
 }
 
 // Median is Quantile(xs, 0.5).
-func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+func Median[T ~float64](xs []T) (T, error) { return Quantile(xs, 0.5) }
 
 // Mean returns the arithmetic mean.
-func Mean(xs []float64) (float64, error) {
+func Mean[T ~float64](xs []T) (T, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
 	var sum float64
 	for _, x := range xs {
-		sum += x
+		sum += float64(x)
 	}
-	return sum / float64(len(xs)), nil
+	return T(sum / float64(len(xs))), nil
 }
 
 // StdDev returns the population standard deviation.
-func StdDev(xs []float64) (float64, error) {
+func StdDev[T ~float64](xs []T) (T, error) {
 	m, err := Mean(xs)
 	if err != nil {
 		return 0, err
 	}
 	var ss float64
 	for _, x := range xs {
-		d := x - m
+		d := float64(x) - float64(m)
 		ss += d * d
 	}
-	return math.Sqrt(ss / float64(len(xs))), nil
+	return T(math.Sqrt(ss / float64(len(xs)))), nil
 }
 
-// CoefficientOfVariation returns stddev/mean. The paper uses the CoV of
-// per-front-end latency distributions to argue that the 25th percentile and
-// median are stabler prediction metrics than high percentiles.
-func CoefficientOfVariation(xs []float64) (float64, error) {
+// CoefficientOfVariation returns stddev/mean, a dimensionless float64
+// whatever the unit of xs. The paper uses the CoV of per-front-end latency
+// distributions to argue that the 25th percentile and median are stabler
+// prediction metrics than high percentiles.
+func CoefficientOfVariation[T ~float64](xs []T) (float64, error) {
 	m, err := Mean(xs)
 	if err != nil {
 		return 0, err
@@ -87,18 +100,19 @@ func CoefficientOfVariation(xs []float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return sd / m, nil
+	return float64(sd) / float64(m), nil
 }
 
 // ECDF is an empirical cumulative distribution, optionally weighted.
-// Construct with NewECDF or NewWeightedECDF.
-type ECDF struct {
-	xs []float64 // sorted
+// Construct with NewECDF or NewWeightedECDF. The sample axis keeps the
+// unit type of its input; probabilities are bare float64.
+type ECDF[T ~float64] struct {
+	xs []T       // sorted
 	cw []float64 // cumulative weight, same length; cw[len-1] == total
 }
 
 // NewECDF builds an unweighted ECDF from samples.
-func NewECDF(samples []float64) (*ECDF, error) {
+func NewECDF[T ~float64](samples []T) (*ECDF[T], error) {
 	ws := make([]float64, len(samples))
 	for i := range ws {
 		ws[i] = 1
@@ -109,18 +123,21 @@ func NewECDF(samples []float64) (*ECDF, error) {
 // NewWeightedECDF builds an ECDF where samples[i] carries weights[i]. The
 // paper weights /24s by query volume for several figures. Weights must be
 // non-negative with a positive sum.
-func NewWeightedECDF(samples, weights []float64) (*ECDF, error) {
+func NewWeightedECDF[T ~float64](samples []T, weights []float64) (*ECDF[T], error) {
 	if len(samples) == 0 {
 		return nil, ErrEmpty
 	}
 	if len(samples) != len(weights) {
 		return nil, errors.New("stats: samples and weights length mismatch")
 	}
-	type pair struct{ x, w float64 }
+	type pair struct {
+		x T
+		w float64
+	}
 	ps := make([]pair, len(samples))
 	var total float64
 	for i := range samples {
-		if weights[i] < 0 || math.IsNaN(weights[i]) || math.IsNaN(samples[i]) {
+		if weights[i] < 0 || math.IsNaN(weights[i]) || math.IsNaN(float64(samples[i])) {
 			return nil, errors.New("stats: negative or NaN weight/sample")
 		}
 		ps[i] = pair{samples[i], weights[i]}
@@ -130,7 +147,7 @@ func NewWeightedECDF(samples, weights []float64) (*ECDF, error) {
 		return nil, errors.New("stats: zero total weight")
 	}
 	sort.Slice(ps, func(i, j int) bool { return ps[i].x < ps[j].x })
-	e := &ECDF{xs: make([]float64, len(ps)), cw: make([]float64, len(ps))}
+	e := &ECDF[T]{xs: make([]T, len(ps)), cw: make([]float64, len(ps))}
 	var acc float64
 	for i, p := range ps {
 		acc += p.w
@@ -141,11 +158,10 @@ func NewWeightedECDF(samples, weights []float64) (*ECDF, error) {
 }
 
 // P returns P[X <= x].
-func (e *ECDF) P(x float64) float64 {
-	// Index of the last sample <= x.
-	i := sort.SearchFloat64s(e.xs, x)
-	// SearchFloat64s returns first index with xs[i] >= x; walk forward over
-	// equal values to include them.
+func (e *ECDF[T]) P(x T) float64 {
+	// Index of the first sample >= x (what sort.SearchFloat64s computes).
+	i := sort.Search(len(e.xs), func(i int) bool { return e.xs[i] >= x })
+	// Walk forward over equal values to include them.
 	for i < len(e.xs) && e.xs[i] == x {
 		i++
 	}
@@ -156,10 +172,10 @@ func (e *ECDF) P(x float64) float64 {
 }
 
 // CCDF returns P[X > x].
-func (e *ECDF) CCDF(x float64) float64 { return 1 - e.P(x) }
+func (e *ECDF[T]) CCDF(x T) float64 { return 1 - e.P(x) }
 
 // Quantile returns the smallest sample x with P[X <= x] >= q.
-func (e *ECDF) Quantile(q float64) float64 {
+func (e *ECDF[T]) Quantile(q float64) T {
 	if q <= 0 {
 		return e.xs[0]
 	}
@@ -175,13 +191,13 @@ func (e *ECDF) Quantile(q float64) float64 {
 }
 
 // N returns the number of samples.
-func (e *ECDF) N() int { return len(e.xs) }
+func (e *ECDF[T]) N() int { return len(e.xs) }
 
 // Min and Max return the sample extremes.
-func (e *ECDF) Min() float64 { return e.xs[0] }
+func (e *ECDF[T]) Min() T { return e.xs[0] }
 
 // Max returns the largest sample.
-func (e *ECDF) Max() float64 { return e.xs[len(e.xs)-1] }
+func (e *ECDF[T]) Max() T { return e.xs[len(e.xs)-1] }
 
 // SeriesPoint is one (x, y) pair of a rendered figure series.
 type SeriesPoint struct {
@@ -189,54 +205,58 @@ type SeriesPoint struct {
 	Y float64
 }
 
-// Series is a named sequence of points, i.e. one line of a figure.
+// Series is a named sequence of points, i.e. one line of a figure. Render
+// output is deliberately unit-erased: by the time a value reaches a table
+// cell it is just a number under a labeled axis.
 type Series struct {
 	Name   string
 	Points []SeriesPoint
 }
 
 // SampleCDF evaluates the ECDF at each x in grid, producing a figure line.
-func (e *ECDF) SampleCDF(name string, grid []float64) Series {
+func (e *ECDF[T]) SampleCDF(name string, grid []T) Series {
 	s := Series{Name: name, Points: make([]SeriesPoint, len(grid))}
 	for i, x := range grid {
-		s.Points[i] = SeriesPoint{X: x, Y: e.P(x)}
+		s.Points[i] = SeriesPoint{X: float64(x), Y: e.P(x)}
 	}
 	return s
 }
 
 // SampleCCDF evaluates the CCDF at each x in grid.
-func (e *ECDF) SampleCCDF(name string, grid []float64) Series {
+func (e *ECDF[T]) SampleCCDF(name string, grid []T) Series {
 	s := Series{Name: name, Points: make([]SeriesPoint, len(grid))}
 	for i, x := range grid {
-		s.Points[i] = SeriesPoint{X: x, Y: e.CCDF(x)}
+		s.Points[i] = SeriesPoint{X: float64(x), Y: e.CCDF(x)}
 	}
 	return s
 }
 
-// LinearGrid returns n+1 evenly spaced values covering [lo, hi].
-func LinearGrid(lo, hi float64, n int) []float64 {
+// LinearGrid returns n+1 evenly spaced values covering [lo, hi]. Call
+// sites with untyped-constant bounds must instantiate explicitly, e.g.
+// LinearGrid[units.Millis](0, 200, 20).
+func LinearGrid[T ~float64](lo, hi T, n int) []T {
 	if n < 1 {
 		n = 1
 	}
-	out := make([]float64, n+1)
-	step := (hi - lo) / float64(n)
+	out := make([]T, n+1)
+	step := float64(hi-lo) / float64(n)
 	for i := range out {
-		out[i] = lo + float64(i)*step
+		out[i] = T(float64(lo) + float64(i)*step)
 	}
 	return out
 }
 
 // LogGrid returns n+1 logarithmically spaced values covering [lo, hi],
 // lo > 0. Figures 2, 4 and 8 of the paper use log-scale distance axes.
-func LogGrid(lo, hi float64, n int) []float64 {
+func LogGrid[T ~float64](lo, hi T, n int) []T {
 	if n < 1 {
 		n = 1
 	}
-	out := make([]float64, n+1)
-	llo, lhi := math.Log(lo), math.Log(hi)
+	out := make([]T, n+1)
+	llo, lhi := math.Log(float64(lo)), math.Log(float64(hi))
 	step := (lhi - llo) / float64(n)
 	for i := range out {
-		out[i] = math.Exp(llo + float64(i)*step)
+		out[i] = T(math.Exp(llo + float64(i)*step))
 	}
 	return out
 }

@@ -33,7 +33,7 @@ func TestQuantileInterpolates(t *testing.T) {
 }
 
 func TestQuantileErrors(t *testing.T) {
-	if _, err := Quantile(nil, 0.5); err == nil {
+	if _, err := Quantile[float64](nil, 0.5); err == nil {
 		t.Error("empty input should error")
 	}
 	if _, err := Quantile([]float64{1}, -0.1); err == nil {
@@ -100,7 +100,7 @@ func TestMeanStdDevCov(t *testing.T) {
 }
 
 func TestCovErrors(t *testing.T) {
-	if _, err := CoefficientOfVariation(nil); err == nil {
+	if _, err := CoefficientOfVariation[float64](nil); err == nil {
 		t.Error("empty CoV should error")
 	}
 	if _, err := CoefficientOfVariation([]float64{0, 0}); err == nil {
@@ -140,7 +140,7 @@ func TestECDFWeighted(t *testing.T) {
 }
 
 func TestECDFErrors(t *testing.T) {
-	if _, err := NewECDF(nil); err == nil {
+	if _, err := NewECDF[float64](nil); err == nil {
 		t.Error("empty ECDF should error")
 	}
 	if _, err := NewWeightedECDF([]float64{1}, []float64{1, 2}); err == nil {
@@ -227,15 +227,15 @@ func TestSampleSeries(t *testing.T) {
 }
 
 func TestGrids(t *testing.T) {
-	lin := LinearGrid(0, 10, 5)
+	lin := LinearGrid[float64](0, 10, 5)
 	if len(lin) != 6 || lin[0] != 0 || lin[5] != 10 || lin[1] != 2 {
 		t.Fatalf("LinearGrid = %v", lin)
 	}
-	lg := LogGrid(1, 100, 2)
+	lg := LogGrid[float64](1, 100, 2)
 	if len(lg) != 3 || math.Abs(lg[0]-1) > 1e-9 || math.Abs(lg[1]-10) > 1e-9 || math.Abs(lg[2]-100) > 1e-9 {
 		t.Fatalf("LogGrid = %v", lg)
 	}
-	if got := LinearGrid(0, 1, 0); len(got) != 2 {
+	if got := LinearGrid[float64](0, 1, 0); len(got) != 2 {
 		t.Fatalf("LinearGrid n<1 = %v", got)
 	}
 }

@@ -59,7 +59,9 @@ type Config struct {
 	TTL uint32
 }
 
-// Testbed is a running loopback CDN.
+// Testbed is a running loopback CDN. mu guards the closed flag, making
+// Close idempotent; everything else is set once by Start and read-only
+// while serving.
 type Testbed struct {
 	cfg Config
 	dns *dnswire.Server

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"anycastcdn/internal/geo"
+	"anycastcdn/internal/units"
 )
 
 // SiteID identifies a CDN site (index into Backbone.Sites).
@@ -130,7 +131,7 @@ func (b *Backbone) buildLinks(degree int) [][]edge {
 			return
 		}
 		linked[key] = true
-		d := geo.DistanceKm(b.Sites[i].Metro.Point, b.Sites[j].Metro.Point)
+		d := geo.DistanceKm(b.Sites[i].Metro.Point, b.Sites[j].Metro.Point).Float()
 		adj[i] = append(adj[i], edge{to: j, cost: d})
 		adj[j] = append(adj[j], edge{to: i, cost: d})
 	}
@@ -168,7 +169,7 @@ func (b *Backbone) buildLinks(degree int) [][]edge {
 				if comp.id[i] == comp.id[j] {
 					continue
 				}
-				if d := geo.DistanceKm(pts[i], pts[j]); d < best {
+				if d := geo.DistanceKm(pts[i], pts[j]).Float(); d < best {
 					best, bi, bj = d, i, j
 				}
 			}
@@ -307,13 +308,15 @@ func (b *Backbone) NumSites() int { return len(b.Sites) }
 
 // IGPDistanceKm returns the intradomain shortest-path distance between two
 // sites in backbone kilometers.
-func (b *Backbone) IGPDistanceKm(a, c SiteID) float64 { return b.igpDist[a][c] }
+func (b *Backbone) IGPDistanceKm(a, c SiteID) units.Kilometers {
+	return units.Kilometers(b.igpDist[a][c])
+}
 
 // HotPotatoFrontEnd returns the front-end chosen for traffic entering at
 // ingress, and the backbone distance to it. This is the CDN-side half of
 // anycast selection.
-func (b *Backbone) HotPotatoFrontEnd(ingress SiteID) (SiteID, float64) {
-	return b.nearestFE[ingress], b.feDist[ingress]
+func (b *Backbone) HotPotatoFrontEnd(ingress SiteID) (SiteID, units.Kilometers) {
+	return b.nearestFE[ingress], units.Kilometers(b.feDist[ingress])
 }
 
 // Path returns the site-by-site backbone path from src to dst, inclusive.
@@ -341,8 +344,8 @@ func (b *Backbone) Path(src, dst SiteID) []SiteID {
 // NearestSiteByAir returns the peering site geographically nearest to p and
 // the distance. Air distance, not IGP: this is what an outside network
 // "sees".
-func (b *Backbone) NearestSiteByAir(p geo.Point, onlyPeering bool) (SiteID, float64) {
-	best, bestD := InvalidSite, math.Inf(1)
+func (b *Backbone) NearestSiteByAir(p geo.Point, onlyPeering bool) (SiteID, units.Kilometers) {
+	best, bestD := InvalidSite, units.Kilometers(math.Inf(1))
 	for _, s := range b.Sites {
 		if onlyPeering && !s.Peering {
 			continue
@@ -359,7 +362,7 @@ func (b *Backbone) NearestSiteByAir(p geo.Point, onlyPeering bool) (SiteID, floa
 func (b *Backbone) RankPeeringByAir(p geo.Point) []SiteID {
 	type entry struct {
 		id SiteID
-		d  float64
+		d  units.Kilometers
 	}
 	es := make([]entry, 0, len(b.peerings))
 	for _, id := range b.peerings {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"anycastcdn/internal/geo"
+	"anycastcdn/internal/units"
 )
 
 func testSpecs() []SiteSpec {
@@ -56,7 +57,7 @@ func TestBackboneConnected(t *testing.T) {
 	b := mustBuild(t)
 	for i := 0; i < b.NumSites(); i++ {
 		for j := 0; j < b.NumSites(); j++ {
-			if math.IsInf(b.IGPDistanceKm(SiteID(i), SiteID(j)), 1) {
+			if math.IsInf(b.IGPDistanceKm(SiteID(i), SiteID(j)).Float(), 1) {
 				t.Fatalf("sites %d and %d are disconnected", i, j)
 			}
 		}
@@ -73,7 +74,7 @@ func TestIGPMetricProperties(t *testing.T) {
 		for j := 0; j < n; j++ {
 			dij := b.IGPDistanceKm(SiteID(i), SiteID(j))
 			dji := b.IGPDistanceKm(SiteID(j), SiteID(i))
-			if math.Abs(dij-dji) > 1e-6 {
+			if math.Abs(dij.Float()-dji.Float()) > 1e-6 {
 				t.Fatalf("IGP distance not symmetric: %v vs %v", dij, dji)
 			}
 			// IGP distance can never beat great-circle distance.
@@ -146,11 +147,11 @@ func TestPathReconstruction(t *testing.T) {
 				t.Fatalf("path endpoints wrong: %v", p)
 			}
 			// Path length must equal the IGP distance.
-			var total float64
+			var total units.Kilometers
 			for k := 1; k < len(p); k++ {
 				total += geo.DistanceKm(b.Site(p[k-1]).Metro.Point, b.Site(p[k]).Metro.Point)
 			}
-			if math.Abs(total-b.IGPDistanceKm(SiteID(i), SiteID(j))) > 1e-6 {
+			if math.Abs(total.Float()-b.IGPDistanceKm(SiteID(i), SiteID(j)).Float()) > 1e-6 {
 				t.Fatalf("path cost %v != IGP distance %v for %d->%d",
 					total, b.IGPDistanceKm(SiteID(i), SiteID(j)), i, j)
 			}
@@ -184,7 +185,7 @@ func TestRankPeeringByAir(t *testing.T) {
 	if len(order) != len(b.PeeringSites()) {
 		t.Fatalf("rank size %d != peering count %d", len(order), len(b.PeeringSites()))
 	}
-	prev := -1.0
+	prev := units.Kilometers(-1)
 	for _, id := range order {
 		if !b.Site(id).Peering {
 			t.Fatalf("non-peering site %d in peering ranking", id)

@@ -14,6 +14,7 @@ import (
 	"anycastcdn/internal/geo"
 	"anycastcdn/internal/latency"
 	"anycastcdn/internal/topology"
+	"anycastcdn/internal/units"
 )
 
 // Hop is one step of a reconstructed path.
@@ -23,9 +24,9 @@ type Hop struct {
 	// Kind describes the hop's role.
 	Kind HopKind
 	// CumulativeKm is the path distance walked so far.
-	CumulativeKm float64
+	CumulativeKm units.Kilometers
 	// EstRTTms is the estimated round-trip time to this hop.
-	EstRTTms float64
+	EstRTTms units.Millis
 }
 
 // HopKind classifies hops.
@@ -63,7 +64,7 @@ type Trace struct {
 }
 
 // TotalKm returns the full path distance.
-func (t Trace) TotalKm() float64 {
+func (t Trace) TotalKm() units.Kilometers {
 	if len(t.Hops) == 0 {
 		return 0
 	}
@@ -117,7 +118,7 @@ func (tr *Tracer) TraceAnycast(c bgp.Client, day int) Trace {
 		cur := bb.Site(path[i]).Metro.Point
 		legKm := geo.DistanceKm(prev, cur)
 		cum += legKm
-		rttIngress += 2 * legKm * cfg.BackboneInflation / cfg.FiberKmPerMs
+		rttIngress += units.Millis(2 * legKm.Float() * cfg.BackboneInflation / cfg.FiberKmPerMs)
 		kind := HopBackbone
 		if i == len(path)-1 {
 			kind = HopFrontEnd
@@ -167,7 +168,7 @@ type Diagnosis struct {
 	AnycastTrace Trace
 	BestUnicast  Trace
 	// ExcessKm is how much farther the anycast path travels.
-	ExcessKm float64
+	ExcessKm units.Kilometers
 	// Category classifies the problem.
 	Category string
 }
@@ -179,7 +180,7 @@ func (tr *Tracer) Diagnose(c bgp.Client, day int) Diagnosis {
 	at := tr.TraceAnycast(c, day)
 	// Closest front-end by air.
 	var closest topology.SiteID = topology.InvalidSite
-	best := -1.0
+	best := units.Kilometers(-1)
 	for _, fe := range bb.FrontEnds() {
 		d := geo.DistanceKm(c.Point, bb.Site(fe).Metro.Point)
 		if closest == topology.InvalidSite || d < best {

@@ -9,6 +9,7 @@ import (
 	"anycastcdn/internal/geo"
 	"anycastcdn/internal/latency"
 	"anycastcdn/internal/topology"
+	"anycastcdn/internal/units"
 )
 
 func tracer(t *testing.T) (*Tracer, *topology.Backbone, *topology.ISPModel) {
@@ -77,7 +78,7 @@ func TestTraceAnycastEndsAtFrontEnd(t *testing.T) {
 		t.Fatalf("last hop %q is not a front-end site", last.Name)
 	}
 	// Cumulative distance and RTT must be non-decreasing.
-	prevKm, prevRTT := -1.0, -1.0
+	prevKm, prevRTT := units.Kilometers(-1), units.Millis(-1)
 	for _, h := range trace.Hops {
 		if h.CumulativeKm < prevKm || h.EstRTTms < prevRTT {
 			t.Fatalf("non-monotone trace: %+v", trace.Hops)
@@ -140,7 +141,7 @@ func TestDiagnoseRemotePeering(t *testing.T) {
 		}
 		minD := 1e18
 		for _, h := range isp.Hubs {
-			if d := geo.DistanceKm(m.Point, bb.Site(h).Metro.Point); d < minD {
+			if d := geo.DistanceKm(m.Point, bb.Site(h).Metro.Point).Float(); d < minD {
 				minD = d
 			}
 		}

@@ -1,0 +1,82 @@
+package units
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestFloatRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1, 25, 483.5, -37.25, math.Inf(1)} {
+		if got := Millis(v).Float(); got != v {
+			t.Errorf("Millis(%v).Float() = %v", v, got)
+		}
+		if got := Kilometers(v).Float(); got != v {
+			t.Errorf("Kilometers(%v).Float() = %v", v, got)
+		}
+	}
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	cases := []struct {
+		ms Millis
+		d  time.Duration
+	}{
+		{0, 0},
+		{1, time.Millisecond},
+		{25, 25 * time.Millisecond},
+		{0.5, 500 * time.Microsecond},
+		{1500, 1500 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := c.ms.Duration(); got != c.d {
+			t.Errorf("Millis(%v).Duration() = %v, want %v", c.ms, got, c.d)
+		}
+		if got := MillisOf(c.d); got != c.ms {
+			t.Errorf("MillisOf(%v) = %v, want %v", c.d, got, c.ms)
+		}
+	}
+}
+
+// TestFormattingMatchesFloat64 pins the replay-identity contract: a
+// unit-typed value must render byte-identically to the float64 it wraps
+// under every verb the repo's render paths use. This fails if anyone
+// adds a String() method to Millis or Kilometers.
+func TestFormattingMatchesFloat64(t *testing.T) {
+	verbs := []string{"%.0f", "%.1f", "%.4f", "%g", "%14.4g", "%v", "%8.0f"}
+	values := []float64{0, 25, 483.25, 1e18, -0.5, math.Inf(1)}
+	for _, verb := range verbs {
+		for _, v := range values {
+			want := fmt.Sprintf(verb, v)
+			if got := fmt.Sprintf(verb, Millis(v)); got != want {
+				t.Errorf("Sprintf(%q, Millis(%v)) = %q, want %q", verb, v, got, want)
+			}
+			if got := fmt.Sprintf(verb, Kilometers(v)); got != want {
+				t.Errorf("Sprintf(%q, Kilometers(%v)) = %q, want %q", verb, v, got, want)
+			}
+		}
+	}
+}
+
+func TestFloatsRoundTrip(t *testing.T) {
+	in := []Millis{1, 2.5, 483}
+	raw := Floats(in)
+	if len(raw) != len(in) {
+		t.Fatalf("Floats length %d, want %d", len(raw), len(in))
+	}
+	for i := range in {
+		if raw[i] != float64(in[i]) {
+			t.Errorf("Floats[%d] = %v, want %v", i, raw[i], float64(in[i]))
+		}
+	}
+	back := FromFloats[Millis](raw)
+	for i := range in {
+		if back[i] != in[i] {
+			t.Errorf("FromFloats[%d] = %v, want %v", i, back[i], in[i])
+		}
+	}
+	if got := Floats([]Kilometers(nil)); len(got) != 0 {
+		t.Errorf("Floats(nil) length %d, want 0", len(got))
+	}
+}
