@@ -36,6 +36,7 @@ import (
 	"anycastcdn/internal/core"
 	"anycastcdn/internal/dns"
 	"anycastcdn/internal/experiments"
+	"anycastcdn/internal/faults"
 	"anycastcdn/internal/frontend"
 	"anycastcdn/internal/geo"
 	"anycastcdn/internal/latency"
@@ -132,6 +133,47 @@ type (
 	// Diagnosis classifies a client's anycast pathology.
 	Diagnosis = trace.Diagnosis
 )
+
+// Fault-injection layer (internal/faults): deterministic, seed-stable
+// disruption scenarios and the resilience analysis over them.
+type (
+	// Scenario is a typed list of timed fault events.
+	Scenario = faults.Scenario
+	// FaultEvent is one timed disruption (drain, flap, ldns-outage or
+	// inflate).
+	FaultEvent = faults.Event
+	// FaultKind classifies a fault event.
+	FaultKind = faults.Kind
+	// FaultInjector is a scenario compiled against a built world.
+	FaultInjector = faults.Injector
+	// ResilienceReport quantifies a scenario against the fault-free
+	// baseline: per-day catchment shift, latency deltas, recovery.
+	ResilienceReport = experiments.ResilienceReport
+	// EventImpact is one event's entry in a ResilienceReport.
+	EventImpact = experiments.EventImpact
+)
+
+// Fault event kinds re-exported from the faults package.
+const (
+	// FaultDrain takes a front-end out of service.
+	FaultDrain = faults.Drain
+	// FaultFlap withdraws a peering site's anycast route.
+	FaultFlap = faults.Flap
+	// FaultLDNSOutage fails a region's ISP resolvers.
+	FaultLDNSOutage = faults.LDNSOutage
+	// FaultInflate adds latency to a region's paths.
+	FaultInflate = faults.Inflate
+)
+
+// ParseScenario parses the scenario text form, e.g.
+// "drain paris day=3 for=2; inflate europe day=5 ms=40".
+func ParseScenario(text string) (Scenario, error) { return faults.ParseScenario(text) }
+
+// Resilience simulates cfg twice — fault-free and under sc — and reports
+// catchment shift, latency deltas, and time-to-recover per event.
+func Resilience(cfg Config, sc Scenario) (*ResilienceReport, error) {
+	return experiments.Resilience(cfg, sc)
+}
 
 // Live loopback testbed layer.
 type (

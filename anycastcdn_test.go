@@ -6,13 +6,12 @@ import (
 	"time"
 
 	"testing"
+
+	"anycastcdn/internal/testutil"
 )
 
 func smallConfig(seed uint64) Config {
-	cfg := DefaultConfig(seed)
-	cfg.Prefixes = 500
-	cfg.Days = 5
-	return cfg
+	return testutil.TinyConfig(seed)
 }
 
 func TestPublicAPIRoundTrip(t *testing.T) {
@@ -155,4 +154,33 @@ func addr4(a, b, c, d byte) netip.Addr { return netip.AddrFrom4([4]byte{a, b, c,
 
 func contextWithTimeout() (context.Context, context.CancelFunc) {
 	return context.WithTimeout(context.Background(), 30*time.Second)
+}
+
+func TestPublicFaultInjectionFlow(t *testing.T) {
+	sc, err := ParseScenario("inflate europe day=1 for=2 ms=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Events) != 1 || sc.Events[0].Kind != FaultInflate {
+		t.Fatalf("parsed scenario %+v", sc)
+	}
+	r, err := Resilience(smallConfig(4), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := false
+	for _, f := range r.BeaconDiffFrac {
+		if f > 0 {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("inflate scenario produced no beacon divergence")
+	}
+	if !r.Recovered() {
+		t.Fatal("world did not recover after the inflate window")
+	}
+	if r.Render() == "" {
+		t.Fatal("empty resilience render")
+	}
 }

@@ -14,11 +14,17 @@
 #      full-suite run
 #   4. unit tests (which re-run anycastvet over the tree via
 #      internal/analysis/self_test.go)
-#   5. fuzz smoke: 5 seconds each on the DNS wire decoder and the /24
-#      parser, enough to replay the corpus and shake out shallow panics
+#   5. fuzz smoke: 5 seconds each on the DNS wire decoder, the /24
+#      parser, and the fault-scenario parser, enough to replay the corpus
+#      and shake out shallow panics
 #   6. race detector over the concurrent packages: the dnswire servers,
-#      the parallel simulation core, the loopback testbed, the HTTP
-#      front-ends, and the client population generator
+#      the parallel simulation core, the fault-injection layer, the
+#      loopback testbed, the HTTP front-ends, and the client population
+#      generator
+#   7. coverage floor: the scenario engine and simulation core together
+#      must keep >= 80% statement coverage (artifact: cover_repro.out)
+#   8. benchmarks at -benchtime=1x, summarized by cmd/benchjson into the
+#      machine-readable artifact BENCH_repro.json
 #
 # Usage: ./ci.sh
 set -eu
@@ -48,8 +54,21 @@ go test ./...
 echo '== fuzz smoke (5s per target)'
 go test -run '^$' -fuzz FuzzMessageUnpack -fuzztime 5s ./internal/dnswire/
 go test -run '^$' -fuzz FuzzParsePrefix24 -fuzztime 5s ./internal/netaddr/
+go test -run '^$' -fuzz FuzzParseScenario -fuzztime 5s ./internal/faults/
 
 echo '== go test -race (concurrent packages)'
-go test -race ./internal/dnswire/ ./internal/sim/ ./internal/testbed/ ./internal/frontend/ ./internal/clients/
+go test -race ./internal/dnswire/ ./internal/sim/ ./internal/faults/ ./internal/testbed/ ./internal/frontend/ ./internal/clients/
+
+echo '== coverage floor: internal/faults + internal/sim >= 80% (artifact: cover_repro.out)'
+go test -coverpkg=anycastcdn/internal/faults,anycastcdn/internal/sim \
+	-coverprofile=cover_repro.out ./internal/faults/ ./internal/sim/ > /dev/null
+total=$(go tool cover -func=cover_repro.out | awk '/^total:/ { gsub("%", "", $3); print $3 }')
+awk -v t="$total" 'BEGIN {
+	if (t + 0 < 80) { printf "ci.sh: faults+sim coverage %.1f%% is below the 80%% floor\n", t; exit 1 }
+	printf "faults+sim coverage: %.1f%% (floor 80%%)\n", t
+}'
+
+echo '== benchmarks at -benchtime=1x (artifact: BENCH_repro.json)'
+go test -run '^$' -bench . -benchtime 1x -json ./... | go run ./cmd/benchjson -o BENCH_repro.json
 
 echo '== ci.sh: all gates passed'

@@ -10,6 +10,12 @@
 //
 // Writes beacons.csv, passive.csv, clients.csv and frontends.csv to the
 // output directory.
+//
+// A fault scenario can be injected with -scenario, given either inline
+// (semicolon-separated events) or as a path to a scenario file:
+//
+//	anycastsim -days 12 -scenario 'drain paris day=3 for=2; inflate europe day=5 ms=40'
+//	anycastsim -days 12 -scenario maintenance.scenario
 package main
 
 import (
@@ -18,8 +24,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
+	"anycastcdn/internal/faults"
 	"anycastcdn/internal/sim"
 )
 
@@ -29,12 +37,36 @@ func main() {
 		prefixes = flag.Int("prefixes", 0, "client /24 count (0 = default)")
 		days     = flag.Int("days", 0, "simulated days (0 = default)")
 		out      = flag.String("out", ".", "output directory")
+		scenario = flag.String("scenario", "", "fault scenario: inline event text or a file path")
 	)
 	flag.Parse()
-	if err := run(*seed, *prefixes, *days, *out); err != nil {
+	if err := run(*seed, *prefixes, *days, *out, *scenario); err != nil {
 		fmt.Fprintln(os.Stderr, "anycastsim:", err)
 		os.Exit(1)
 	}
+}
+
+// loadScenario interprets the -scenario value: anything containing an
+// event separator, option syntax, or a comment marker is inline text
+// (every event carries "day=", so only a bare filename lacks all of
+// them), otherwise it is read as a file.
+func loadScenario(arg string) (*faults.Scenario, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	text := arg
+	if !strings.ContainsAny(arg, ";=#\n") {
+		b, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, fmt.Errorf("reading scenario file: %w", err)
+		}
+		text = string(b)
+	}
+	sc, err := faults.ParseScenario(text)
+	if err != nil {
+		return nil, err
+	}
+	return &sc, nil
 }
 
 // csvFile couples a buffered writer with its file for clean teardown.
@@ -64,13 +96,21 @@ func (c *csvFile) close() error {
 	return c.f.Close()
 }
 
-func run(seed uint64, prefixes, days int, out string) error {
+func run(seed uint64, prefixes, days int, out, scenario string) error {
 	cfg := sim.DefaultConfig(seed)
 	if prefixes > 0 {
 		cfg.Prefixes = prefixes
 	}
 	if days > 0 {
 		cfg.Days = days
+	}
+	sc, err := loadScenario(scenario)
+	if err != nil {
+		return err
+	}
+	cfg.Scenario = sc
+	if sc != nil {
+		fmt.Println("scenario:", sc.Summary())
 	}
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err

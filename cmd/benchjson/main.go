@@ -1,0 +1,111 @@
+// Command benchjson summarizes a `go test -json` stream into a compact
+// machine-readable benchmark report. It reads test2json events on stdin,
+// extracts the benchmark result lines ("BenchmarkX-8  42  123456 ns/op
+// ..."), and writes them as sorted JSON, so CI can archive one stable
+// artifact (BENCH_repro.json) per run instead of scraping logs:
+//
+//	go test -bench=. -benchtime=1x -run '^$' -json ./... | benchjson -o BENCH_repro.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of test2json's output record benchjson needs.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// result is one benchmark measurement.
+type result struct {
+	Package    string             `json:"package"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_repro.json", "output file")
+	flag.Parse()
+	if err := run(os.Stdin, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, outPath string) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var results []result
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // non-JSON lines (plain `go test` output) are skipped
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		if r, ok := parseBenchLine(ev.Package, ev.Output); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Package != results[j].Package {
+			return results[i].Package < results[j].Package
+		}
+		return results[i].Name < results[j].Name
+	})
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchjson: wrote %d benchmark results to %s\n", len(results), outPath)
+	return nil
+}
+
+// parseBenchLine parses one benchmark result line of `go test -bench`
+// output: "BenchmarkName-8  20  123456 ns/op  512 B/op  3 allocs/op".
+func parseBenchLine(pkg, line string) (result, bool) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || !strings.Contains(line, "ns/op") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Package: pkg, Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = v
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = map[string]float64{}
+		}
+		r.Metrics[unit] = v
+	}
+	return r, true
+}

@@ -20,6 +20,7 @@ import (
 	"anycastcdn/internal/bgp"
 	"anycastcdn/internal/clients"
 	"anycastcdn/internal/dns"
+	"anycastcdn/internal/faults"
 	"anycastcdn/internal/geo"
 	"anycastcdn/internal/latency"
 	"anycastcdn/internal/topology"
@@ -72,13 +73,18 @@ type Executor struct {
 	Latency   *latency.Model
 	Mapping   *dns.Mapping
 	Seed      uint64
+	// Faults optionally injects scenario events into executions: an
+	// ldns-outage swaps the client's resolver for its public fallback,
+	// and an inflate adds latency to every sample of the region. A nil
+	// injector (the fault-free case) changes nothing.
+	Faults *faults.Injector
 }
 
 // Run executes one beacon for the given client on the given day using the
 // precomputed anycast assignment for that day. queryID must be globally
 // unique; it seeds the randomized DNS target selection and sample noise.
 func (e *Executor) Run(c clients.Client, day int, assign bgp.Assignment, queryID uint64) Measurement {
-	ldns := e.Mapping.Resolver(c.ID)
+	ldns := e.Faults.Resolver(e.Mapping.Resolver(c.ID), day)
 	rs := xrand.Substream(e.Seed, "beacon", queryID)
 	targets := e.Authority.SelectBeaconTargets(ldns, rs)
 
@@ -90,12 +96,13 @@ func (e *Executor) Run(c clients.Client, day int, assign bgp.Assignment, queryID
 		LDNS:     ldns.ID,
 	}
 	rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
+	extra := e.Faults.InflationMs(c.Region, day)
 
-	m.Anycast = e.sample(rc, day, assign, queryID, 0)
+	m.Anycast = e.sample(rc, day, assign, queryID, 0, extra)
 	sites := []topology.SiteID{targets.Closest, targets.Random[0], targets.Random[1]}
 	for i, site := range sites {
 		ua := e.Router.UnicastAssignment(rc, site)
-		m.Unicast[i] = e.sample(rc, day, ua, queryID, uint64(i+1))
+		m.Unicast[i] = e.sample(rc, day, ua, queryID, uint64(i+1), extra)
 	}
 	return m
 }
@@ -106,7 +113,7 @@ func (e *Executor) Run(c clients.Client, day int, assign bgp.Assignment, queryID
 // overhead") but uses the near-equivalent union over time for Figure 1's
 // diminishing-returns analysis; the simulator can do it directly.
 func (e *Executor) MeasureCandidates(c clients.Client, day int, assign bgp.Assignment, queryID uint64) (Measurement, []TargetSample) {
-	ldns := e.Mapping.Resolver(c.ID)
+	ldns := e.Faults.Resolver(e.Mapping.Resolver(c.ID), day)
 	m := Measurement{
 		QueryID:  queryID,
 		ClientID: c.ID,
@@ -115,18 +122,21 @@ func (e *Executor) MeasureCandidates(c clients.Client, day int, assign bgp.Assig
 		LDNS:     ldns.ID,
 	}
 	rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
-	m.Anycast = e.sample(rc, day, assign, queryID, 0)
+	extra := e.Faults.InflationMs(c.Region, day)
+	m.Anycast = e.sample(rc, day, assign, queryID, 0, extra)
 	cands := e.Authority.Candidates(ldns)
 	out := make([]TargetSample, len(cands))
 	for i, site := range cands {
 		ua := e.Router.UnicastAssignment(rc, site)
-		out[i] = e.sample(rc, day, ua, queryID, uint64(i+1))
+		out[i] = e.sample(rc, day, ua, queryID, uint64(i+1), extra)
 	}
 	return m, out
 }
 
-// sample produces one measured RTT over a path.
-func (e *Executor) sample(rc bgp.Client, day int, a bgp.Assignment, queryID, slot uint64) TargetSample {
+// sample produces one measured RTT over a path. extraMs is regional fault
+// inflation added to the true RTT before browser-timing distortion, since
+// real congestion delays the path, not the clock.
+func (e *Executor) sample(rc bgp.Client, day int, a bgp.Assignment, queryID, slot uint64, extraMs units.Millis) TargetSample {
 	// Each beacon execution runs in one household of the /24; all four
 	// samples of the execution share it.
 	const householdsPerPrefix = 6
@@ -139,7 +149,7 @@ func (e *Executor) sample(rc bgp.Client, day int, a bgp.Assignment, queryID, slo
 		Unicast:    a.Unicast,
 	}
 	sampleKey := queryID*8 + slot
-	trueRTT := e.Latency.SampleRTTms(p, day, sampleKey)
+	trueRTT := e.Latency.SampleRTTms(p, day, sampleKey) + extraMs
 	// Browser timing fidelity is a property of the client, keyed by the
 	// client prefix (households keep their browser for the study window).
 	measured := e.Latency.MeasuredRTTms(trueRTT, rc.PrefixID, sampleKey)

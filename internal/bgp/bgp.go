@@ -225,6 +225,24 @@ func (r *Router) Assign(c Client, ingress topology.SiteID) Assignment {
 	}
 }
 
+// AssignExcluding resolves an assignment from an ingress while skipping
+// front-ends for which excludedFE reports true — the CDN-side view of a
+// front-end drain (internal/faults). If every front-end is excluded the
+// plain hot-potato assignment is returned: a deployment cannot drain its
+// last front-end, it can only overload it.
+func (r *Router) AssignExcluding(c Client, ingress topology.SiteID, excludedFE func(topology.SiteID) bool) Assignment {
+	fe, backboneKm := r.backbone.HotPotatoFrontEndExcluding(ingress, excludedFE)
+	if fe == topology.InvalidSite {
+		return r.Assign(c, ingress)
+	}
+	return Assignment{
+		Ingress:    ingress,
+		FrontEnd:   fe,
+		AirKm:      geo.DistanceKm(c.Point, r.site(ingress)),
+		BackboneKm: backboneKm,
+	}
+}
+
 // AssignmentSchedule returns the per-day assignment over [0, days).
 func (r *Router) AssignmentSchedule(c Client, days int) []Assignment {
 	ingress := r.IngressSchedule(c, days)

@@ -86,6 +86,33 @@ var publicResolverMetros = []string{
 	"singapore", "tokyo", "sao-paulo",
 }
 
+// PublicResolvers returns the public-resolver deployment as standalone
+// LDNS records with IDs baseID, baseID+1, … in catalog order. The
+// fault-injection layer (internal/faults) uses this to model an ISP
+// resolver outage: affected clients fall back to the nearest public
+// resolver, and the out-of-range IDs keep the authoritative candidate
+// cache for fallback resolvers separate from the mapping's own.
+func PublicResolvers(metros []geo.Metro, baseID LDNSID) ([]LDNS, error) {
+	metroByName := map[string]geo.Metro{}
+	for _, m := range metros {
+		metroByName[m.Name] = m
+	}
+	out := make([]LDNS, 0, len(publicResolverMetros))
+	for i, name := range publicResolverMetros {
+		m, ok := metroByName[name]
+		if !ok {
+			return nil, fmt.Errorf("dns: public resolver metro %q missing from catalog", name)
+		}
+		out = append(out, LDNS{
+			ID:    baseID + LDNSID(i),
+			Name:  "fallback-public-" + name,
+			Kind:  Public,
+			Point: m.Point,
+		})
+	}
+	return out, nil
+}
+
 // Mapping is the realized client→LDNS assignment.
 type Mapping struct {
 	Resolvers []LDNS

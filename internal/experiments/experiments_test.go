@@ -2,37 +2,23 @@ package experiments
 
 import (
 	"strings"
-	"sync"
 	"testing"
 
 	"anycastcdn/internal/core"
-	"anycastcdn/internal/sim"
+	"anycastcdn/internal/testutil"
 )
 
-// The experiment tests share one small simulation to keep the suite fast.
-var (
-	suiteOnce sync.Once
-	suiteVal  *Suite
-	suiteErr  error
-)
+// testSuite wraps the process-wide cached simulation fixture; the Suite
+// itself is cheap, and sharing one keeps its derived caches warm.
+var sharedSuite *Suite
 
 func testSuite(t *testing.T) *Suite {
 	t.Helper()
-	suiteOnce.Do(func() {
-		cfg := sim.DefaultConfig(7)
-		cfg.Prefixes = 1500
-		cfg.Days = 9
-		res, err := sim.Run(cfg)
-		if err != nil {
-			suiteErr = err
-			return
-		}
-		suiteVal = NewSuite(res)
-	})
-	if suiteErr != nil {
-		t.Fatal(suiteErr)
+	res := testutil.SuiteResult(t)
+	if sharedSuite == nil || sharedSuite.Res != res {
+		sharedSuite = NewSuite(res)
 	}
-	return suiteVal
+	return sharedSuite
 }
 
 func seriesByName(t *testing.T, r Report, name string) []float64 {

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+
+	"anycastcdn/internal/faults"
+	"anycastcdn/internal/sim"
+	"anycastcdn/internal/stats"
+	"anycastcdn/internal/units"
+)
+
+// EventImpact quantifies one scenario event against the fault-free
+// baseline run.
+type EventImpact struct {
+	Event faults.Event
+	// PeakShiftFrac is the largest single-day fraction of clients whose
+	// front-end differs from baseline inside the event window.
+	PeakShiftFrac float64
+	// MeanShiftFrac averages the per-day shift fraction over the window.
+	MeanShiftFrac float64
+	// BeaconDiffFrac is the fraction of beacon executions in the window
+	// whose anycast sample differs from the baseline run's.
+	BeaconDiffFrac float64
+	// MeanAnycastDeltaMs is the mean anycast latency change over the
+	// window's beacon executions (positive = the fault made things worse).
+	MeanAnycastDeltaMs units.Millis
+	// RecoveryDays is how many days after the event's window the world
+	// took to match the baseline again, byte for byte: 0 means the first
+	// post-event day was already clean. -1 means the run ended before the
+	// world reconverged (e.g. another event was still active).
+	RecoveryDays int
+}
+
+// ResilienceReport is the run-vs-baseline comparison for one fault
+// scenario: the per-day catchment shift and latency deltas, plus a
+// per-event impact breakdown. Because both runs share a seed and the
+// injector consumes no randomness, every divergence is attributable to
+// the scenario and reconvergence is exact.
+type ResilienceReport struct {
+	Scenario faults.Scenario
+	Days     int
+	// ShiftFrac[d] is the fraction of clients whose day-d front-end
+	// differs from baseline.
+	ShiftFrac []float64
+	// BeaconDiffFrac[d] is the fraction of day-d beacon executions whose
+	// anycast sample differs from baseline.
+	BeaconDiffFrac []float64
+	// MeanAnycastDeltaMs[d] is the day's mean anycast latency change.
+	MeanAnycastDeltaMs []units.Millis
+	// ActiveDeltasMs holds the anycast latency delta of every beacon
+	// execution on fault-active days, for the delta CDF.
+	ActiveDeltasMs []units.Millis
+	Events         []EventImpact
+}
+
+// Resilience simulates cfg twice — once fault-free, once under sc — and
+// reports how the scenario moved catchments and latency and how quickly
+// the system returned to baseline. cfg.Scenario is overridden by sc for
+// the faulted run and cleared for the baseline.
+func Resilience(cfg sim.Config, sc faults.Scenario) (*ResilienceReport, error) {
+	baseCfg := cfg
+	baseCfg.Scenario = nil
+	faultCfg := cfg
+	faultCfg.Scenario = &sc
+
+	base, err := sim.Run(baseCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: baseline run: %w", err)
+	}
+	faulted, err := sim.Run(faultCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: faulted run: %w", err)
+	}
+	return CompareRuns(base, faulted, sc)
+}
+
+// CompareRuns builds a ResilienceReport from an already-simulated
+// baseline and faulted run. The two must come from the same Config (same
+// seed, days and population); beacon executions then align one-to-one.
+func CompareRuns(base, faulted *sim.Result, sc faults.Scenario) (*ResilienceReport, error) {
+	days := base.Cfg.Days
+	if faulted.Cfg.Days != days || len(base.Assignments) != len(faulted.Assignments) {
+		return nil, fmt.Errorf("experiments: baseline and faulted runs have different shapes")
+	}
+	r := &ResilienceReport{
+		Scenario:           sc,
+		Days:               days,
+		ShiftFrac:          make([]float64, days),
+		BeaconDiffFrac:     make([]float64, days),
+		MeanAnycastDeltaMs: make([]units.Millis, days),
+	}
+
+	n := len(base.Assignments)
+	for d := 0; d < days; d++ {
+		shifted := 0
+		for i := 0; i < n; i++ {
+			if faulted.Assignments[i][d].FrontEnd != base.Assignments[i][d].FrontEnd {
+				shifted++
+			}
+		}
+		if n > 0 {
+			r.ShiftFrac[d] = float64(shifted) / float64(n)
+		}
+
+		bb, fb := base.Beacons[d], faulted.Beacons[d]
+		if len(bb) != len(fb) {
+			return nil, fmt.Errorf("experiments: day %d beacon counts diverge (%d vs %d); runs are not seed-aligned", d, len(bb), len(fb))
+		}
+		diff := 0
+		var deltaSum units.Millis
+		active := len(sc.ActiveOn(d)) > 0
+		for j := range bb {
+			delta := fb[j].Anycast.RTTms - bb[j].Anycast.RTTms
+			if delta != 0 || fb[j].Anycast.Site != bb[j].Anycast.Site || fb[j].LDNS != bb[j].LDNS {
+				diff++
+			}
+			deltaSum += delta
+			if active {
+				r.ActiveDeltasMs = append(r.ActiveDeltasMs, delta)
+			}
+		}
+		if len(bb) > 0 {
+			r.BeaconDiffFrac[d] = float64(diff) / float64(len(bb))
+			r.MeanAnycastDeltaMs[d] = deltaSum / units.Millis(len(bb))
+		}
+	}
+
+	for _, e := range sc.Events {
+		r.Events = append(r.Events, r.eventImpact(e, base, faulted))
+	}
+	return r, nil
+}
+
+// eventImpact summarizes one event's window and recovery.
+func (r *ResilienceReport) eventImpact(e faults.Event, base, faulted *sim.Result) EventImpact {
+	imp := EventImpact{Event: e, RecoveryDays: -1}
+	var shiftSum float64
+	winDays := 0
+	diffed, total := 0, 0
+	var deltaSum units.Millis
+	for d := e.Day; d < e.End() && d < r.Days; d++ {
+		if r.ShiftFrac[d] > imp.PeakShiftFrac {
+			imp.PeakShiftFrac = r.ShiftFrac[d]
+		}
+		shiftSum += r.ShiftFrac[d]
+		winDays++
+		bb, fb := base.Beacons[d], faulted.Beacons[d]
+		for j := range bb {
+			delta := fb[j].Anycast.RTTms - bb[j].Anycast.RTTms
+			if delta != 0 || fb[j].Anycast.Site != bb[j].Anycast.Site || fb[j].LDNS != bb[j].LDNS {
+				diffed++
+			}
+			deltaSum += delta
+			total++
+		}
+	}
+	if winDays > 0 {
+		imp.MeanShiftFrac = shiftSum / float64(winDays)
+	}
+	if total > 0 {
+		imp.BeaconDiffFrac = float64(diffed) / float64(total)
+		imp.MeanAnycastDeltaMs = deltaSum / units.Millis(total)
+	}
+	for d := e.End(); d < r.Days; d++ {
+		if r.ShiftFrac[d] == 0 && r.BeaconDiffFrac[d] == 0 {
+			imp.RecoveryDays = d - e.End()
+			break
+		}
+	}
+	return imp
+}
+
+// Recovered reports whether the world matched the baseline again on some
+// day after the scenario's last event ended.
+func (r *ResilienceReport) Recovered() bool {
+	last := r.Scenario.MaxDay()
+	for d := last + 1; d < r.Days; d++ {
+		if r.ShiftFrac[d] == 0 && r.BeaconDiffFrac[d] == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// deltaGrid is the fixed ms grid the latency-delta CDF is sampled on.
+var deltaGrid = []units.Millis{-100, -50, -20, -10, -5, -2, -1, 0, 1, 2, 5, 10, 20, 50, 100, 200}
+
+// Report converts the resilience comparison into the standard experiment
+// report shape: a per-event impact table, a shift-by-day figure, the
+// latency-delta CDF over fault-active days, and headline numbers.
+func (r *ResilienceReport) Report() Report {
+	rep := Report{ID: "resilience"}
+
+	tbl := &stats.Table{
+		Title:   "fault scenario impact: " + r.Scenario.Summary(),
+		Columns: []string{"event", "window", "peak shift", "mean shift", "beacon diff", "mean Δ any", "recovery"},
+	}
+	for _, imp := range r.Events {
+		recovery := "not in run"
+		if imp.RecoveryDays >= 0 {
+			recovery = fmt.Sprintf("+%dd", imp.RecoveryDays)
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			imp.Event.Kind.String() + " " + imp.Event.Target,
+			fmt.Sprintf("d%d+%d", imp.Event.Day, imp.Event.Days),
+			pct(imp.PeakShiftFrac),
+			pct(imp.MeanShiftFrac),
+			pct(imp.BeaconDiffFrac),
+			msStr(imp.MeanAnycastDeltaMs),
+			recovery,
+		})
+	}
+	rep.Table = tbl
+
+	fig := &stats.Figure{
+		Title:  "catchment shift and beacon divergence by day",
+		XLabel: "day",
+		YLabel: "fraction vs baseline",
+	}
+	shift := stats.Series{Name: "fe-shift"}
+	bdiff := stats.Series{Name: "beacon-diff"}
+	for d := 0; d < r.Days; d++ {
+		shift.Points = append(shift.Points, stats.SeriesPoint{X: float64(d), Y: r.ShiftFrac[d]})
+		bdiff.Points = append(bdiff.Points, stats.SeriesPoint{X: float64(d), Y: r.BeaconDiffFrac[d]})
+	}
+	fig.Series = []stats.Series{shift, bdiff}
+	rep.Figure = fig
+
+	rep.Lines = []Headline{
+		{Name: "peak single-day catchment shift", Paper: "~20% ingress shift possible (§5)", Measured: pct(maxOf(r.ShiftFrac))},
+		{Name: "peak single-day beacon divergence", Paper: "n/a (no faults in study window)", Measured: pct(maxOf(r.BeaconDiffFrac))},
+		{Name: "recovered to baseline after last event", Paper: "expected (anycast reconverges)", Measured: fmt.Sprintf("%v", r.Recovered())},
+	}
+	return rep
+}
+
+// DeltaCDFFigure returns the latency-delta CDF over fault-active days,
+// or nil when the scenario produced no active-day samples.
+func (r *ResilienceReport) DeltaCDFFigure() *stats.Figure {
+	ecdf, err := stats.NewECDF(r.ActiveDeltasMs)
+	if err != nil {
+		return nil
+	}
+	fig := &stats.Figure{
+		Title:  "anycast latency delta vs baseline (fault-active days)",
+		XLabel: "delta ms",
+		YLabel: "CDF",
+		Series: []stats.Series{ecdf.SampleCDF("P[Δ <= x]", deltaGrid)},
+		Notes: []string{fmt.Sprintf("%d beacon pairs on fault-active days; median Δ %s",
+			ecdf.N(), msStr(ecdf.Quantile(0.5)))},
+	}
+	return fig
+}
+
+// Render formats the resilience report for terminal output: the impact
+// table, the per-day divergence figure, and the delta CDF.
+func (r *ResilienceReport) Render() string {
+	out := r.Report().Render()
+	if fig := r.DeltaCDFFigure(); fig != nil {
+		out += fig.Render()
+	}
+	return out
+}
+
+func maxOf(xs []float64) float64 {
+	best := 0.0
+	for _, x := range xs {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}

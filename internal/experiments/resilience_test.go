@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"anycastcdn/internal/faults"
+	"anycastcdn/internal/sim"
+	"anycastcdn/internal/testutil"
+	"anycastcdn/internal/topology"
+)
+
+// busiestIngressMetro picks the peering metro carrying the most clients
+// on a day of the baseline run, so a flap of it must shift catchments.
+func busiestIngressMetro(t *testing.T, res *sim.Result, day int) string {
+	t.Helper()
+	counts := map[topology.SiteID]int{}
+	for c := range res.Assignments {
+		counts[res.Assignments[c][day].Ingress]++
+	}
+	best, bestN := topology.InvalidSite, 0
+	for s, n := range counts {
+		if n > bestN || (n == bestN && s < best) {
+			best, bestN = s, n
+		}
+	}
+	return res.World.Deployment.Backbone.Site(best).Metro.Name
+}
+
+// TestResilienceFlap is the headline acceptance case: a BGP flap of the
+// busiest ingress must show a nonzero catchment shift and latency delta
+// during its window and exact recovery to baseline after it.
+func TestResilienceFlap(t *testing.T) {
+	base := testutil.SmallResult(t)
+	ing := busiestIngressMetro(t, base, 3)
+	sc, err := faults.ParseScenario("flap " + ing + " day=3 for=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testutil.SmallConfig(1)
+	cfg.Scenario = &sc
+	faulted, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := CompareRuns(base, faulted, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(r.Events) != 1 {
+		t.Fatalf("report has %d events, want 1", len(r.Events))
+	}
+	imp := r.Events[0]
+	if imp.PeakShiftFrac <= 0 {
+		t.Fatalf("flap of busiest ingress %s produced zero catchment shift", ing)
+	}
+	if imp.BeaconDiffFrac <= 0 {
+		t.Fatal("flap produced no beacon-level latency delta")
+	}
+	if len(r.ActiveDeltasMs) == 0 {
+		t.Fatal("no latency deltas collected on fault-active days")
+	}
+	nonzero := false
+	for _, d := range r.ActiveDeltasMs {
+		if d != 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		t.Fatal("latency-delta CDF is identically zero for a flap scenario")
+	}
+	if imp.RecoveryDays != 0 {
+		t.Fatalf("flap recovery took %d days, want exact reconvergence the day after the window", imp.RecoveryDays)
+	}
+	if !r.Recovered() {
+		t.Fatal("report does not show recovery to baseline")
+	}
+	for d := 0; d < 3; d++ {
+		if r.ShiftFrac[d] != 0 || r.BeaconDiffFrac[d] != 0 {
+			t.Fatalf("pre-event day %d shows divergence", d)
+		}
+	}
+	for d := 5; d < r.Days; d++ {
+		if r.ShiftFrac[d] != 0 || r.BeaconDiffFrac[d] != 0 {
+			t.Fatalf("post-event day %d shows divergence; no recovery", d)
+		}
+	}
+
+	rendered := r.Render()
+	for _, want := range []string{"fault scenario impact", "flap " + ing, "anycast latency delta", "recovered to baseline"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, rendered)
+		}
+	}
+	if fig := r.DeltaCDFFigure(); fig == nil {
+		t.Fatal("DeltaCDFFigure is nil despite active-day deltas")
+	}
+}
+
+// TestResilienceEmptyScenario pins the degenerate case: comparing a run
+// against itself under no events reports zero divergence everywhere.
+func TestResilienceEmptyScenario(t *testing.T) {
+	base := testutil.SmallResult(t)
+	r, err := CompareRuns(base, base, faults.Scenario{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < r.Days; d++ {
+		if r.ShiftFrac[d] != 0 || r.BeaconDiffFrac[d] != 0 || r.MeanAnycastDeltaMs[d] != 0 {
+			t.Fatalf("self-comparison shows divergence on day %d", d)
+		}
+	}
+	if len(r.ActiveDeltasMs) != 0 {
+		t.Fatal("empty scenario collected active-day deltas")
+	}
+	if r.DeltaCDFFigure() != nil {
+		t.Fatal("empty scenario has a delta CDF")
+	}
+	if !r.Recovered() {
+		t.Fatal("empty scenario should count as recovered")
+	}
+	if r.Render() == "" {
+		t.Fatal("empty report renders nothing")
+	}
+}
+
+// TestResilienceShapeMismatch guards the alignment precondition.
+func TestResilienceShapeMismatch(t *testing.T) {
+	base := testutil.SmallResult(t)
+	other, err := sim.Run(testutil.TinyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareRuns(base, other, faults.Scenario{}); err == nil {
+		t.Fatal("CompareRuns accepted runs of different shapes")
+	}
+}

@@ -1,0 +1,297 @@
+package faults_test
+
+import (
+	"fmt"
+	"testing"
+
+	"anycastcdn/internal/dns"
+	"anycastcdn/internal/faults"
+	"anycastcdn/internal/geo"
+	"anycastcdn/internal/sim"
+	"anycastcdn/internal/testutil"
+	"anycastcdn/internal/topology"
+)
+
+// The end-to-end suite runs full simulations under each event kind and
+// checks the three scenario-engine contracts: the event does what it says
+// during its window, the world is untouched outside the window, and the
+// whole thing is replay-deterministic.
+
+// runScenario simulates the shared small config under a scenario text.
+func runScenario(t *testing.T, text string) *sim.Result {
+	t.Helper()
+	sc, err := faults.ParseScenario(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testutil.SmallConfig(1)
+	cfg.Scenario = &sc
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// diffRuns returns a description of the first difference between two
+// runs, or "" when they are byte-identical.
+func diffRuns(a, b *sim.Result) string {
+	for day := range a.Beacons {
+		if len(a.Beacons[day]) != len(b.Beacons[day]) {
+			return fmt.Sprintf("day %d beacon counts %d vs %d", day, len(a.Beacons[day]), len(b.Beacons[day]))
+		}
+		for i := range a.Beacons[day] {
+			if a.Beacons[day][i] != b.Beacons[day][i] {
+				return fmt.Sprintf("day %d beacon %d:\n%+v\nvs\n%+v", day, i, a.Beacons[day][i], b.Beacons[day][i])
+			}
+		}
+	}
+	ra, rb := a.Passive.Records(), b.Passive.Records()
+	if len(ra) != len(rb) {
+		return fmt.Sprintf("passive lengths %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			return fmt.Sprintf("passive record %d: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+	for c := range a.Assignments {
+		for d := range a.Assignments[c] {
+			if a.Assignments[c][d] != b.Assignments[c][d] {
+				return fmt.Sprintf("assignment client %d day %d: %+v vs %+v",
+					c, d, a.Assignments[c][d], b.Assignments[c][d])
+			}
+		}
+	}
+	return ""
+}
+
+// assignmentsEqualOnDay reports whether every client's day-d assignment
+// matches between runs.
+func assignmentsEqualOnDay(a, b *sim.Result, d int) bool {
+	for c := range a.Assignments {
+		if a.Assignments[c][d] != b.Assignments[c][d] {
+			return false
+		}
+	}
+	return true
+}
+
+// beaconsEqualOnDay reports whether day d's beacons match between runs.
+func beaconsEqualOnDay(a, b *sim.Result, d int) bool {
+	if len(a.Beacons[d]) != len(b.Beacons[d]) {
+		return false
+	}
+	for i := range a.Beacons[d] {
+		if a.Beacons[d][i] != b.Beacons[d][i] {
+			return false
+		}
+	}
+	return true
+}
+
+// busiestSite returns the metro name and site ID serving the most clients
+// on a day, by ingress or by front-end.
+func busiestSite(t *testing.T, res *sim.Result, day int, byIngress bool) (string, topology.SiteID) {
+	t.Helper()
+	counts := map[topology.SiteID]int{}
+	for c := range res.Assignments {
+		a := res.Assignments[c][day]
+		if byIngress {
+			counts[a.Ingress]++
+		} else {
+			counts[a.FrontEnd]++
+		}
+	}
+	best, bestN := topology.InvalidSite, 0
+	for s, n := range counts {
+		if n > bestN || (n == bestN && s < best) {
+			best, bestN = s, n
+		}
+	}
+	if best == topology.InvalidSite {
+		t.Fatal("no assignments to pick a target from")
+	}
+	return res.World.Deployment.Backbone.Site(best).Metro.Name, best
+}
+
+func TestNoOpScenarioByteIdentical(t *testing.T) {
+	base := testutil.SmallResult(t)
+	cfg := testutil.SmallConfig(1)
+	cfg.Scenario = &faults.Scenario{} // present but empty
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diffRuns(base, res); d != "" {
+		t.Fatalf("empty scenario diverged from fault-free run: %s", d)
+	}
+}
+
+func TestScenarioReplayIdentical(t *testing.T) {
+	base := testutil.SmallResult(t)
+	fe, _ := busiestSite(t, base, 3, false)
+	text := fmt.Sprintf("drain %s day=3 for=2; inflate europe day=4 ms=25", fe)
+	a := runScenario(t, text)
+	b := runScenario(t, text)
+	if d := diffRuns(a, b); d != "" {
+		t.Fatalf("same seed + same scenario diverged: %s", d)
+	}
+	if d := diffRuns(base, a); d == "" {
+		t.Fatal("scenario run identical to fault-free run; events had no effect")
+	}
+}
+
+func TestDrainScenario(t *testing.T) {
+	base := testutil.SmallResult(t)
+	fe, feSite := busiestSite(t, base, 3, false)
+	res := runScenario(t, fmt.Sprintf("drain %s day=3 for=2", fe))
+
+	for d := 0; d < base.Cfg.Days; d++ {
+		inWindow := d == 3 || d == 4
+		if !inWindow {
+			if !assignmentsEqualOnDay(base, res, d) {
+				t.Fatalf("day %d outside the drain window diverged from baseline", d)
+			}
+			continue
+		}
+		shifted := 0
+		for c := range res.Assignments {
+			if res.Assignments[c][d].FrontEnd == feSite {
+				t.Fatalf("client %d still served by drained front-end %s on day %d", c, fe, d)
+			}
+			if res.Assignments[c][d] != base.Assignments[c][d] {
+				shifted++
+			}
+		}
+		if shifted == 0 {
+			t.Fatalf("draining the busiest front-end %s shifted nobody on day %d", fe, d)
+		}
+	}
+}
+
+func TestFlapScenario(t *testing.T) {
+	base := testutil.SmallResult(t)
+	ing, ingSite := busiestSite(t, base, 3, true)
+	res := runScenario(t, fmt.Sprintf("flap %s day=3 for=2", ing))
+
+	feShifted := 0
+	for d := 0; d < base.Cfg.Days; d++ {
+		inWindow := d == 3 || d == 4
+		if !inWindow {
+			if !assignmentsEqualOnDay(base, res, d) {
+				t.Fatalf("day %d outside the flap window diverged from baseline", d)
+			}
+			continue
+		}
+		for c := range res.Assignments {
+			if res.Assignments[c][d].Ingress == ingSite {
+				t.Fatalf("client %d still ingressing at withdrawn site %s on day %d", c, ing, d)
+			}
+			if res.Assignments[c][d].FrontEnd != base.Assignments[c][d].FrontEnd {
+				feShifted++
+			}
+		}
+	}
+	if feShifted == 0 {
+		t.Fatalf("withdrawing the busiest ingress %s moved no client to a different front-end", ing)
+	}
+}
+
+func TestLDNSOutageScenario(t *testing.T) {
+	base := testutil.SmallResult(t)
+	res := runScenario(t, "ldns-outage europe day=3 for=2")
+	realResolvers := dns.LDNSID(len(base.World.Mapping.Resolvers))
+
+	sawFallback := false
+	for d := 0; d < base.Cfg.Days; d++ {
+		inWindow := d == 3 || d == 4
+		if !inWindow {
+			if !beaconsEqualOnDay(base, res, d) {
+				t.Fatalf("day %d outside the outage window diverged from baseline", d)
+			}
+			continue
+		}
+		for i, m := range res.Beacons[d] {
+			if m.LDNS >= realResolvers {
+				sawFallback = true
+				if bm := base.Beacons[d][i]; bm.LDNS == m.LDNS {
+					t.Fatalf("baseline beacon already used fallback resolver %d", m.LDNS)
+				}
+			}
+		}
+	}
+	if !sawFallback {
+		t.Fatal("no beacon fell back to a public resolver during the outage")
+	}
+	// Assignments are routing-only and must be untouched by a DNS fault.
+	for d := 0; d < base.Cfg.Days; d++ {
+		if !assignmentsEqualOnDay(base, res, d) {
+			t.Fatalf("ldns outage changed routing assignments on day %d", d)
+		}
+	}
+}
+
+func TestInflateScenario(t *testing.T) {
+	base := testutil.SmallResult(t)
+	res := runScenario(t, "inflate europe day=3 for=2 ms=40")
+
+	sawInflation := false
+	for d := 0; d < base.Cfg.Days; d++ {
+		inWindow := d == 3 || d == 4
+		if !inWindow {
+			if !beaconsEqualOnDay(base, res, d) {
+				t.Fatalf("day %d outside the inflate window diverged from baseline", d)
+			}
+			continue
+		}
+		for i, m := range res.Beacons[d] {
+			bm := base.Beacons[d][i]
+			if m.Region != geo.RegionEurope {
+				if m != bm {
+					t.Fatalf("day %d: inflate europe changed a %s client's beacon", d, m.Region)
+				}
+				continue
+			}
+			if m.Anycast.RTTms < bm.Anycast.RTTms {
+				t.Fatalf("day %d: inflation lowered a latency (%v -> %v)", d, bm.Anycast.RTTms, m.Anycast.RTTms)
+			}
+			if m.Anycast.RTTms > bm.Anycast.RTTms {
+				sawInflation = true
+			}
+		}
+	}
+	if !sawInflation {
+		t.Fatal("no european beacon latency rose during the inflate window")
+	}
+}
+
+// TestStreamMatchesRunUnderFaults extends the Stream/Run lockstep
+// guarantee to faulted runs.
+func TestStreamMatchesRunUnderFaults(t *testing.T) {
+	base := testutil.SmallResult(t)
+	fe, _ := busiestSite(t, base, 3, false)
+	sc, err := faults.ParseScenario(fmt.Sprintf("drain %s day=3 for=2; inflate asia day=2 ms=15", fe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testutil.SmallConfig(1)
+	cfg.Scenario = &sc
+	full, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := 0
+	err = sim.Stream(cfg, func(d sim.DayResult) error {
+		for i := range d.Beacons {
+			if d.Beacons[i] != full.Beacons[day][i] {
+				t.Fatalf("day %d beacon %d differs between Stream and Run under faults", day, i)
+			}
+		}
+		day++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+package faults
+
+import "testing"
+
+// FuzzParseScenario checks the parser's core contract on arbitrary input:
+// it never panics, and any text it accepts canonicalizes — Format output
+// reparses to the same events, and Format is a fixed point.
+func FuzzParseScenario(f *testing.F) {
+	f.Add("drain paris day=2 for=3")
+	f.Add("flap denver day=0")
+	f.Add("ldns-outage europe day=1; inflate asia day=2 for=4 ms=12.5")
+	f.Add("# comment\n drain a.b-c_9 day=7\n")
+	f.Add("inflate europe day=1 ms=0.30000000000000004")
+	f.Add("drain paris day=1 day=2")
+	f.Add(";;;\n#\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		sc, err := ParseScenario(text)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		canon := sc.Format()
+		back, err := ParseScenario(canon)
+		if err != nil {
+			t.Fatalf("Format output %q does not reparse: %v", canon, err)
+		}
+		if len(back.Events) != len(sc.Events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(sc.Events), len(back.Events))
+		}
+		for i := range sc.Events {
+			if back.Events[i] != sc.Events[i] {
+				t.Fatalf("round trip changed event %d: %+v -> %+v", i, sc.Events[i], back.Events[i])
+			}
+		}
+		if again := back.Format(); again != canon {
+			t.Fatalf("Format is not a fixed point:\n%q\nvs\n%q", canon, again)
+		}
+	})
+}

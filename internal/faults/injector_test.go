@@ -1,0 +1,127 @@
+package faults_test
+
+import (
+	"strings"
+	"testing"
+
+	"anycastcdn/internal/dns"
+	"anycastcdn/internal/faults"
+	"anycastcdn/internal/geo"
+	"anycastcdn/internal/testutil"
+	"anycastcdn/internal/topology"
+)
+
+// feMetro and peeringMetro pick resolvable targets from the shared world.
+func feMetro(t *testing.T) string {
+	t.Helper()
+	w := testutil.SmallWorld(t)
+	for _, s := range w.Deployment.Backbone.Sites {
+		if s.FrontEnd {
+			return s.Metro.Name
+		}
+	}
+	t.Fatal("deployment has no front-end")
+	return ""
+}
+
+func TestNewInjectorResolvesTargets(t *testing.T) {
+	w := testutil.SmallWorld(t)
+	sc, err := faults.ParseScenario(
+		"drain " + feMetro(t) + " day=1\nldns-outage europe day=2\ninflate asia day=3 ms=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(sc, w.Deployment, w.Mapping, w.Metros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Empty() {
+		t.Fatal("compiled injector reports empty")
+	}
+	if got := inj.Scenario().Summary(); got != sc.Summary() {
+		t.Fatalf("Scenario() = %q, want %q", got, sc.Summary())
+	}
+}
+
+func TestNewInjectorTargetErrors(t *testing.T) {
+	w := testutil.SmallWorld(t)
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"unknown metro", "drain atlantis day=1", "not a deployment metro"},
+		{"unknown region", "inflate atlantis day=1 ms=5", "not a world region"},
+		{"unknown outage region", "ldns-outage nowhere day=1", "not a world region"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, err := faults.ParseScenario(tc.text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = faults.NewInjector(sc, w.Deployment, w.Mapping, w.Metros)
+			if err == nil {
+				t.Fatalf("NewInjector accepted %q", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+	// An invalid scenario is rejected before target resolution.
+	bad := faults.Scenario{Events: []faults.Event{{Kind: faults.Drain, Target: "paris", Day: 0, Days: 0}}}
+	if _, err := faults.NewInjector(bad, w.Deployment, w.Mapping, w.Metros); err == nil {
+		t.Fatal("NewInjector accepted an invalid scenario")
+	}
+}
+
+// TestNilInjectorIsInert pins the nil-safety contract every sim hook
+// relies on: a nil *Injector behaves exactly like no injector.
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *faults.Injector
+	if !inj.Empty() {
+		t.Fatal("nil injector is not Empty")
+	}
+	if inj.ActiveOn(0) {
+		t.Fatal("nil injector is active")
+	}
+	if inj.Drained(topology.SiteID(1), 0) || inj.Withdrawn(topology.SiteID(1), 0) {
+		t.Fatal("nil injector drains or withdraws")
+	}
+	if inj.InflationMs(geo.RegionEurope, 0) != 0 {
+		t.Fatal("nil injector inflates")
+	}
+	l := dns.LDNS{ID: 3, Name: "x"}
+	if got := inj.Resolver(l, 0); got != l {
+		t.Fatal("nil injector rewrote a resolver")
+	}
+	if !inj.Scenario().Empty() {
+		t.Fatal("nil injector has a scenario")
+	}
+}
+
+func TestInjectorDayWindows(t *testing.T) {
+	w := testutil.SmallWorld(t)
+	fe := feMetro(t)
+	sc, err := faults.ParseScenario("drain " + fe + " day=2 for=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(sc, w.Deployment, w.Mapping, w.Metros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var site topology.SiteID = topology.InvalidSite
+	for _, s := range w.Deployment.Backbone.Sites {
+		if s.Metro.Name == fe {
+			site = s.ID
+		}
+	}
+	for day, want := range map[int]bool{1: false, 2: true, 3: true, 4: false} {
+		if inj.Drained(site, day) != want {
+			t.Errorf("Drained(%s, %d) = %v, want %v", fe, day, !want, want)
+		}
+		if inj.Withdrawn(site, day) {
+			t.Errorf("drain event must not withdraw the route (day %d)", day)
+		}
+	}
+}

@@ -1,19 +1,24 @@
-package sim
+package sim_test
 
-import "testing"
+import (
+	"testing"
+
+	"anycastcdn/internal/sim"
+	"anycastcdn/internal/testutil"
+)
 
 // TestReplayIdentical is the invariant the nondeterminism analyzer
 // (internal/analysis) exists to protect: two runs with the same seed must
 // be bit-for-bit identical — beacons, passive logs, and day-by-day anycast
 // assignments — regardless of the parallel worker schedule.
 func TestReplayIdentical(t *testing.T) {
-	cfg := smallConfig(21)
+	cfg := testutil.SmallConfig(21)
 	cfg.Workers = 4
-	a, err := Run(cfg)
+	a, err := sim.Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(cfg)
+	b, err := sim.Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,7 @@ import (
 	"anycastcdn/internal/cdn"
 	"anycastcdn/internal/clients"
 	"anycastcdn/internal/dns"
+	"anycastcdn/internal/faults"
 	"anycastcdn/internal/geo"
 	"anycastcdn/internal/latency"
 	"anycastcdn/internal/logs"
@@ -56,6 +57,46 @@ type Config struct {
 	Mapper  *dns.MapperConfig
 	// Workers bounds simulation parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Scenario optionally injects deterministic fault events (front-end
+	// drains, BGP flaps, LDNS outages, latency inflation) into the run;
+	// see internal/faults. nil and the empty scenario both produce runs
+	// byte-identical to a fault-free simulation.
+	Scenario *faults.Scenario
+}
+
+// Validate checks the configuration for values that would otherwise flow
+// silently into a nonsensical world build.
+func (cfg Config) Validate() error {
+	if cfg.Prefixes <= 0 {
+		return fmt.Errorf("sim: non-positive prefix count %d", cfg.Prefixes)
+	}
+	if cfg.Days <= 0 {
+		return fmt.Errorf("sim: non-positive day count %d", cfg.Days)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("sim: negative worker count %d (use 0 for GOMAXPROCS)", cfg.Workers)
+	}
+	if cfg.QueriesPerVolume < 0 {
+		return fmt.Errorf("sim: negative queries-per-volume %v", cfg.QueriesPerVolume)
+	}
+	if cfg.BeaconSampleRate < 0 || cfg.BeaconSampleRate > 1 {
+		return fmt.Errorf("sim: beacon sample rate %v outside [0, 1]", cfg.BeaconSampleRate)
+	}
+	if cfg.MaxBeaconsPerClientDay < 0 {
+		return fmt.Errorf("sim: negative beacon cap %d", cfg.MaxBeaconsPerClientDay)
+	}
+	if cfg.Scenario != nil {
+		if err := cfg.Scenario.Validate(); err != nil {
+			return err
+		}
+		for i, e := range cfg.Scenario.Events {
+			if e.Day >= cfg.Days {
+				return fmt.Errorf("sim: scenario event %d (%s %s) starts on day %d but the simulation ends after day %d",
+					i, e.Kind, e.Target, e.Day, cfg.Days-1)
+			}
+		}
+	}
+	return nil
 }
 
 // DefaultConfig returns the experiment-scale configuration: large enough
@@ -86,15 +127,23 @@ type World struct {
 	Authority  *dns.Authority
 	Latency    *latency.Model
 	Executor   *beacon.Executor
+	// Faults is the compiled fault injector (nil when Config.Scenario is
+	// nil). Install a custom one with InstallFaults.
+	Faults *faults.Injector
+}
+
+// InstallFaults wires a fault injector into the world and its beacon
+// executor; pass nil to remove injection. Replaces any injector compiled
+// from Config.Scenario by BuildWorld.
+func (w *World) InstallFaults(inj *faults.Injector) {
+	w.Faults = inj
+	w.Executor.Faults = inj
 }
 
 // BuildWorld constructs the environment for a config.
 func BuildWorld(cfg Config) (*World, error) {
-	if cfg.Prefixes <= 0 {
-		return nil, fmt.Errorf("sim: non-positive prefix count %d", cfg.Prefixes)
-	}
-	if cfg.Days <= 0 {
-		return nil, fmt.Errorf("sim: non-positive day count %d", cfg.Days)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	dep, err := cdn.BuildPreset(cfg.Deployment)
 	if err != nil {
@@ -146,7 +195,7 @@ func BuildWorld(cfg Config) (*World, error) {
 		Mapping:   mapping,
 		Seed:      xrand.DeriveSeed(cfg.Seed, "beacon"),
 	}
-	return &World{
+	w := &World{
 		Metros:     metros,
 		Deployment: dep,
 		ISPs:       isps,
@@ -156,7 +205,15 @@ func BuildWorld(cfg Config) (*World, error) {
 		Authority:  auth,
 		Latency:    model,
 		Executor:   exec,
-	}, nil
+	}
+	if cfg.Scenario != nil {
+		inj, err := faults.NewInjector(*cfg.Scenario, dep, mapping, metros)
+		if err != nil {
+			return nil, fmt.Errorf("sim: compiling fault scenario: %w", err)
+		}
+		w.InstallFaults(inj)
+	}
+	return w, nil
 }
 
 // Result is the output of a simulation run.
@@ -236,7 +293,7 @@ func RunWorld(cfg Config, w *World) (*Result, error) {
 // simulateClient walks one client through all days.
 func simulateClient(cfg Config, w *World, c clients.Client) clientOutput {
 	rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
-	sched := w.Router.AssignmentSchedule(rc, cfg.Days)
+	sched := effectiveSchedule(cfg, w, rc)
 	base := w.Router.Assign(rc, w.Router.BaseIngress(rc))
 	out := clientOutput{assignments: sched}
 	for day := 0; day < cfg.Days; day++ {
@@ -264,6 +321,23 @@ func simulateClient(cfg Config, w *World, c clients.Client) clientOutput {
 		}
 	}
 	return out
+}
+
+// effectiveSchedule is the per-day anycast assignment a client actually
+// experiences: the BGP schedule with any active fault events applied.
+// With no injector (or an empty scenario) it is exactly the BGP schedule,
+// value for value, which is what keeps fault-free runs byte-identical.
+// Passive logs, beacon executions, and Result.Assignments all observe
+// this effective schedule, so a drain or flap shows up as a catchment
+// shift everywhere downstream.
+func effectiveSchedule(cfg Config, w *World, rc bgp.Client) []bgp.Assignment {
+	sched := w.Router.AssignmentSchedule(rc, cfg.Days)
+	if !w.Faults.Empty() {
+		for d := range sched {
+			sched[d] = w.Faults.Rewrite(rc, d, sched[d], w.Router)
+		}
+	}
+	return sched
 }
 
 // beaconCount draws how many of a client-day's queries carry the beacon.

@@ -1,41 +1,29 @@
-package sim
+package sim_test
 
 import (
 	"testing"
 
 	"anycastcdn/internal/geo"
+	"anycastcdn/internal/sim"
+	"anycastcdn/internal/testutil"
 )
 
-// smallConfig keeps unit tests fast.
-func smallConfig(seed uint64) Config {
-	cfg := DefaultConfig(seed)
-	cfg.Prefixes = 600
-	cfg.Days = 9
-	cfg.QueriesPerVolume = 10
-	cfg.BeaconSampleRate = 0.2
-	cfg.MaxBeaconsPerClientDay = 12
-	return cfg
-}
-
 func TestBuildWorldErrors(t *testing.T) {
-	cfg := smallConfig(1)
+	cfg := testutil.SmallConfig(1)
 	cfg.Prefixes = 0
-	if _, err := BuildWorld(cfg); err == nil {
+	if _, err := sim.BuildWorld(cfg); err == nil {
 		t.Error("zero prefixes should fail")
 	}
-	cfg = smallConfig(1)
+	cfg = testutil.SmallConfig(1)
 	cfg.Days = 0
-	if _, err := BuildWorld(cfg); err == nil {
+	if _, err := sim.BuildWorld(cfg); err == nil {
 		t.Error("zero days should fail")
 	}
 }
 
 func TestRunShape(t *testing.T) {
-	cfg := smallConfig(2)
-	res, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := testutil.SmallResult(t)
+	cfg := res.Cfg
 	if len(res.Beacons) != cfg.Days {
 		t.Fatalf("beacon days = %d, want %d", len(res.Beacons), cfg.Days)
 	}
@@ -61,14 +49,14 @@ func TestRunShape(t *testing.T) {
 }
 
 func TestRunDeterministicAcrossWorkers(t *testing.T) {
-	cfg := smallConfig(3)
+	cfg := testutil.SmallConfig(3)
 	cfg.Workers = 1
-	a, err := Run(cfg)
+	a, err := sim.Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Workers = 8
-	b, err := Run(cfg)
+	b, err := sim.Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,11 +84,11 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 }
 
 func TestSeedChangesResults(t *testing.T) {
-	a, err := Run(smallConfig(10))
+	a, err := sim.Run(testutil.SmallConfig(10))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(smallConfig(11))
+	b, err := sim.Run(testutil.SmallConfig(11))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,10 +114,7 @@ func TestSeedChangesResults(t *testing.T) {
 }
 
 func TestVolumes(t *testing.T) {
-	res, err := Run(smallConfig(4))
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := testutil.SmallResult(t)
 	vols := res.Volumes()
 	if len(vols) != len(res.World.Population.Clients) {
 		t.Fatalf("volumes for %d clients, want %d", len(vols), len(res.World.Population.Clients))
@@ -142,10 +127,7 @@ func TestVolumes(t *testing.T) {
 }
 
 func TestPassiveLogConsistentWithAssignments(t *testing.T) {
-	res, err := Run(smallConfig(5))
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := testutil.SmallResult(t)
 	for _, r := range res.Passive.Records() {
 		if got := res.Assignments[r.ClientID][r.Day].FrontEnd; got != r.FrontEnd {
 			t.Fatalf("passive log FE %d != assignment FE %d for client %d day %d",
@@ -158,10 +140,7 @@ func TestPassiveLogConsistentWithAssignments(t *testing.T) {
 }
 
 func TestHeavyClientsRunMoreBeacons(t *testing.T) {
-	res, err := Run(smallConfig(6))
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := testutil.SmallResult(t)
 	perClient := map[uint64]int{}
 	for _, day := range res.Beacons {
 		for _, m := range day {
@@ -186,10 +165,7 @@ func TestHeavyClientsRunMoreBeacons(t *testing.T) {
 }
 
 func TestRegionsPresentInBeacons(t *testing.T) {
-	res, err := Run(smallConfig(7))
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := testutil.SmallResult(t)
 	regions := map[geo.Region]bool{}
 	for _, day := range res.Beacons {
 		for _, m := range day {
@@ -202,23 +178,23 @@ func TestRegionsPresentInBeacons(t *testing.T) {
 }
 
 func BenchmarkRunSmall(b *testing.B) {
-	cfg := smallConfig(1)
+	cfg := testutil.SmallConfig(1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(cfg); err != nil {
+		if _, err := sim.Run(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func TestBuildWorldDeploymentPresets(t *testing.T) {
-	cfg := smallConfig(30)
-	def, err := BuildWorld(cfg)
+	cfg := testutil.SmallConfig(30)
+	def, err := sim.BuildWorld(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Deployment = "sparse"
-	sparse, err := BuildWorld(cfg)
+	sparse, err := sim.BuildWorld(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +203,7 @@ func TestBuildWorldDeploymentPresets(t *testing.T) {
 			sparse.Deployment.NumFrontEnds(), def.Deployment.NumFrontEnds())
 	}
 	cfg.Deployment = "nonsense"
-	if _, err := BuildWorld(cfg); err == nil {
+	if _, err := sim.BuildWorld(cfg); err == nil {
 		t.Fatal("unknown preset should fail")
 	}
 }

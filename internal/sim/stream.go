@@ -47,12 +47,14 @@ func StreamWorld(cfg Config, w *World, fn func(DayResult) error) error {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// Assignment schedules are small; precompute them in parallel.
+	// Assignment schedules are small; precompute them in parallel. The
+	// effective schedule already has any fault scenario applied, exactly
+	// as Run's per-client path does.
 	schedules := make([][]bgp.Assignment, n)
 	parallelFor(n, workers, func(i int) {
 		c := w.Population.Clients[i]
 		rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
-		schedules[i] = w.Router.AssignmentSchedule(rc, cfg.Days)
+		schedules[i] = effectiveSchedule(cfg, w, rc)
 	})
 
 	type clientDay struct {

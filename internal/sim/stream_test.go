@@ -1,18 +1,18 @@
-package sim
+package sim_test
 
 import (
 	"errors"
 	"testing"
+
+	"anycastcdn/internal/sim"
+	"anycastcdn/internal/testutil"
 )
 
 func TestStreamMatchesRun(t *testing.T) {
-	cfg := smallConfig(21)
-	full, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	full := testutil.SmallResult(t)
+	cfg := full.Cfg
 	day := 0
-	err = Stream(cfg, func(d DayResult) error {
+	err := sim.Stream(cfg, func(d sim.DayResult) error {
 		if d.Day != day {
 			t.Fatalf("days out of order: got %d want %d", d.Day, day)
 		}
@@ -39,11 +39,7 @@ func TestStreamMatchesRun(t *testing.T) {
 }
 
 func TestStreamPassiveMatchesRun(t *testing.T) {
-	cfg := smallConfig(22)
-	full, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	full := testutil.SmallResult(t)
 	// Index run's passive records by (client, day).
 	type key struct {
 		client uint64
@@ -53,7 +49,7 @@ func TestStreamPassiveMatchesRun(t *testing.T) {
 	for _, r := range full.Passive.Records() {
 		want[key{r.ClientID, r.Day}] = r.Queries
 	}
-	err = Stream(cfg, func(d DayResult) error {
+	err := sim.Stream(full.Cfg, func(d sim.DayResult) error {
 		for _, r := range d.Passive {
 			if q, ok := want[key{r.ClientID, r.Day}]; !ok || q != r.Queries {
 				t.Fatalf("passive record mismatch for client %d day %d", r.ClientID, r.Day)
@@ -67,10 +63,10 @@ func TestStreamPassiveMatchesRun(t *testing.T) {
 }
 
 func TestStreamStopsOnError(t *testing.T) {
-	cfg := smallConfig(23)
+	cfg := testutil.SmallConfig(23)
 	sentinel := errors.New("stop")
 	calls := 0
-	err := Stream(cfg, func(d DayResult) error {
+	err := sim.Stream(cfg, func(d sim.DayResult) error {
 		calls++
 		if d.Day == 2 {
 			return sentinel
@@ -86,17 +82,17 @@ func TestStreamStopsOnError(t *testing.T) {
 }
 
 func TestStreamNilFn(t *testing.T) {
-	if err := Stream(smallConfig(24), nil); err == nil {
+	if err := sim.Stream(testutil.SmallConfig(24), nil); err == nil {
 		t.Fatal("nil fn should fail")
 	}
 }
 
 func BenchmarkStreamDay(b *testing.B) {
-	cfg := smallConfig(25)
+	cfg := testutil.SmallConfig(25)
 	cfg.Days = 2
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := Stream(cfg, func(DayResult) error { return nil }); err != nil {
+		if err := sim.Stream(cfg, func(sim.DayResult) error { return nil }); err != nil {
 			b.Fatal(err)
 		}
 	}

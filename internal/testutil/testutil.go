@@ -1,0 +1,103 @@
+// Package testutil provides the shared simulation fixtures the test
+// suites build on: canonical small configurations plus process-wide
+// cached worlds and runs, so packages stop re-simulating (and
+// copy-pasting) the same setup.
+//
+// The cached fixtures are built at most once per test process and shared
+// across callers; treat them as read-only. A test that needs to mutate a
+// world or wants a different shape should build its own from one of the
+// config constructors.
+package testutil
+
+import (
+	"sync"
+	"testing"
+
+	"anycastcdn/internal/sim"
+)
+
+// SmallConfig is the canonical fast unit-test configuration: 600 client
+// prefixes over 9 days with a raised beacon rate so per-client analyses
+// still have samples.
+func SmallConfig(seed uint64) sim.Config {
+	cfg := sim.DefaultConfig(seed)
+	cfg.Prefixes = 600
+	cfg.Days = 9
+	cfg.QueriesPerVolume = 10
+	cfg.BeaconSampleRate = 0.2
+	cfg.MaxBeaconsPerClientDay = 12
+	return cfg
+}
+
+// TinyConfig is the smallest useful run (500 prefixes, 5 days), for
+// API round-trip tests where only shape matters.
+func TinyConfig(seed uint64) sim.Config {
+	cfg := sim.DefaultConfig(seed)
+	cfg.Prefixes = 500
+	cfg.Days = 5
+	return cfg
+}
+
+// SuiteConfig is the experiments-suite fixture: big enough (1500
+// prefixes, 9 days) that figure shapes are stable, small enough to run
+// once per process.
+func SuiteConfig() sim.Config {
+	cfg := sim.DefaultConfig(7)
+	cfg.Prefixes = 1500
+	cfg.Days = 9
+	return cfg
+}
+
+var (
+	worldOnce sync.Once
+	worldVal  *sim.World
+	worldErr  error
+
+	smallOnce sync.Once
+	smallVal  *sim.Result
+	smallErr  error
+
+	suiteOnce sync.Once
+	suiteVal  *sim.Result
+	suiteErr  error
+)
+
+// SmallWorld returns a built (not simulated) world for SmallConfig(1),
+// cached for the test process. Read-only: installing faults or mutating
+// the population would leak into other tests.
+func SmallWorld(t testing.TB) *sim.World {
+	t.Helper()
+	worldOnce.Do(func() {
+		worldVal, worldErr = sim.BuildWorld(SmallConfig(1))
+	})
+	if worldErr != nil {
+		t.Fatal(worldErr)
+	}
+	return worldVal
+}
+
+// SmallResult returns a completed SmallConfig(1) run, cached for the
+// test process. Read-only.
+func SmallResult(t testing.TB) *sim.Result {
+	t.Helper()
+	smallOnce.Do(func() {
+		smallVal, smallErr = sim.Run(SmallConfig(1))
+	})
+	if smallErr != nil {
+		t.Fatal(smallErr)
+	}
+	return smallVal
+}
+
+// SuiteResult returns a completed SuiteConfig() run, cached for the test
+// process. Read-only; the experiments tests derive their Suite from it.
+func SuiteResult(t testing.TB) *sim.Result {
+	t.Helper()
+	suiteOnce.Do(func() {
+		suiteVal, suiteErr = sim.Run(SuiteConfig())
+	})
+	if suiteErr != nil {
+		t.Fatal(suiteErr)
+	}
+	return suiteVal
+}

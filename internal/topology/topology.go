@@ -319,6 +319,25 @@ func (b *Backbone) HotPotatoFrontEnd(ingress SiteID) (SiteID, units.Kilometers) 
 	return b.nearestFE[ingress], units.Kilometers(b.feDist[ingress])
 }
 
+// HotPotatoFrontEndExcluding returns the nearest-by-IGP front-end from
+// ingress among front-ends for which excluded reports false, with the
+// backbone distance to it. It is the drain-aware variant of
+// HotPotatoFrontEnd, used by the fault-injection layer: when a front-end
+// is drained, the CDN AS's interior routing falls through to the next
+// site. Returns (InvalidSite, +Inf) when every front-end is excluded.
+func (b *Backbone) HotPotatoFrontEndExcluding(ingress SiteID, excluded func(SiteID) bool) (SiteID, units.Kilometers) {
+	best, bestD := InvalidSite, math.Inf(1)
+	for _, fe := range b.frontEnds {
+		if excluded != nil && excluded(fe) {
+			continue
+		}
+		if d := b.igpDist[ingress][fe]; d < bestD {
+			best, bestD = fe, d
+		}
+	}
+	return best, units.Kilometers(bestD)
+}
+
 // Path returns the site-by-site backbone path from src to dst, inclusive.
 // Used by the traceroute reconstruction in internal/trace.
 func (b *Backbone) Path(src, dst SiteID) []SiteID {
