@@ -43,6 +43,7 @@ func benchSetup(b *testing.B) *experiments.Suite {
 	if benchErr != nil {
 		b.Fatal(benchErr)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	return benchSuite
 }
@@ -77,6 +78,7 @@ func BenchmarkFigure1(b *testing.B) {
 }
 
 func BenchmarkCDNSizeTable(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.CDNSizeTable()
 		if r.Table == nil {
@@ -210,6 +212,7 @@ func BenchmarkAblationCandidates5(b *testing.B) {
 	cfg.Prefixes = 800
 	cfg.Days = 2
 	cfg.CandidateCount = 5
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := sim.Run(cfg)
 		if err != nil {
@@ -232,6 +235,7 @@ func BenchmarkAblationNoWeekendChurn(b *testing.B) {
 	routing.WeekendFactor = 1.0
 	cfg.Routing = &routing
 	var weekly float64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := sim.Run(cfg)
 		if err != nil {

@@ -24,7 +24,12 @@
 #   7. coverage floor: the scenario engine and simulation core together
 #      must keep >= 80% statement coverage (artifact: cover_repro.out)
 #   8. benchmarks at -benchtime=1x, summarized by cmd/benchjson into the
-#      machine-readable artifact BENCH_repro.json
+#      machine-readable artifact BENCH_repro.json and gated against the
+#      checked-in BENCH_baseline.json: the baseline's benchmarks may not
+#      regress past 15%, BenchmarkAblationFloor50 must stay >= 3x faster
+#      than its pre-optimization baseline, and the xrand substream and
+#      latency sampling benchmarks must report 0 allocs/op; a failure
+#      names the benchmark and both the baseline and current ns/op
 #
 # Usage: ./ci.sh
 set -eu
@@ -68,7 +73,11 @@ awk -v t="$total" 'BEGIN {
 	printf "faults+sim coverage: %.1f%% (floor 80%%)\n", t
 }'
 
-echo '== benchmarks at -benchtime=1x (artifact: BENCH_repro.json)'
-go test -run '^$' -bench . -benchtime 1x -json ./... | go run ./cmd/benchjson -o BENCH_repro.json
+echo '== benchmarks at -benchtime=1x, gated against BENCH_baseline.json (artifact: BENCH_repro.json)'
+go test -run '^$' -bench . -benchtime 1x -json ./... | go run ./cmd/benchjson \
+	-o BENCH_repro.json \
+	-compare BENCH_baseline.json -tolerance 0.15 \
+	-minspeedup BenchmarkAblationFloor50=3 \
+	-maxallocs BenchmarkSubstream=0,BenchmarkSampleRTT=0
 
 echo '== ci.sh: all gates passed'

@@ -16,6 +16,10 @@
 //
 //	anycastsim -days 12 -scenario 'drain paris day=3 for=2; inflate europe day=5 ms=40'
 //	anycastsim -days 12 -scenario maintenance.scenario
+//
+// Profiling the hot path (inspect with `go tool pprof`):
+//
+//	anycastsim -prefixes 20000 -days 12 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -24,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -33,17 +39,62 @@ import (
 
 func main() {
 	var (
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		prefixes = flag.Int("prefixes", 0, "client /24 count (0 = default)")
-		days     = flag.Int("days", 0, "simulated days (0 = default)")
-		out      = flag.String("out", ".", "output directory")
-		scenario = flag.String("scenario", "", "fault scenario: inline event text or a file path")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		prefixes   = flag.Int("prefixes", 0, "client /24 count (0 = default)")
+		days       = flag.Int("days", 0, "simulated days (0 = default)")
+		out        = flag.String("out", ".", "output directory")
+		scenario   = flag.String("scenario", "", "fault scenario: inline event text or a file path")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
-	if err := run(*seed, *prefixes, *days, *out, *scenario); err != nil {
+	if err := runProfiled(*seed, *prefixes, *days, *out, *scenario, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "anycastsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runProfiled wraps run with the optional pprof captures, so profile
+// teardown happens on the error paths too.
+func runProfiled(seed uint64, prefixes, days int, out, scenario, cpuprofile, memprofile string) error {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return fmt.Errorf("creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "anycastsim: closing CPU profile:", err)
+			}
+		}()
+	}
+	err := run(seed, prefixes, days, out, scenario)
+	if memprofile != "" {
+		if merr := writeHeapProfile(memprofile); err == nil {
+			err = merr
+		}
+	}
+	return err
+}
+
+// writeHeapProfile snapshots live-heap allocations after a GC, matching
+// what `go test -memprofile` reports.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating heap profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("writing heap profile: %w", err)
+	}
+	return f.Close()
 }
 
 // loadScenario interprets the -scenario value: anything containing an

@@ -5,6 +5,23 @@
 // artifact (BENCH_repro.json) per run instead of scraping logs:
 //
 //	go test -bench=. -benchtime=1x -run '^$' -json ./... | benchjson -o BENCH_repro.json
+//
+// With -compare, benchjson additionally gates the run against a
+// checked-in baseline (BENCH_baseline.json) and exits non-zero naming the
+// offending benchmark with its baseline and current ns/op:
+//
+//	... | benchjson -o BENCH_repro.json -compare BENCH_baseline.json -tolerance 0.15 \
+//	        -minspeedup BenchmarkAblationFloor50=3 \
+//	        -maxallocs BenchmarkSubstream=0,BenchmarkSampleRTT=0
+//
+// Three checks run, all against the current results:
+//   - every benchmark named in the baseline must not exceed its baseline
+//     ns/op by more than -tolerance (fractional; 0.15 = +15%);
+//   - each -minspeedup entry must be at least that factor faster than its
+//     baseline ns/op (locks in an optimization instead of merely bounding
+//     regression);
+//   - each -maxallocs entry's allocs/op metric must not exceed the given
+//     count (requires b.ReportAllocs in the benchmark).
 package main
 
 import (
@@ -23,6 +40,7 @@ import (
 type event struct {
 	Action  string `json:"Action"`
 	Package string `json:"Package"`
+	Test    string `json:"Test"`
 	Output  string `json:"Output"`
 }
 
@@ -36,15 +54,43 @@ type result struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_repro.json", "output file")
+	var (
+		out       = flag.String("o", "BENCH_repro.json", "output file")
+		compare   = flag.String("compare", "", "baseline JSON file to gate against (empty = no gate)")
+		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional ns/op regression versus baseline")
+		minSpeed  = flag.String("minspeedup", "", "comma-separated Benchmark=factor minimum speedups versus baseline")
+		maxAlloc  = flag.String("maxallocs", "", "comma-separated Benchmark=count allocs/op ceilings")
+	)
 	flag.Parse()
-	if err := run(os.Stdin, *out); err != nil {
+	results, err := run(os.Stdin, *out)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *compare == "" {
+		return
+	}
+	baseline, err := loadBaseline(*compare)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	failures, err := gate(results, baseline, *tolerance, *minSpeed, *maxAlloc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchjson: GATE FAILED:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: gate passed against %s (%d baseline benchmarks, tolerance %.0f%%)\n",
+		*compare, len(baseline), *tolerance*100)
 }
 
-func run(in io.Reader, outPath string) error {
+func run(in io.Reader, outPath string) ([]result, error) {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	var results []result
@@ -58,10 +104,21 @@ func run(in io.Reader, outPath string) error {
 		}
 		if r, ok := parseBenchLine(ev.Package, ev.Output); ok {
 			results = append(results, r)
+			continue
+		}
+		// The testing package prints the benchmark name, runs the
+		// benchmark, then prints the measurements, so test2json usually
+		// delivers the name as its own partial-line event and the
+		// "       1\t123 ns/op\t..." line separately — with the benchmark
+		// name in the event's Test field. Rejoin them.
+		if strings.HasPrefix(ev.Test, "Benchmark") && strings.Contains(ev.Output, "ns/op") {
+			if r, ok := parseBenchLine(ev.Package, ev.Test+"\t"+ev.Output); ok {
+				results = append(results, r)
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, err
 	}
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Package != results[j].Package {
@@ -71,13 +128,13 @@ func run(in io.Reader, outPath string) error {
 	})
 	b, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("benchjson: wrote %d benchmark results to %s\n", len(results), outPath)
-	return nil
+	return results, nil
 }
 
 // parseBenchLine parses one benchmark result line of `go test -bench`
@@ -108,4 +165,109 @@ func parseBenchLine(pkg, line string) (result, bool) {
 		r.Metrics[unit] = v
 	}
 	return r, true
+}
+
+func loadBaseline(path string) ([]result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var rs []result
+	if err := json.Unmarshal(b, &rs); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// benchName strips the -GOMAXPROCS suffix go appends to benchmark names
+// ("BenchmarkX-8" → "BenchmarkX"), so baselines compare across machines.
+func benchName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// parseRequirements parses "BenchmarkA=3,BenchmarkB=0" lists.
+func parseRequirements(spec string) (map[string]float64, error) {
+	out := map[string]float64{}
+	if spec == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("malformed requirement %q (want Benchmark=value)", part)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("malformed requirement value in %q: %w", part, err)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+// gate checks current results against the baseline and the explicit
+// speedup/allocation requirements, returning one message per violation.
+func gate(current, baseline []result, tolerance float64, minSpeedSpec, maxAllocSpec string) ([]string, error) {
+	minSpeed, err := parseRequirements(minSpeedSpec)
+	if err != nil {
+		return nil, err
+	}
+	maxAlloc, err := parseRequirements(maxAllocSpec)
+	if err != nil {
+		return nil, err
+	}
+	cur := make(map[string]result, len(current))
+	for _, r := range current {
+		cur[benchName(r.Name)] = r
+	}
+	var failures []string
+	for _, base := range baseline {
+		name := benchName(base.Name)
+		r, ok := cur[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from this run", name))
+			continue
+		}
+		if base.NsPerOp > 0 && r.NsPerOp > base.NsPerOp*(1+tolerance) {
+			failures = append(failures, fmt.Sprintf(
+				"%s regressed: baseline %.0f ns/op, current %.0f ns/op (%+.0f%%, tolerance %.0f%%)",
+				name, base.NsPerOp, r.NsPerOp, (r.NsPerOp/base.NsPerOp-1)*100, tolerance*100))
+		}
+		if factor, want := minSpeed[name]; want {
+			delete(minSpeed, name)
+			if r.NsPerOp*factor > base.NsPerOp {
+				failures = append(failures, fmt.Sprintf(
+					"%s speedup %.2fx is below the required %.2fx: baseline %.0f ns/op, current %.0f ns/op",
+					name, base.NsPerOp/r.NsPerOp, factor, base.NsPerOp, r.NsPerOp))
+			}
+		}
+	}
+	// Any minspeedup entries left over name benchmarks absent from the
+	// baseline — that is a configuration error worth failing loudly on.
+	for name := range minSpeed {
+		failures = append(failures, fmt.Sprintf("%s: -minspeedup given but benchmark is not in the baseline", name))
+	}
+	for name, limit := range maxAlloc {
+		r, ok := cur[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: -maxallocs given but benchmark did not run", name))
+			continue
+		}
+		allocs, ok := r.Metrics["allocs/op"]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: no allocs/op metric (missing b.ReportAllocs?)", name))
+			continue
+		}
+		if allocs > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s allocates %.0f allocs/op, limit %.0f (%.0f ns/op)", name, allocs, limit, r.NsPerOp))
+		}
+	}
+	sort.Strings(failures)
+	return failures, nil
 }

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("anycastcdn/internal/latency",
+		"BenchmarkSampleRTT-8   \t 11487560\t       106.9 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("parseBenchLine rejected a valid line")
+	}
+	if r.Name != "BenchmarkSampleRTT-8" || r.Iterations != 11487560 {
+		t.Errorf("name/iterations = %q/%d", r.Name, r.Iterations)
+	}
+	if r.NsPerOp != 106.9 {
+		t.Errorf("ns/op = %v, want 106.9", r.NsPerOp)
+	}
+	if got := r.Metrics["allocs/op"]; got != 0 {
+		t.Errorf("allocs/op = %v, want 0", got)
+	}
+	if got := r.Metrics["B/op"]; got != 0 {
+		t.Errorf("B/op = %v, want 0", got)
+	}
+
+	for _, line := range []string{
+		"ok  \tanycastcdn/internal/latency\t1.2s",
+		"BenchmarkBroken-8\tnot-a-number\t5 ns/op",
+		"--- BENCH: BenchmarkX",
+		"PASS",
+	} {
+		if _, ok := parseBenchLine("p", line); ok {
+			t.Errorf("parseBenchLine accepted %q", line)
+		}
+	}
+}
+
+// TestRunRejoinsSplitEvents feeds run a realistic test2json stream where
+// the benchmark name and its measurement line arrive as separate output
+// events (the testing package prints the name, runs the benchmark, then
+// prints the numbers) — the measurement event's Test field names the
+// benchmark. A whole-line event must also still parse, and must not be
+// double-counted.
+func TestRunRejoinsSplitEvents(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"output","Package":"p","Test":"BenchmarkSplit","Output":"BenchmarkSplit\n"}`,
+		`{"Action":"output","Package":"p","Test":"BenchmarkSplit","Output":"BenchmarkSplit      \t"}`,
+		`{"Action":"output","Package":"p","Test":"BenchmarkSplit","Output":"       1\t129549734 ns/op\t         1.000 median-gain-ms\t43142016 B/op\t   22809 allocs/op\n"}`,
+		`{"Action":"output","Package":"p","Output":"BenchmarkWhole-8\t100\t250 ns/op\n"}`,
+		`{"Action":"output","Package":"p","Output":"PASS\n"}`,
+		`{"Action":"pass","Package":"p"}`,
+	}, "\n")
+	outPath := t.TempDir() + "/out.json"
+	results, err := run(strings.NewReader(stream), outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(results), results)
+	}
+	if results[0].Name != "BenchmarkSplit" || results[0].NsPerOp != 129549734 {
+		t.Errorf("split event parsed as %+v", results[0])
+	}
+	if results[0].Metrics["allocs/op"] != 22809 || results[0].Metrics["median-gain-ms"] != 1 {
+		t.Errorf("split event metrics = %v", results[0].Metrics)
+	}
+	if results[1].Name != "BenchmarkWhole-8" || results[1].NsPerOp != 250 {
+		t.Errorf("whole-line event parsed as %+v", results[1])
+	}
+}
+
+func TestBenchName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkSampleRTT-8":   "BenchmarkSampleRTT",
+		"BenchmarkSampleRTT-128": "BenchmarkSampleRTT",
+		"BenchmarkSampleRTT":     "BenchmarkSampleRTT",
+		"BenchmarkFoo-bar":       "BenchmarkFoo-bar",
+	}
+	for in, want := range cases {
+		if got := benchName(in); got != want {
+			t.Errorf("benchName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func bench(name string, ns float64, metrics map[string]float64) result {
+	return result{Package: "p", Name: name, Iterations: 1, NsPerOp: ns, Metrics: metrics}
+}
+
+func TestGateTolerance(t *testing.T) {
+	baseline := []result{bench("BenchmarkA", 1000, nil)}
+
+	fails, err := gate([]result{bench("BenchmarkA-8", 1100, nil)}, baseline, 0.15, "", "")
+	if err != nil || len(fails) != 0 {
+		t.Fatalf("within tolerance: fails=%v err=%v", fails, err)
+	}
+
+	fails, err = gate([]result{bench("BenchmarkA-8", 1300, nil)}, baseline, 0.15, "", "")
+	if err != nil || len(fails) != 1 {
+		t.Fatalf("regression: fails=%v err=%v", fails, err)
+	}
+	if !strings.Contains(fails[0], "BenchmarkA") ||
+		!strings.Contains(fails[0], "1000") || !strings.Contains(fails[0], "1300") {
+		t.Errorf("failure must name the benchmark and both ns/op values: %q", fails[0])
+	}
+
+	fails, err = gate(nil, baseline, 0.15, "", "")
+	if err != nil || len(fails) != 1 || !strings.Contains(fails[0], "missing from this run") {
+		t.Fatalf("missing benchmark: fails=%v err=%v", fails, err)
+	}
+}
+
+func TestGateMinSpeedup(t *testing.T) {
+	baseline := []result{bench("BenchmarkFloor", 9000, nil)}
+
+	fails, err := gate([]result{bench("BenchmarkFloor-4", 3000, nil)}, baseline, 0.15, "BenchmarkFloor=3", "")
+	if err != nil || len(fails) != 0 {
+		t.Fatalf("exactly 3x: fails=%v err=%v", fails, err)
+	}
+
+	fails, err = gate([]result{bench("BenchmarkFloor-4", 4000, nil)}, baseline, 0.15, "BenchmarkFloor=3", "")
+	if err != nil || len(fails) != 1 {
+		t.Fatalf("only 2.25x: fails=%v err=%v", fails, err)
+	}
+	if !strings.Contains(fails[0], "BenchmarkFloor") ||
+		!strings.Contains(fails[0], "9000") || !strings.Contains(fails[0], "4000") {
+		t.Errorf("failure must name the benchmark and both ns/op values: %q", fails[0])
+	}
+
+	// A minspeedup target absent from the baseline is a config error.
+	fails, err = gate([]result{bench("BenchmarkFloor-4", 10, nil)}, baseline, 0.15, "BenchmarkGone=2", "")
+	if err != nil || len(fails) != 1 || !strings.Contains(fails[0], "BenchmarkGone") {
+		t.Fatalf("unknown minspeedup target: fails=%v err=%v", fails, err)
+	}
+}
+
+func TestGateMaxAllocs(t *testing.T) {
+	cur := []result{
+		bench("BenchmarkZero-8", 10, map[string]float64{"allocs/op": 0}),
+		bench("BenchmarkLeaky-8", 10, map[string]float64{"allocs/op": 3}),
+		bench("BenchmarkSilent-8", 10, nil),
+	}
+
+	fails, err := gate(cur, nil, 0.15, "", "BenchmarkZero=0")
+	if err != nil || len(fails) != 0 {
+		t.Fatalf("zero allocs: fails=%v err=%v", fails, err)
+	}
+
+	fails, err = gate(cur, nil, 0.15, "", "BenchmarkLeaky=0")
+	if err != nil || len(fails) != 1 || !strings.Contains(fails[0], "3 allocs/op") {
+		t.Fatalf("leaky: fails=%v err=%v", fails, err)
+	}
+
+	// A benchmark without ReportAllocs must fail, not silently pass.
+	fails, err = gate(cur, nil, 0.15, "", "BenchmarkSilent=0")
+	if err != nil || len(fails) != 1 || !strings.Contains(fails[0], "ReportAllocs") {
+		t.Fatalf("missing metric: fails=%v err=%v", fails, err)
+	}
+
+	fails, err = gate(cur, nil, 0.15, "", "BenchmarkAbsent=0")
+	if err != nil || len(fails) != 1 || !strings.Contains(fails[0], "did not run") {
+		t.Fatalf("absent benchmark: fails=%v err=%v", fails, err)
+	}
+}
+
+func TestGateMalformedSpec(t *testing.T) {
+	if _, err := gate(nil, nil, 0.15, "BenchmarkA", ""); err == nil {
+		t.Error("want error for spec without '='")
+	}
+	if _, err := gate(nil, nil, 0.15, "", "BenchmarkA=x"); err == nil {
+		t.Error("want error for non-numeric value")
+	}
+}

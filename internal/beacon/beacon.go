@@ -66,6 +66,10 @@ func (m Measurement) AnycastPenaltyMs() units.Millis {
 	return m.Anycast.RTTms - m.BestUnicast().RTTms
 }
 
+// labelBeacon seeds the per-execution DNS target-selection stream; hashed
+// once so the per-beacon derivation is allocation-free.
+var labelBeacon = xrand.NewLabel("beacon")
+
 // Executor runs beacons against the simulated world.
 type Executor struct {
 	Router    *bgp.Router
@@ -85,8 +89,12 @@ type Executor struct {
 // unique; it seeds the randomized DNS target selection and sample noise.
 func (e *Executor) Run(c clients.Client, day int, assign bgp.Assignment, queryID uint64) Measurement {
 	ldns := e.Faults.Resolver(e.Mapping.Resolver(c.ID), day)
-	rs := xrand.Substream(e.Seed, "beacon", queryID)
-	targets := e.Authority.SelectBeaconTargets(ldns, rs)
+	// One stack-allocated stream serves the whole execution: first as the
+	// DNS target-selection stream, then (reseeded per sample) as scratch
+	// for all four latency samples.
+	var rs xrand.Stream
+	rs.Reseed(xrand.DeriveSeedL1(e.Seed, labelBeacon, queryID))
+	targets := e.Authority.SelectBeaconTargets(ldns, &rs)
 
 	m := Measurement{
 		QueryID:  queryID,
@@ -98,11 +106,11 @@ func (e *Executor) Run(c clients.Client, day int, assign bgp.Assignment, queryID
 	rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
 	extra := e.Faults.InflationMs(c.Region, day)
 
-	m.Anycast = e.sample(rc, day, assign, queryID, 0, extra)
-	sites := []topology.SiteID{targets.Closest, targets.Random[0], targets.Random[1]}
+	m.Anycast = e.sample(&rs, rc, day, assign, queryID, 0, extra)
+	sites := [3]topology.SiteID{targets.Closest, targets.Random[0], targets.Random[1]}
 	for i, site := range sites {
 		ua := e.Router.UnicastAssignment(rc, site)
-		m.Unicast[i] = e.sample(rc, day, ua, queryID, uint64(i+1), extra)
+		m.Unicast[i] = e.sample(&rs, rc, day, ua, queryID, uint64(i+1), extra)
 	}
 	return m
 }
@@ -123,20 +131,22 @@ func (e *Executor) MeasureCandidates(c clients.Client, day int, assign bgp.Assig
 	}
 	rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
 	extra := e.Faults.InflationMs(c.Region, day)
-	m.Anycast = e.sample(rc, day, assign, queryID, 0, extra)
+	var rs xrand.Stream
+	m.Anycast = e.sample(&rs, rc, day, assign, queryID, 0, extra)
 	cands := e.Authority.Candidates(ldns)
 	out := make([]TargetSample, len(cands))
 	for i, site := range cands {
 		ua := e.Router.UnicastAssignment(rc, site)
-		out[i] = e.sample(rc, day, ua, queryID, uint64(i+1), extra)
+		out[i] = e.sample(&rs, rc, day, ua, queryID, uint64(i+1), extra)
 	}
 	return m, out
 }
 
 // sample produces one measured RTT over a path. extraMs is regional fault
 // inflation added to the true RTT before browser-timing distortion, since
-// real congestion delays the path, not the clock.
-func (e *Executor) sample(rc bgp.Client, day int, a bgp.Assignment, queryID, slot uint64, extraMs units.Millis) TargetSample {
+// real congestion delays the path, not the clock. rs is stream scratch,
+// reseeded before each draw, shared across a measurement's targets.
+func (e *Executor) sample(rs *xrand.Stream, rc bgp.Client, day int, a bgp.Assignment, queryID, slot uint64, extraMs units.Millis) TargetSample {
 	// Each beacon execution runs in one household of the /24; all four
 	// samples of the execution share it.
 	const householdsPerPrefix = 6
@@ -149,10 +159,10 @@ func (e *Executor) sample(rc bgp.Client, day int, a bgp.Assignment, queryID, slo
 		Unicast:    a.Unicast,
 	}
 	sampleKey := queryID*8 + slot
-	trueRTT := e.Latency.SampleRTTms(p, day, sampleKey) + extraMs
+	trueRTT := e.Latency.SampleRTTmsInto(rs, p, day, sampleKey) + extraMs
 	// Browser timing fidelity is a property of the client, keyed by the
 	// client prefix (households keep their browser for the study window).
-	measured := e.Latency.MeasuredRTTms(trueRTT, rc.PrefixID, sampleKey)
+	measured := e.Latency.MeasuredRTTmsInto(rs, trueRTT, rc.PrefixID, sampleKey)
 	// Browser timings are reported at millisecond granularity; the
 	// analysis in §5-6 sees integer-ms latencies.
 	return TargetSample{

@@ -205,6 +205,7 @@ func BenchmarkBeaconRun(b *testing.B) {
 	c := pop.Clients[0]
 	rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
 	assign := router.Assign(rc, router.BaseIngress(rc))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = exec.Run(c, i%30, assign, uint64(i))

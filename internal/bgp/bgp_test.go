@@ -320,6 +320,7 @@ func BenchmarkAssignmentSchedule(b *testing.B) {
 	isps := topology.BuildISPs(bb, geo.World(), topology.DefaultISPModelConfig(1))
 	r := NewRouter(bb, isps, 42, DefaultConfig())
 	boston, _ := geo.FindMetro("boston")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := Client{PrefixID: uint64(i), Point: boston.Point, ISP: 0}

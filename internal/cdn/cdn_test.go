@@ -146,6 +146,7 @@ func TestCatalog(t *testing.T) {
 }
 
 func BenchmarkBuildDefault(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := BuildDefault(); err != nil {
 			b.Fatal(err)

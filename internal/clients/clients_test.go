@@ -207,6 +207,7 @@ func BenchmarkGenerate(b *testing.B) {
 	}
 	metros := geo.World()
 	isps := topology.BuildISPs(bb, metros, topology.DefaultISPModelConfig(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Generate(metros, isps, DefaultConfig(uint64(i), 2000)); err != nil {

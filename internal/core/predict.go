@@ -171,34 +171,73 @@ type Predictions struct {
 	scores map[uint64]units.Millis
 }
 
-// sampleKey indexes per-(group, target) samples during training.
-type sampleKey struct {
-	group  uint64
+// targetSamples is one (target, latency samples) bucket inside a group.
+type targetSamples struct {
 	target Target
+	rtts   []units.Millis
+}
+
+// trainGroup accumulates one group's per-target samples during training.
+// A group sees a handful of targets (anycast plus the LDNS's candidate
+// front-ends), so a linear scan of the bucket list beats hashing a
+// composite (group, target) key per observation.
+type trainGroup struct {
+	id      uint64
+	targets []targetSamples
+}
+
+// bucket returns the group's sample bucket for t, creating it on first
+// sight. Creation order is irrelevant to the outcome: pickTarget sorts
+// the buckets before scoring.
+func (tg *trainGroup) bucket(t Target) *targetSamples {
+	for i := range tg.targets {
+		if tg.targets[i].target == t {
+			return &tg.targets[i]
+		}
+	}
+	tg.targets = append(tg.targets, targetSamples{target: t})
+	return &tg.targets[len(tg.targets)-1]
 }
 
 // Train builds predictions from one interval's observations.
+//
+// Observations are bucketed per group in a single pass, so scoring a
+// group touches only its own handful of targets. (The original
+// implementation rescanned a flat (group, target)→samples map for every
+// group, which made training quadratic in the group count and dominated
+// the ablation benchmarks' CPU profile.)
 func (p *Predictor) Train(obs []Observation, g Grouping) *Predictions {
-	samples := map[sampleKey][]units.Millis{}
-	groups := map[uint64]bool{}
+	byGroup := make(map[uint64]int)
+	var groups []trainGroup
+	// A beacon measurement expands to four consecutive observations of
+	// one client, so the previous group's index is usually the next one's
+	// too; memoizing it skips three of every four map lookups.
+	lastIdx := -1
 	for _, o := range obs {
-		k := sampleKey{groupKey(o, g), o.Target}
-		samples[k] = append(samples[k], o.RTTms)
-		groups[k.group] = true
+		gid := groupKey(o, g)
+		idx := lastIdx
+		if idx < 0 || groups[idx].id != gid {
+			i, ok := byGroup[gid]
+			if !ok {
+				i = len(groups)
+				byGroup[gid] = i
+				groups = append(groups, trainGroup{id: gid})
+			}
+			idx = i
+			lastIdx = i
+		}
+		b := groups[idx].bucket(o.Target)
+		b.rtts = append(b.rtts, o.RTTms)
 	}
 	pr := &Predictions{
 		Grouping: g,
 		byGroup:  make(map[uint64]Target, len(groups)),
 		scores:   make(map[uint64]units.Millis, len(groups)),
 	}
-	// Deterministic iteration: sort group ids.
-	ids := make([]uint64, 0, len(groups))
-	for id := range groups {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		best, bestScore, anycastScore, ok := p.pickTarget(id, samples)
+	// Deterministic iteration: sort groups by id.
+	sort.Slice(groups, func(i, j int) bool { return groups[i].id < groups[j].id })
+	for i := range groups {
+		best, bestScore, anycastScore, ok := p.pickTarget(groups[i].targets)
 		if !ok {
 			continue // no qualifying target: group stays on anycast implicitly
 		}
@@ -210,46 +249,46 @@ func (p *Predictor) Train(obs []Observation, g Grouping) *Predictions {
 				bestScore = anycastScore
 			}
 		}
-		pr.byGroup[id] = best
-		pr.scores[id] = bestScore
+		pr.byGroup[groups[i].id] = best
+		pr.scores[groups[i].id] = bestScore
 	}
 	return pr
 }
 
-// pickTarget scores the group's qualifying targets and returns the best.
-// anycastScore is the anycast target's score (inf if unmeasured).
-func (p *Predictor) pickTarget(group uint64, samples map[sampleKey][]units.Millis) (best Target, bestScore, anycastScore units.Millis, ok bool) {
-	// Collect qualifying targets deterministically: anycast first, then
-	// unicast by site id.
-	var targets []Target
-	for k, ss := range samples {
-		if k.group != group || len(ss) < p.cfg.MinMeasurements {
+// pickTarget scores the group's qualifying sample buckets and returns the
+// best target. anycastScore is the anycast target's score (inf if
+// unmeasured).
+func (p *Predictor) pickTarget(cand []targetSamples) (best Target, bestScore, anycastScore units.Millis, ok bool) {
+	// Keep qualifying buckets and order them deterministically: anycast
+	// first, then unicast by site id.
+	targets := cand[:0:0]
+	for _, ts := range cand {
+		if len(ts.rtts) < p.cfg.MinMeasurements {
 			continue
 		}
-		targets = append(targets, k.target)
+		targets = append(targets, ts)
 	}
 	if len(targets) == 0 {
 		return Target{}, 0, 0, false
 	}
 	sort.Slice(targets, func(i, j int) bool {
-		if targets[i].Anycast != targets[j].Anycast {
-			return targets[i].Anycast
+		if targets[i].target.Anycast != targets[j].target.Anycast {
+			return targets[i].target.Anycast
 		}
-		return targets[i].Site < targets[j].Site
+		return targets[i].target.Site < targets[j].target.Site
 	})
 	bestScore = -1
 	anycastScore = 1e18
-	for _, t := range targets {
-		ss := samples[sampleKey{group, t}]
-		score, err := stats.Quantile(ss, float64(p.cfg.Metric))
+	for _, ts := range targets {
+		score, err := stats.Quantile(ts.rtts, float64(p.cfg.Metric))
 		if err != nil {
 			continue
 		}
-		if t.Anycast {
+		if ts.target.Anycast {
 			anycastScore = score
 		}
 		if bestScore < 0 || score < bestScore {
-			best, bestScore = t, score
+			best, bestScore = ts.target, score
 		}
 	}
 	return best, bestScore, anycastScore, bestScore >= 0

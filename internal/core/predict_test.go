@@ -2,10 +2,12 @@ package core
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"anycastcdn/internal/beacon"
 	"anycastcdn/internal/dns"
+	"anycastcdn/internal/stats"
 	"anycastcdn/internal/topology"
 	"anycastcdn/internal/units"
 )
@@ -286,6 +288,127 @@ func TestEvaluateDefaultsClamped(t *testing.T) {
 	}
 }
 
+// trainReference is the pre-optimization Train written the obvious O(G×K)
+// way: for every group, rescan the whole samples map for its qualifying
+// targets. The production Train indexes targets per group in one pass; the
+// two must agree exactly on every prediction and score (same target sort,
+// same tie-breaks), which TestTrainMatchesReference pins over a dense and
+// a sparse workload.
+func trainReference(p *Predictor, obs []Observation, g Grouping) *Predictions {
+	type sampleKey struct {
+		group  uint64
+		target Target
+	}
+	cfg := p.Config()
+	samples := map[sampleKey][]units.Millis{}
+	groups := map[uint64]bool{}
+	for _, o := range obs {
+		k := sampleKey{groupKey(o, g), o.Target}
+		samples[k] = append(samples[k], o.RTTms)
+		groups[k.group] = true
+	}
+	pr := &Predictions{Grouping: g, byGroup: map[uint64]Target{}, scores: map[uint64]units.Millis{}}
+	ids := make([]uint64, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		var targets []Target
+		for k, ss := range samples {
+			if k.group != id || len(ss) < cfg.MinMeasurements {
+				continue
+			}
+			targets = append(targets, k.target)
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		sort.Slice(targets, func(i, j int) bool {
+			if targets[i].Anycast != targets[j].Anycast {
+				return targets[i].Anycast
+			}
+			return targets[i].Site < targets[j].Site
+		})
+		best, bestScore, anycastScore := Target{}, units.Millis(-1), units.Millis(1e18)
+		for _, t := range targets {
+			score, err := stats.Quantile(samples[sampleKey{id, t}], float64(cfg.Metric))
+			if err != nil {
+				continue
+			}
+			if t.Anycast {
+				anycastScore = score
+			}
+			if bestScore < 0 || score < bestScore {
+				best, bestScore = t, score
+			}
+		}
+		if bestScore < 0 {
+			continue
+		}
+		if !best.Anycast && anycastScore-bestScore <= cfg.HybridMarginMs && cfg.HybridMarginMs > 0 {
+			best, bestScore = AnycastTarget, anycastScore
+		}
+		pr.byGroup[id] = best
+		pr.scores[id] = bestScore
+	}
+	return pr
+}
+
+// synthObs builds a deterministic mixed workload: some groups dense enough
+// to qualify several targets, some below the floor, ties included.
+func synthObs(clients int, perTarget int) []Observation {
+	var obs []Observation
+	for c := uint64(0); c < uint64(clients); c++ {
+		n := perTarget + int(c%9) - 4 // straddle the MinMeasurements floor
+		for fe := 0; fe < 4; fe++ {
+			t := Target{Site: topology.SiteID(fe)}
+			if fe == 0 {
+				t = AnycastTarget
+			}
+			for k := 0; k < n; k++ {
+				obs = append(obs, Observation{
+					ClientID: c,
+					LDNS:     dns.LDNSID(c % 20),
+					Target:   t,
+					RTTms:    units.Millis(20 + (fe+k)%11),
+					Slot:     uint8(fe),
+				})
+			}
+		}
+	}
+	return obs
+}
+
+func TestTrainMatchesReference(t *testing.T) {
+	for _, cfg := range []Config{
+		DefaultConfig(),
+		{Metric: MetricP25, MinMeasurements: 5},
+		{Metric: MetricMedian, MinMeasurements: 20, HybridMarginMs: 10},
+	} {
+		p := NewPredictor(cfg)
+		obs := synthObs(120, 22)
+		for _, g := range []Grouping{ByPrefix, ByLDNS} {
+			got := p.Train(obs, g)
+			want := trainReference(p, obs, g)
+			if len(got.byGroup) != len(want.byGroup) {
+				t.Fatalf("cfg %+v grouping %v: %d predictions, reference has %d",
+					cfg, g, len(got.byGroup), len(want.byGroup))
+			}
+			for id, wt := range want.byGroup {
+				if got.byGroup[id] != wt {
+					t.Fatalf("cfg %+v grouping %v group %d: predicted %v, reference %v",
+						cfg, g, id, got.byGroup[id], wt)
+				}
+				if got.scores[id] != want.scores[id] {
+					t.Fatalf("cfg %+v grouping %v group %d: score %v, reference %v",
+						cfg, g, id, got.scores[id], want.scores[id])
+				}
+			}
+		}
+	}
+}
+
 func BenchmarkTrain(b *testing.B) {
 	var obs []Observation
 	for c := uint64(0); c < 200; c++ {
@@ -300,6 +423,7 @@ func BenchmarkTrain(b *testing.B) {
 		}
 	}
 	p := NewPredictor(DefaultConfig())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = p.Train(obs, ByPrefix)

@@ -289,6 +289,7 @@ func BenchmarkSelectBeaconTargets(b *testing.B) {
 	auth := NewAuthority(dep, geo.PerfectDB(), 10)
 	l := LDNS{ID: 1, Point: geo.Point{Lat: 40, Lon: -80}}
 	rs := xrand.New(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = auth.SelectBeaconTargets(l, rs)

@@ -286,6 +286,7 @@ func TestRCodeRoundTrip(t *testing.T) {
 func BenchmarkPack(b *testing.B) {
 	q := NewQuery(1, "bench.example.com", TypeA)
 	q.SetECS(netip.MustParseAddr("10.0.0.0"), 24)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := q.Pack(); err != nil {
 			b.Fatal(err)
@@ -300,6 +301,7 @@ func BenchmarkUnpack(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Unpack(pkt); err != nil {

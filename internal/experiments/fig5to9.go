@@ -207,6 +207,7 @@ func (s *Suite) figure9(cfg core.Config) Report {
 	days := len(s.Res.Beacons)
 	obs := make([][]core.Observation, days)
 	for d := 0; d < days; d++ {
+		obs[d] = make([]core.Observation, 0, 4*len(s.Res.Beacons[d]))
 		for _, m := range s.Res.Beacons[d] {
 			obs[d] = append(obs[d], core.FromMeasurement(m)...)
 		}

@@ -179,6 +179,7 @@ func BenchmarkProxyFetch(b *testing.B) {
 	ctx := context.Background()
 	s := NewSessionFetch(0)
 	defer s.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Fetch(ctx, p.Addr(), "bench"); err != nil {

@@ -255,6 +255,7 @@ func median(xs []float64) float64 {
 func BenchmarkDistanceKm(b *testing.B) {
 	p1 := Point{40.71, -74.01}
 	p2 := Point{34.05, -118.24}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = DistanceKm(p1, p2)
 	}
@@ -267,6 +268,7 @@ func BenchmarkRankByDistance(b *testing.B) {
 		pts[i] = m.Point
 	}
 	p := Point{40.71, -74.01}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = RankByDistance(p, pts)

@@ -1,0 +1,83 @@
+package latency
+
+import (
+	"math"
+	"sync"
+
+	"anycastcdn/internal/units"
+	"anycastcdn/internal/xrand"
+)
+
+// dayKey identifies one memoized day-RTT value. Path is a comparable
+// struct of plain scalars, so it can key a map directly; the day is kept
+// alongside because congestion events are drawn per day.
+type dayKey struct {
+	p   Path
+	day int32
+}
+
+// dayCacheShards is the shard count of the day-RTT cache; a power of two
+// so shard selection is a mask. 64 shards keep lock contention negligible
+// at GOMAXPROCS-scale worker counts.
+const dayCacheShards = 64
+
+// dayShardMaxEntries bounds one shard's map. Memoized values are pure
+// functions of the model seed, so a full shard is simply reset and
+// repopulated on demand — eviction can never change a returned value,
+// which is what keeps paper-scale streaming runs (hundreds of thousands
+// of prefixes) memory-bounded without a replay hazard.
+const dayShardMaxEntries = 4096
+
+// dayShard is one lock-striped slice of the cache. mu guards m.
+type dayShard struct {
+	mu sync.RWMutex
+	m  map[dayKey]units.Millis
+}
+
+// dayCache memoizes DayRTTms per (path, day) behind striped RWMutexes so
+// parallel simulation workers share computed base RTTs race-free. Each
+// shard's mutex guards only that shard's map; values are deterministic in
+// the model seed, so concurrent duplicate computation is harmless.
+type dayCache struct {
+	shards [dayCacheShards]dayShard
+}
+
+func newDayCache() *dayCache {
+	c := &dayCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[dayKey]units.Millis)
+	}
+	return c
+}
+
+// shardOf hashes the key to a shard with deterministic mixing (Go's
+// randomized map hash only distributes entries inside a shard).
+func shardOf(k dayKey) uint64 {
+	h := xrand.Mix64(k.p.PrefixID ^ xrand.Mix64(k.p.EntryKey))
+	h = xrand.Mix64(h ^ k.p.Household ^ uint64(k.day)<<32)
+	h ^= math.Float64bits(k.p.AirKm.Float())
+	if k.p.Unicast {
+		h = xrand.Mix64(h ^ 1)
+	}
+	return h & (dayCacheShards - 1)
+}
+
+// get returns the cached value for k, if present.
+func (c *dayCache) get(k dayKey) (units.Millis, bool) {
+	sh := &c.shards[shardOf(k)]
+	sh.mu.RLock()
+	v, ok := sh.m[k]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// put stores v for k, resetting the shard first if it is full.
+func (c *dayCache) put(k dayKey, v units.Millis) {
+	sh := &c.shards[shardOf(k)]
+	sh.mu.Lock()
+	if len(sh.m) >= dayShardMaxEntries {
+		sh.m = make(map[dayKey]units.Millis, dayShardMaxEntries)
+	}
+	sh.m[k] = v
+	sh.mu.Unlock()
+}

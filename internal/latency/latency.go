@@ -123,15 +123,32 @@ func DefaultConfig() Config {
 	}
 }
 
-// Model produces latency samples.
+// Package-level label hashes: every per-sample substream derivation pays
+// only integer mixing, not a byte loop over the label string (the seeds
+// are identical to the string-label derivations; see xrand.Label).
+var (
+	labelLastMile   = xrand.NewLabel("lastmile")
+	labelInflation  = xrand.NewLabel("inflation")
+	labelHousehold  = xrand.NewLabel("household")
+	labelDetour     = xrand.NewLabel("unicast-detour")
+	labelCongestion = xrand.NewLabel("congestion")
+	labelJitter     = xrand.NewLabel("jitter")
+	labelTiming     = xrand.NewLabel("timing")
+	labelTimingBias = xrand.NewLabel("timing-bias")
+)
+
+// Model produces latency samples. It is safe for concurrent use: the only
+// mutable state is the sharded day-RTT memo cache, whose shard locks guard
+// their maps (see dayCache); everything else is read-only after NewModel.
 type Model struct {
-	cfg  Config
-	seed uint64
+	cfg   Config
+	seed  uint64
+	cache *dayCache
 }
 
 // NewModel returns a model rooted at seed.
 func NewModel(seed uint64, cfg Config) *Model {
-	return &Model{cfg: cfg, seed: seed}
+	return &Model{cfg: cfg, seed: seed, cache: newDayCache()}
 }
 
 // Config returns the model's configuration.
@@ -139,13 +156,15 @@ func (m *Model) Config() Config { return m.cfg }
 
 // LastMileMs returns the prefix's stable access-network delay.
 func (m *Model) LastMileMs(prefixID uint64) units.Millis {
-	rs := xrand.Substream(m.seed, "lastmile", prefixID)
+	var rs xrand.Stream
+	rs.Reseed(xrand.DeriveSeedL1(m.seed, labelLastMile, prefixID))
 	return units.Millis(m.cfg.LastMileMedianMs.Float() * rs.LogNormal(0, m.cfg.LastMileSigma))
 }
 
 // inflation returns the stable inflation factor for a path.
 func (m *Model) inflation(p Path) float64 {
-	rs := xrand.Substream(m.seed, "inflation", p.PrefixID, p.EntryKey)
+	var rs xrand.Stream
+	rs.Reseed(xrand.DeriveSeedL2(m.seed, labelInflation, p.PrefixID, p.EntryKey))
 	return m.cfg.InflationMin + rs.Float64()*(m.cfg.InflationMax-m.cfg.InflationMin)
 }
 
@@ -164,7 +183,8 @@ func (m *Model) householdFactor(p Path) float64 {
 	if m.cfg.HouseholdSigma <= 0 {
 		return 1
 	}
-	rs := xrand.Substream(m.seed, "household", p.PrefixID, p.Household)
+	var rs xrand.Stream
+	rs.Reseed(xrand.DeriveSeedL2(m.seed, labelHousehold, p.PrefixID, p.Household))
 	return rs.LogNormal(0, m.cfg.HouseholdSigma)
 }
 
@@ -174,7 +194,8 @@ func (m *Model) unicastDetourMs(p Path) units.Millis {
 	if !p.Unicast || m.cfg.UnicastDetourMedianMs <= 0 {
 		return 0
 	}
-	rs := xrand.Substream(m.seed, "unicast-detour", p.PrefixID, p.EntryKey)
+	var rs xrand.Stream
+	rs.Reseed(xrand.DeriveSeedL2(m.seed, labelDetour, p.PrefixID, p.EntryKey))
 	return units.Millis(m.cfg.UnicastDetourMedianMs.Float() * rs.LogNormal(0, m.cfg.UnicastDetourSigma))
 }
 
@@ -182,7 +203,8 @@ func (m *Model) unicastDetourMs(p Path) units.Millis {
 // (zero on most days). The event is stable within a day, producing the
 // "poor path for exactly one day" pattern of Figure 6.
 func (m *Model) CongestionMs(p Path, day int) units.Millis {
-	rs := xrand.Substream(m.seed, "congestion", p.PrefixID, p.EntryKey, uint64(day))
+	var rs xrand.Stream
+	rs.Reseed(xrand.DeriveSeedL3(m.seed, labelCongestion, p.PrefixID, p.EntryKey, uint64(day)))
 	if !rs.Bool(m.cfg.CongestionDailyRate) {
 		return 0
 	}
@@ -191,14 +213,37 @@ func (m *Model) CongestionMs(p Path, day int) units.Millis {
 
 // DayRTTms returns the path RTT for a given day including any congestion
 // event but no per-sample jitter.
+//
+// The value is memoized per (path, day): it is a pure function of the
+// model seed, drawn from substreams that no other derivation touches, so
+// caching skips recomputation without changing any stream's draw order —
+// a replay with or without cache hits is byte-identical. Every sample of
+// a path-day shares this value, which turns the three lognormal draws of
+// BaseRTTms from a per-sample cost into a per-path-day cost.
 func (m *Model) DayRTTms(p Path, day int) units.Millis {
-	return m.BaseRTTms(p) + m.CongestionMs(p, day)
+	k := dayKey{p: p, day: int32(day)}
+	if v, ok := m.cache.get(k); ok {
+		return v
+	}
+	v := m.BaseRTTms(p) + m.CongestionMs(p, day)
+	m.cache.put(k, v)
+	return v
 }
 
 // SampleRTTms returns one measured RTT sample: day RTT plus per-sample
 // jitter. sampleKey must differ between samples of the same path and day.
 func (m *Model) SampleRTTms(p Path, day int, sampleKey uint64) units.Millis {
-	rs := xrand.Substream(m.seed, "jitter", p.PrefixID, p.EntryKey, uint64(day), sampleKey)
+	var rs xrand.Stream
+	return m.SampleRTTmsInto(&rs, p, day, sampleKey)
+}
+
+// SampleRTTmsInto is SampleRTTms with caller-provided stream scratch: rs
+// is reseeded to the sample's jitter substream before use, so one
+// stack-allocated Stream can serve every sample of a measurement (the
+// beacon executor reuses one across its four targets). Results are
+// identical to SampleRTTms.
+func (m *Model) SampleRTTmsInto(rs *xrand.Stream, p Path, day int, sampleKey uint64) units.Millis {
+	rs.Reseed(xrand.DeriveSeedL4(m.seed, labelJitter, p.PrefixID, p.EntryKey, uint64(day), sampleKey))
 	rtt := m.DayRTTms(p, day).Float() + rs.Exp(m.cfg.JitterMeanMs.Float())
 	if m.cfg.JitterBurstProb > 0 && rs.Bool(m.cfg.JitterBurstProb) {
 		rtt += rs.Exp(m.cfg.JitterBurstMeanMs.Float())
@@ -211,10 +256,17 @@ func (m *Model) SampleRTTms(p Path, day int, sampleKey uint64) units.Millis {
 // value from JavaScript primitive timings (§3.2.2 of the paper).
 // browserKey identifies the client browser so support is stable per client.
 func (m *Model) MeasuredRTTms(trueRTT units.Millis, browserKey uint64, sampleKey uint64) units.Millis {
-	rs := xrand.Substream(m.seed, "timing", browserKey)
+	var rs xrand.Stream
+	return m.MeasuredRTTmsInto(&rs, trueRTT, browserKey, sampleKey)
+}
+
+// MeasuredRTTmsInto is MeasuredRTTms with caller-provided stream scratch
+// (reseeded before each use; see SampleRTTmsInto).
+func (m *Model) MeasuredRTTmsInto(rs *xrand.Stream, trueRTT units.Millis, browserKey uint64, sampleKey uint64) units.Millis {
+	rs.Reseed(xrand.DeriveSeedL1(m.seed, labelTiming, browserKey))
 	if rs.Bool(m.cfg.ResourceTimingSupportRate) {
 		return trueRTT
 	}
-	bias := xrand.Substream(m.seed, "timing-bias", browserKey, sampleKey)
-	return trueRTT + units.Millis(bias.Exp(m.cfg.PrimitiveTimingBiasMs.Float()))
+	rs.Reseed(xrand.DeriveSeedL2(m.seed, labelTimingBias, browserKey, sampleKey))
+	return trueRTT + units.Millis(rs.Exp(m.cfg.PrimitiveTimingBiasMs.Float()))
 }

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"anycastcdn/internal/units"
+	"anycastcdn/internal/xrand"
 )
 
 func model() *Model { return NewModel(42, DefaultConfig()) }
@@ -200,10 +201,96 @@ func medianOf(xs []float64) float64 {
 	return s[len(s)/2]
 }
 
+func TestDayRTTCacheTransparent(t *testing.T) {
+	// The memo cache must be invisible: a fresh model (cold cache) and a
+	// heavily exercised model (warm cache, including evictions) agree on
+	// every value.
+	warm := model()
+	for i := uint64(0); i < 3000; i++ {
+		p := Path{PrefixID: i, EntryKey: i % 7, AirKm: 500}
+		_ = warm.DayRTTms(p, int(i%30))
+	}
+	cold := NewModel(42, DefaultConfig())
+	for i := uint64(0); i < 200; i++ {
+		p := Path{PrefixID: i, EntryKey: i % 7, AirKm: 500, BackboneKm: 100, Household: i % 6}
+		for day := 0; day < 5; day++ {
+			if warm.DayRTTms(p, day) != cold.DayRTTms(p, day) {
+				t.Fatalf("cached DayRTTms diverged from cold model at prefix %d day %d", i, day)
+			}
+			if warm.SampleRTTms(p, day, i) != cold.SampleRTTms(p, day, i) {
+				t.Fatalf("SampleRTTms diverged across cache states at prefix %d day %d", i, day)
+			}
+		}
+	}
+}
+
+func TestDayRTTCacheEvictionKeepsValues(t *testing.T) {
+	m := model()
+	p := Path{PrefixID: 1, EntryKey: 2, AirKm: 800}
+	want := m.DayRTTms(p, 0)
+	// Overflow every shard several times over.
+	for i := uint64(0); i < dayCacheShards*dayShardMaxEntries/4; i++ {
+		q := Path{PrefixID: i + 100, EntryKey: i % 13, AirKm: 300}
+		_ = m.DayRTTms(q, int(i%30))
+	}
+	if got := m.DayRTTms(p, 0); got != want {
+		t.Fatalf("DayRTTms changed after shard evictions: %v vs %v", got, want)
+	}
+}
+
+func TestSampleRTTIntoMatchesSampleRTT(t *testing.T) {
+	m := model()
+	var rs xrand.Stream
+	for i := uint64(0); i < 500; i++ {
+		p := Path{PrefixID: i, EntryKey: 3, AirKm: 900, Unicast: i%2 == 0}
+		day := int(i % 30)
+		if m.SampleRTTmsInto(&rs, p, day, i) != m.SampleRTTms(p, day, i) {
+			t.Fatalf("SampleRTTmsInto diverged at prefix %d", i)
+		}
+		if m.MeasuredRTTmsInto(&rs, 50, i, 1) != m.MeasuredRTTms(50, i, 1) {
+			t.Fatalf("MeasuredRTTmsInto diverged at browser %d", i)
+		}
+	}
+}
+
+// TestSampleRTTZeroAlloc pins the warm-cache sampling path at zero heap
+// allocations per sample (DESIGN.md §11).
+func TestSampleRTTZeroAlloc(t *testing.T) {
+	m := model()
+	p := Path{PrefixID: 1, EntryKey: 2, AirKm: 1200, BackboneKm: 300}
+	for day := 0; day < 30; day++ {
+		_ = m.SampleRTTms(p, day, 0) // warm the day cache
+	}
+	var rs xrand.Stream
+	var k uint64
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = m.SampleRTTmsInto(&rs, p, int(k%30), k)
+		k++
+	})
+	if allocs != 0 {
+		t.Fatalf("warm SampleRTTmsInto allocates %.1f times per run, want 0", allocs)
+	}
+}
+
 func BenchmarkSampleRTT(b *testing.B) {
 	m := model()
 	p := Path{PrefixID: 1, EntryKey: 2, AirKm: 1200, BackboneKm: 300}
+	var rs xrand.Stream
+	for day := 0; day < 30; day++ {
+		_ = m.SampleRTTms(p, day, 0) // warm the day cache so 1-iteration CI runs measure the steady state
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = m.SampleRTTms(p, i%30, uint64(i))
+		_ = m.SampleRTTmsInto(&rs, p, i%30, uint64(i))
+	}
+}
+
+func BenchmarkDayRTTCold(b *testing.B) {
+	m := model()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := Path{PrefixID: uint64(i), EntryKey: 2, AirKm: 1200, BackboneKm: 300}
+		_ = m.DayRTTms(p, i%30)
 	}
 }

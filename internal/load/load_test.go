@@ -289,6 +289,7 @@ func BenchmarkConverge(b *testing.B) {
 	}
 	demand[fes[1]] = 250
 	layers := []Layer{{Sites: fes}, {Sites: []topology.SiteID{fes[0], fes[2], fes[4]}}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bal, err := NewBalancer(bb, layers, caps)

@@ -41,6 +41,20 @@ type Log struct {
 // Append adds a record.
 func (l *Log) Append(r DayRecord) { l.records = append(l.records, r) }
 
+// Grow reserves capacity for n additional records, so bulk loaders (the
+// simulation reduce knows its exact row count up front) avoid incremental
+// reallocation.
+func (l *Log) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if free := cap(l.records) - len(l.records); free < n {
+		grown := make([]DayRecord, len(l.records), len(l.records)+n)
+		copy(grown, l.records)
+		l.records = grown
+	}
+}
+
 // Len returns the number of records.
 func (l *Log) Len() int { return len(l.records) }
 

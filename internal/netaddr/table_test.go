@@ -152,6 +152,7 @@ func BenchmarkTableLookup(b *testing.B) {
 		tb.Insert24(p, uint64(i))
 	}
 	addr := netip.AddrFrom4([4]byte{10, 100, 50, 3})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tb.Lookup(addr)

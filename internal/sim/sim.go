@@ -244,6 +244,13 @@ type clientOutput struct {
 	beacons     []beacon.Measurement
 }
 
+// Per-run substream labels, hashed once (see xrand.Label).
+var (
+	labelTraffic     = xrand.NewLabel("traffic")
+	labelQID         = xrand.NewLabel("qid")
+	labelBeaconCount = xrand.NewLabel("beacon-count")
+)
+
 // RunWorld simulates over an already-built world. The run is
 // deterministic: all randomness derives from per-entity substreams, so the
 // parallel schedule cannot affect results.
@@ -278,6 +285,24 @@ func RunWorld(cfg Config, w *World) (*Result, error) {
 		Passive:     &logs.Log{},
 		Assignments: make([][]bgp.Assignment, n),
 	}
+	// Two-pass reduce: count, then fill into exactly-sized buckets. The
+	// per-client outputs are already materialized, so a counting pass is
+	// two cache-friendly sweeps instead of O(clients×days) incremental
+	// append growth on the shared day slices.
+	perDay := make([]int, cfg.Days)
+	totalPassive := 0
+	for i := range outs {
+		totalPassive += len(outs[i].passive)
+		for _, m := range outs[i].beacons {
+			perDay[m.Day]++
+		}
+	}
+	res.Passive.Grow(totalPassive)
+	for d, c := range perDay {
+		if c > 0 {
+			res.Beacons[d] = make([]beacon.Measurement, 0, c)
+		}
+	}
 	for i := range outs {
 		res.Assignments[i] = outs[i].assignments
 		for _, r := range outs[i].passive {
@@ -290,15 +315,26 @@ func RunWorld(cfg Config, w *World) (*Result, error) {
 	return res, nil
 }
 
-// simulateClient walks one client through all days.
+// simulateClient walks one client through all days. Passive rows and
+// beacon counts are deterministic functions of the config, so both output
+// slices are sized exactly before the beacon executions run: pass one
+// fills the per-day log (one record per day, drawing each day's query
+// volume) and sums beacon counts; pass two re-derives each day's count
+// from its own substream — identical by construction — and executes into
+// a slice that never reallocates.
 func simulateClient(cfg Config, w *World, c clients.Client) clientOutput {
 	rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
 	sched := effectiveSchedule(cfg, w, rc)
 	base := w.Router.Assign(rc, w.Router.BaseIngress(rc))
-	out := clientOutput{assignments: sched}
+	out := clientOutput{
+		assignments: sched,
+		passive:     make([]logs.DayRecord, 0, cfg.Days),
+	}
+	trafficSeed := xrand.DeriveSeedL(cfg.Seed, labelTraffic)
+	totalBeacons := 0
 	for day := 0; day < cfg.Days; day++ {
 		weekend := w.Router.IsWeekend(day)
-		q := c.QueriesOnDay(xrand.DeriveSeed(cfg.Seed, "traffic"), day, weekend, cfg.QueriesPerVolume)
+		q := c.QueriesOnDay(trafficSeed, day, weekend, cfg.QueriesPerVolume)
 		prevFE := base.FrontEnd
 		if day > 0 {
 			prevFE = sched[day-1].FrontEnd
@@ -311,12 +347,20 @@ func simulateClient(cfg Config, w *World, c clients.Client) clientOutput {
 			PrevFrontEnd: prevFE,
 			Queries:      q,
 		})
+		totalBeacons += beaconCount(cfg, c.ID, day, q)
+	}
+	if totalBeacons == 0 {
+		return out
+	}
+	out.beacons = make([]beacon.Measurement, 0, totalBeacons)
+	for day := 0; day < cfg.Days; day++ {
+		q := out.passive[day].Queries
 		if q == 0 {
 			continue
 		}
 		nb := beaconCount(cfg, c.ID, day, q)
 		for k := 0; k < nb; k++ {
-			qid := xrand.DeriveSeed(cfg.Seed, "qid", c.ID, uint64(day), uint64(k))
+			qid := xrand.DeriveSeedL3(cfg.Seed, labelQID, c.ID, uint64(day), uint64(k))
 			out.beacons = append(out.beacons, w.Executor.Run(c, day, sched[day], qid))
 		}
 	}
@@ -341,10 +385,14 @@ func effectiveSchedule(cfg Config, w *World, rc bgp.Client) []bgp.Assignment {
 }
 
 // beaconCount draws how many of a client-day's queries carry the beacon.
+// It draws from its own substream, so calling it twice for the same
+// client-day (the count pass and the fill pass of simulateClient) returns
+// the same value without perturbing any other stream.
 func beaconCount(cfg Config, clientID uint64, day, queries int) int {
 	expect := float64(queries) * cfg.BeaconSampleRate
 	nb := int(expect)
-	rs := xrand.Substream(cfg.Seed, "beacon-count", clientID, uint64(day))
+	var rs xrand.Stream
+	rs.Reseed(xrand.DeriveSeedL2(cfg.Seed, labelBeaconCount, clientID, uint64(day)))
 	if rs.Float64() < expect-float64(nb) {
 		nb++
 	}

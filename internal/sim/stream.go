@@ -67,7 +67,17 @@ func StreamWorld(cfg Config, w *World, fn func(DayResult) error) error {
 			c := w.Population.Clients[i]
 			buf[i] = simulateClientDay(cfg, w, c, schedules[i], day)
 		})
-		out := DayResult{Day: day}
+		// Count-then-fill: sizes are known once the workers finish, so the
+		// day's output slices are allocated exactly once.
+		nBeacons := 0
+		for i := range buf {
+			nBeacons += len(buf[i].beacons)
+		}
+		out := DayResult{
+			Day:     day,
+			Passive: make([]logs.DayRecord, 0, n),
+			Beacons: make([]beacon.Measurement, 0, nBeacons),
+		}
 		for i := range buf {
 			out.Passive = append(out.Passive, buf[i].passive)
 			out.Beacons = append(out.Beacons, buf[i].beacons...)
@@ -88,7 +98,7 @@ func simulateClientDay(cfg Config, w *World, c clients.Client, sched []bgp.Assig
 }) {
 	rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
 	weekend := w.Router.IsWeekend(day)
-	q := c.QueriesOnDay(xrand.DeriveSeed(cfg.Seed, "traffic"), day, weekend, cfg.QueriesPerVolume)
+	q := c.QueriesOnDay(xrand.DeriveSeedL(cfg.Seed, labelTraffic), day, weekend, cfg.QueriesPerVolume)
 	prevFE := sched[day].FrontEnd
 	if day > 0 {
 		prevFE = sched[day-1].FrontEnd
@@ -108,8 +118,11 @@ func simulateClientDay(cfg Config, w *World, c clients.Client, sched []bgp.Assig
 		return out
 	}
 	nb := beaconCount(cfg, c.ID, day, q)
+	if nb > 0 {
+		out.beacons = make([]beacon.Measurement, 0, nb)
+	}
 	for k := 0; k < nb; k++ {
-		qid := xrand.DeriveSeed(cfg.Seed, "qid", c.ID, uint64(day), uint64(k))
+		qid := xrand.DeriveSeedL3(cfg.Seed, labelQID, c.ID, uint64(day), uint64(k))
 		out.beacons = append(out.beacons, w.Executor.Run(c, day, sched[day], qid))
 	}
 	return out

@@ -281,6 +281,7 @@ func BenchmarkECDFBuild(b *testing.B) {
 	for i := range xs {
 		xs[i] = float64((i * 7919) % 10007)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := NewECDF(xs); err != nil {
@@ -295,6 +296,7 @@ func BenchmarkECDFLookup(b *testing.B) {
 		xs[i] = float64((i * 7919) % 10007)
 	}
 	e, _ := NewECDF(xs)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = e.P(float64(i % 10007))

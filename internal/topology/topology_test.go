@@ -303,6 +303,7 @@ func TestEgressPolicyString(t *testing.T) {
 
 func BenchmarkBuildBackbone(b *testing.B) {
 	specs := testSpecs()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Build(specs, 3); err != nil {
 			b.Fatal(err)

@@ -24,9 +24,19 @@ type Stream struct {
 
 // New returns a stream seeded from seed.
 func New(seed uint64) *Stream {
-	s := &Stream{state: mix64(seed), inc: mix64(seed^0x9e3779b97f4a7c15) | 1}
-	s.Uint64() // warm up so similar seeds diverge immediately
+	s := &Stream{}
+	s.Reseed(seed)
 	return s
+}
+
+// Reseed reinitializes s in place to the exact state New(seed) produces.
+// It lets hot paths keep one stack-allocated Stream value and re-point it
+// at successive substreams instead of heap-allocating a *Stream per
+// sample: `var s Stream; s.Reseed(seed)` is equivalent to `s := *New(seed)`.
+func (s *Stream) Reseed(seed uint64) {
+	s.state = mix64(seed)
+	s.inc = mix64(seed^0x9e3779b97f4a7c15) | 1
+	s.Uint64() // warm up so similar seeds diverge immediately
 }
 
 // mix64 is the SplitMix64 finalizer: a bijective mixing of 64-bit values
@@ -61,6 +71,54 @@ func DeriveSeed(root uint64, label string, keys ...uint64) uint64 {
 	return h
 }
 
+// Label is a precomputed label hash for the non-variadic DeriveSeed fast
+// paths. Hashing a label string costs a byte loop per call; hot paths that
+// derive millions of substreams per run hash each label once at package
+// init (`var labelJitter = xrand.NewLabel("jitter")`) and use the L-suffix
+// derivations below, which are guaranteed to produce the same seeds as
+// DeriveSeed/Substream with the equivalent string label.
+type Label uint64
+
+// NewLabel precomputes the hash of a label string.
+func NewLabel(label string) Label { return Label(hashLabel(label)) }
+
+// Mix64 exposes the SplitMix64 finalizer used throughout seed derivation;
+// callers use it to build cheap deterministic hashes (e.g. cache shard
+// selection) that must not depend on process-randomized map hashing.
+func Mix64(x uint64) uint64 { return mix64(x) }
+
+// DeriveSeedL is the zero-key fast path of DeriveSeed: identical output,
+// no variadic slice, label hashed ahead of time.
+func DeriveSeedL(root uint64, label Label) uint64 {
+	return mix64(root ^ uint64(label))
+}
+
+// DeriveSeedL1 derives a seed from one key without variadic overhead.
+func DeriveSeedL1(root uint64, label Label, k1 uint64) uint64 {
+	return mix64(mix64(root^uint64(label)) ^ mix64(k1))
+}
+
+// DeriveSeedL2 derives a seed from two keys without variadic overhead.
+func DeriveSeedL2(root uint64, label Label, k1, k2 uint64) uint64 {
+	h := mix64(mix64(root^uint64(label)) ^ mix64(k1))
+	return mix64(h ^ mix64(k2))
+}
+
+// DeriveSeedL3 derives a seed from three keys without variadic overhead.
+func DeriveSeedL3(root uint64, label Label, k1, k2, k3 uint64) uint64 {
+	h := mix64(mix64(root^uint64(label)) ^ mix64(k1))
+	h = mix64(h ^ mix64(k2))
+	return mix64(h ^ mix64(k3))
+}
+
+// DeriveSeedL4 derives a seed from four keys without variadic overhead.
+func DeriveSeedL4(root uint64, label Label, k1, k2, k3, k4 uint64) uint64 {
+	h := mix64(mix64(root^uint64(label)) ^ mix64(k1))
+	h = mix64(h ^ mix64(k2))
+	h = mix64(h ^ mix64(k3))
+	return mix64(h ^ mix64(k4))
+}
+
 // Derive returns a new independent stream identified by label and keys.
 // Streams derived with the same arguments from equal parents are identical.
 func (s *Stream) Derive(label string, keys ...uint64) *Stream {
@@ -71,6 +129,17 @@ func (s *Stream) Derive(label string, keys ...uint64) *Stream {
 // without constructing an intermediate stream.
 func Substream(root uint64, label string, keys ...uint64) *Stream {
 	return New(DeriveSeed(root, label, keys...))
+}
+
+// SubstreamInto reseeds s to the substream Substream(root, label, keys...)
+// would return, without allocating. The label is a precomputed Label; s is
+// typically a stack-allocated Stream reused across many derivations.
+func SubstreamInto(s *Stream, root uint64, label Label, keys ...uint64) {
+	h := mix64(root ^ uint64(label))
+	for _, k := range keys {
+		h = mix64(h ^ mix64(k))
+	}
+	s.Reseed(h)
 }
 
 // Uint64 returns the next 64 random bits.

@@ -265,8 +265,82 @@ func TestDeriveSeedAvalancheProperty(t *testing.T) {
 	}
 }
 
+func TestReseedMatchesNew(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		var s Stream
+		s.Reseed(seed)
+		want := New(seed)
+		for i := 0; i < 20; i++ {
+			if got, exp := s.Uint64(), want.Uint64(); got != exp {
+				t.Fatalf("seed %d draw %d: Reseed stream %d, New stream %d", seed, i, got, exp)
+			}
+		}
+	}
+}
+
+func TestDeriveSeedFastPathsMatchVariadic(t *testing.T) {
+	l := NewLabel("fastpath")
+	for root := uint64(0); root < 50; root++ {
+		k := []uint64{root * 3, root ^ 0xdead, root + 7, root << 5}
+		cases := []struct {
+			got, want uint64
+		}{
+			{DeriveSeedL(root, l), DeriveSeed(root, "fastpath")},
+			{DeriveSeedL1(root, l, k[0]), DeriveSeed(root, "fastpath", k[0])},
+			{DeriveSeedL2(root, l, k[0], k[1]), DeriveSeed(root, "fastpath", k[0], k[1])},
+			{DeriveSeedL3(root, l, k[0], k[1], k[2]), DeriveSeed(root, "fastpath", k[0], k[1], k[2])},
+			{DeriveSeedL4(root, l, k[0], k[1], k[2], k[3]), DeriveSeed(root, "fastpath", k[0], k[1], k[2], k[3])},
+		}
+		for i, c := range cases {
+			if c.got != c.want {
+				t.Fatalf("root %d: fast path with %d keys derived %d, variadic derived %d", root, i, c.got, c.want)
+			}
+		}
+	}
+}
+
+func TestSubstreamIntoMatchesSubstream(t *testing.T) {
+	l := NewLabel("into")
+	var s Stream
+	for root := uint64(0); root < 50; root++ {
+		SubstreamInto(&s, root, l, root, root*2)
+		want := Substream(root, "into", root, root*2)
+		for i := 0; i < 10; i++ {
+			if got, exp := s.Uint64(), want.Uint64(); got != exp {
+				t.Fatalf("root %d draw %d: SubstreamInto %d, Substream %d", root, i, got, exp)
+			}
+		}
+	}
+}
+
+func TestMix64MatchesInternal(t *testing.T) {
+	for x := uint64(0); x < 100; x++ {
+		if Mix64(x) != mix64(x) {
+			t.Fatalf("Mix64(%d) diverged from internal mix64", x)
+		}
+	}
+}
+
+// TestSubstreamFastPathZeroAlloc pins the hot derivation path at zero
+// heap allocations per sample; the simulation's throughput ceiling
+// depends on it (DESIGN.md §11).
+func TestSubstreamFastPathZeroAlloc(t *testing.T) {
+	l := NewLabel("alloc")
+	var s Stream
+	var sink uint64
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Reseed(DeriveSeedL4(9, l, 1, 2, 3, 4))
+		sink += s.Uint64()
+	})
+	if allocs != 0 {
+		t.Fatalf("Reseed+DeriveSeedL4 path allocates %.1f times per run, want 0", allocs)
+	}
+	_ = sink
+}
+
 func BenchmarkUint64(b *testing.B) {
 	s := New(1)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = s.Uint64()
 	}
@@ -274,7 +348,21 @@ func BenchmarkUint64(b *testing.B) {
 
 func BenchmarkDerive(b *testing.B) {
 	s := New(1)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = s.Derive("bench", uint64(i))
+	}
+}
+
+// BenchmarkSubstream measures the allocation-free substream derivation the
+// per-sample hot path uses; ci.sh pins it at 0 allocs/op via the benchjson
+// compare gate.
+func BenchmarkSubstream(b *testing.B) {
+	l := NewLabel("bench")
+	var s Stream
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Reseed(DeriveSeedL2(1, l, uint64(i), 42))
+		_ = s.Uint64()
 	}
 }
