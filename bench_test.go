@@ -12,6 +12,7 @@ import (
 	"sync"
 	"testing"
 
+	"anycastcdn/internal/analysis"
 	"anycastcdn/internal/bgp"
 	"anycastcdn/internal/core"
 	"anycastcdn/internal/experiments"
@@ -281,6 +282,27 @@ func BenchmarkLoadShedding(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if r := s.LoadShedding(4); r.Table == nil {
 			b.Fatal("no table")
+		}
+	}
+}
+
+// BenchmarkAnycastvet measures a full-repo analysis run: the shared
+// type-checked load amortized once, then all ten analyzers over every
+// package per iteration (the same work the CI gate times with its 60s
+// budget). Allocations are reported so an analyzer that starts copying
+// per-package state shows up here before it shows up as wall-clock.
+func BenchmarkAnycastvet(b *testing.B) {
+	pkgs, err := analysis.LoadModule(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod := analysis.NewModule(pkgs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diags, _ := analysis.RunModule(mod, pkgs, analysis.Analyzers())
+		if len(diags) != 0 {
+			b.Fatalf("repo is not clean: %v", diags)
 		}
 	}
 }

@@ -6,12 +6,16 @@
 #   3. anycastvet (this repo's invariant suite: determinism, unchecked
 #      errors, mutex hygiene, no panics in library code, goroutine
 #      join/cancel paths, ctx propagation in dnswire, dimensional safety
-#      for ms/km quantities, documented locking contracts) — the JSON run
-#      leaves anycastvet.json in the CI log as a machine-readable
-#      artifact and names the offending check on failure, then explicit
-#      passes of the lifecycle and dimensional analyzers so a regression
-#      in any of them is named in the CI log, not buried in the
-#      full-suite run
+#      for ms/km quantities, documented locking contracts, replay-safe
+#      map iteration, allocation-free hot paths) — the JSON run leaves
+#      anycastvet.json in the CI log as a machine-readable artifact,
+#      prints per-analyzer timings, and fails if the whole pass exceeds
+#      60 seconds (the suite runs in a couple of seconds; an order-of-
+#      magnitude regression means an analyzer went quadratic). A second
+#      run emits anycastvet.sarif for SARIF consumers (GitHub code
+#      scanning). Then explicit passes of the lifecycle, dimensional,
+#      and replay/hot-path analyzers so a regression in any of them is
+#      named in the CI log, not buried in the full-suite run
 #   4. unit tests (which re-run anycastvet over the tree via
 #      internal/analysis/self_test.go)
 #   5. fuzz smoke: 5 seconds each on the DNS wire decoder, the /24
@@ -21,8 +25,9 @@
 #      the parallel simulation core, the fault-injection layer, the
 #      loopback testbed, the HTTP front-ends, and the client population
 #      generator
-#   7. coverage floor: the scenario engine and simulation core together
-#      must keep >= 80% statement coverage (artifact: cover_repro.out)
+#   7. coverage floor: the scenario engine, the simulation core, and the
+#      analysis engine together must keep >= 80% statement coverage
+#      (artifact: cover_repro.out)
 #   8. benchmarks at -benchtime=1x, summarized by cmd/benchjson into the
 #      machine-readable artifact BENCH_repro.json and gated against the
 #      checked-in BENCH_baseline.json: the baseline's benchmarks may not
@@ -40,18 +45,31 @@ go build ./...
 echo '== go vet ./...'
 go vet ./...
 
-echo '== anycastvet -json ./... (artifact: anycastvet.json)'
-if ! go run ./cmd/anycastvet -json ./... > anycastvet.json; then
+echo '== anycastvet -json -timings ./... (artifact: anycastvet.json)'
+vet_start=$(date +%s)
+if ! go run ./cmd/anycastvet -json -timings ./... > anycastvet.json; then
 	echo 'ci.sh: anycastvet reported violations; offending check(s):' >&2
 	grep -o '"check": *"[a-z0-9]*"' anycastvet.json | sort -u >&2
 	exit 1
 fi
+vet_elapsed=$(( $(date +%s) - vet_start ))
+echo "anycastvet pass took ${vet_elapsed}s (budget 60s)"
+if [ "$vet_elapsed" -gt 60 ]; then
+	echo "ci.sh: anycastvet took ${vet_elapsed}s, over the 60s budget; an analyzer has gone quadratic" >&2
+	exit 1
+fi
+
+echo '== anycastvet -sarif ./... (artifact: anycastvet.sarif)'
+go run ./cmd/anycastvet -sarif ./... > anycastvet.sarif
 
 echo '== anycastvet -checks goroutineleak,ctxpropagation ./...'
 go run ./cmd/anycastvet -checks goroutineleak,ctxpropagation ./...
 
 echo '== anycastvet -checks unitsafety,lockdoc ./...'
 go run ./cmd/anycastvet -checks unitsafety,lockdoc ./...
+
+echo '== anycastvet -checks replaysafety,hotpathalloc ./...'
+go run ./cmd/anycastvet -checks replaysafety,hotpathalloc ./...
 
 echo '== go test ./...'
 go test ./...
@@ -64,13 +82,13 @@ go test -run '^$' -fuzz FuzzParseScenario -fuzztime 5s ./internal/faults/
 echo '== go test -race (concurrent packages)'
 go test -race ./internal/dnswire/ ./internal/sim/ ./internal/faults/ ./internal/testbed/ ./internal/frontend/ ./internal/clients/
 
-echo '== coverage floor: internal/faults + internal/sim >= 80% (artifact: cover_repro.out)'
-go test -coverpkg=anycastcdn/internal/faults,anycastcdn/internal/sim \
-	-coverprofile=cover_repro.out ./internal/faults/ ./internal/sim/ > /dev/null
+echo '== coverage floor: internal/faults + internal/sim + internal/analysis >= 80% (artifact: cover_repro.out)'
+go test -coverpkg=anycastcdn/internal/faults,anycastcdn/internal/sim,anycastcdn/internal/analysis \
+	-coverprofile=cover_repro.out ./internal/faults/ ./internal/sim/ ./internal/analysis/ > /dev/null
 total=$(go tool cover -func=cover_repro.out | awk '/^total:/ { gsub("%", "", $3); print $3 }')
 awk -v t="$total" 'BEGIN {
-	if (t + 0 < 80) { printf "ci.sh: faults+sim coverage %.1f%% is below the 80%% floor\n", t; exit 1 }
-	printf "faults+sim coverage: %.1f%% (floor 80%%)\n", t
+	if (t + 0 < 80) { printf "ci.sh: faults+sim+analysis coverage %.1f%% is below the 80%% floor\n", t; exit 1 }
+	printf "faults+sim+analysis coverage: %.1f%% (floor 80%%)\n", t
 }'
 
 echo '== benchmarks at -benchtime=1x, gated against BENCH_baseline.json (artifact: BENCH_repro.json)'

@@ -35,11 +35,15 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// Pass carries one analyzer's view of one type-checked package.
+// Pass carries one analyzer's view of one type-checked package, plus the
+// whole-module facts (Mod) shared by every pass of the run.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
-	report   func(Diagnostic)
+	// Mod holds the cross-package facts (call graph reachability,
+	// hot-path annotations) derived once per run by NewModule.
+	Mod    *Module
+	report func(Diagnostic)
 
 	declCache map[*types.Func]*ast.FuncDecl
 }
@@ -106,7 +110,10 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Nondeterminism, UncheckedErr, MutexHygiene, NoPanic, GoroutineLeak, CtxPropagation, UnitSafety, LockDoc}
+	return []*Analyzer{
+		Nondeterminism, UncheckedErr, MutexHygiene, NoPanic, GoroutineLeak,
+		CtxPropagation, UnitSafety, LockDoc, ReplaySafety, HotPathAlloc,
+	}
 }
 
 // isErrorType reports whether t is the built-in error interface.

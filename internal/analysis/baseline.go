@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// A Baseline grandfathers existing diagnostics so a new analyzer can land
+// before every violation it finds is fixed, then be ratcheted down:
+// regenerate the file after each fix and the count shrinks; a fresh
+// violation is never absorbed, because matching is per (file, check,
+// message) with a bounded count.
+//
+// Line numbers are deliberately not part of the key — unrelated edits
+// move code, and a baseline that rots on every reflow would be deleted,
+// not ratcheted.
+type Baseline struct {
+	counts map[baselineKey]int
+}
+
+type baselineKey struct {
+	File    string
+	Check   string
+	Message string
+}
+
+// baselineEntry is the on-disk form: one grandfathered diagnostic shape
+// and how many instances of it are tolerated.
+type baselineEntry struct {
+	File    string `json:"file"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+// NewBaseline builds a baseline tolerating exactly the given diagnostics.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	b := &Baseline{counts: map[baselineKey]int{}}
+	for _, d := range diags {
+		b.counts[baselineKey{File: d.File, Check: d.Check, Message: d.Message}]++
+	}
+	return b
+}
+
+// WriteBaseline serializes a baseline for diags to w as sorted JSON.
+func WriteBaseline(w io.Writer, diags []Diagnostic) error {
+	b := NewBaseline(diags)
+	entries := make([]baselineEntry, 0, len(b.counts))
+	for k, n := range b.counts {
+		entries = append(entries, baselineEntry{File: k.File, Check: k.Check, Message: k.Message, Count: n})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, c := entries[i], entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		return a.Message < c.Message
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(entries)
+}
+
+// ReadBaseline parses a baseline written by WriteBaseline.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var entries []baselineEntry
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline: %w", err)
+	}
+	b := &Baseline{counts: map[baselineKey]int{}}
+	for _, e := range entries {
+		if e.File == "" || e.Check == "" || e.Count < 1 {
+			return nil, fmt.Errorf("analysis: baseline entry %+v needs file, check, and a positive count", e)
+		}
+		b.counts[baselineKey{File: e.File, Check: e.Check, Message: e.Message}] += e.Count
+	}
+	return b, nil
+}
+
+// Filter returns the diagnostics not absorbed by the baseline. Each
+// baseline entry absorbs at most its count; diags must be sorted (the
+// runner's output order) so which instances are absorbed is
+// deterministic. Filter does not mutate b and may be called repeatedly.
+func (b *Baseline) Filter(diags []Diagnostic) []Diagnostic {
+	remaining := make(map[baselineKey]int, len(b.counts))
+	for k, n := range b.counts {
+		remaining[k] = n
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := baselineKey{File: d.File, Check: d.Check, Message: d.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Len returns the number of tolerated diagnostic instances.
+func (b *Baseline) Len() int {
+	n := 0
+	for _, c := range b.counts {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func baselineFixtureDiags(t *testing.T) []Diagnostic {
+	t.Helper()
+	src := `package sim
+
+func Sums(m map[string]float64) (float64, []string) {
+	var total float64
+	var keys []string
+	for k, v := range m {
+		total += v
+		keys = append(keys, k)
+	}
+	return total, keys
+}
+`
+	fixturePkgs := map[string]map[string]string{
+		"anycastcdn/internal/sim": {"a.go": src},
+	}
+	pkgs := loadFixtureModule(t, fixturePkgs)
+	diags := Run(pkgs, []*Analyzer{ReplaySafety})
+	if len(diags) != 2 {
+		t.Fatalf("fixture produced %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	return diags
+}
+
+// TestBaselineRoundTrip is the acceptance criterion: generate a baseline
+// from a run's diagnostics, read it back, and verifying the same run
+// against it yields zero diagnostics.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := baselineFixtureDiags(t)
+
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, diags); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := ReadBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	if b.Len() != len(diags) {
+		t.Fatalf("baseline tolerates %d instances, want %d", b.Len(), len(diags))
+	}
+	if left := b.Filter(diags); len(left) != 0 {
+		t.Errorf("round-tripped baseline left %v, want none", left)
+	}
+	// Filter must not consume the baseline: a second verify also passes.
+	if left := b.Filter(diags); len(left) != 0 {
+		t.Errorf("second Filter left %v; Filter mutated the baseline", left)
+	}
+}
+
+// TestBaselineRatchet pins the grandfathering semantics: a fresh
+// violation is never absorbed, and each entry absorbs at most its count.
+func TestBaselineRatchet(t *testing.T) {
+	diags := baselineFixtureDiags(t)
+
+	b := NewBaseline(diags[:1]) // tolerate only the first shape
+	left := b.Filter(diags)
+	if len(left) != 1 || left[0].Message != diags[1].Message {
+		t.Fatalf("partial baseline left %v, want only the second diagnostic", left)
+	}
+
+	// A new instance of an already-absorbed shape exceeds the count.
+	double := append(append([]Diagnostic{}, diags[0]), diags[0])
+	if left := b.Filter(double); len(left) != 1 {
+		t.Errorf("count-bounded baseline left %v, want exactly one overflow", left)
+	}
+
+	// A diagnostic in a different file never matches.
+	moved := diags[0]
+	moved.File = "elsewhere.go"
+	if left := b.Filter([]Diagnostic{moved}); len(left) != 1 {
+		t.Errorf("baseline absorbed a diagnostic from another file: %v", left)
+	}
+}
+
+// TestBaselineLineMoveSurvives pins the key design choice: line numbers
+// are not part of the match, so grandfathered diagnostics survive
+// unrelated edits that reflow the file.
+func TestBaselineLineMoveSurvives(t *testing.T) {
+	diags := baselineFixtureDiags(t)
+	b := NewBaseline(diags)
+	shifted := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		d.Line += 40
+		shifted[i] = d
+	}
+	if left := b.Filter(shifted); len(left) != 0 {
+		t.Errorf("line shift broke the baseline: %v", left)
+	}
+}
+
+// TestReadBaselineRejectsGarbage covers the validation paths.
+func TestReadBaselineRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "nope",
+		"missing file":   `[{"check":"replaysafety","message":"m","count":1}]`,
+		"missing check":  `[{"file":"a.go","message":"m","count":1}]`,
+		"zero count":     `[{"file":"a.go","check":"c","message":"m","count":0}]`,
+		"negative count": `[{"file":"a.go","check":"c","message":"m","count":-2}]`,
+	}
+	for name, text := range cases {
+		if _, err := ReadBaseline(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: ReadBaseline accepted %q", name, text)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import "testing"
+
+// TestHotPathAlloc covers every allocation-forcing construct the
+// analyzer flags inside a //perf:hotpath function, each paired with the
+// allocation-free form it demands.
+func TestHotPathAlloc(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "capturing closure",
+			src: `package hot
+
+//perf:hotpath
+func F() func() int {
+	n := 0
+	f := func() int { return n }
+	return f
+}
+`,
+			want: []string{"a.go:6:hotpathalloc"},
+		},
+		{
+			name: "non-capturing closure is free",
+			src: `package hot
+
+//perf:hotpath
+func F() func() int {
+	f := func() int { return 1 }
+	return f
+}
+`,
+			want: nil,
+		},
+		{
+			name: "string concatenation",
+			src: `package hot
+
+//perf:hotpath
+func F(a, b string) string {
+	s := a + b
+	s += a
+	return s
+}
+`,
+			want: []string{"a.go:5:hotpathalloc", "a.go:6:hotpathalloc"},
+		},
+		{
+			name: "fmt call",
+			src: `package hot
+
+import "fmt"
+
+//perf:hotpath
+func F(x int) {
+	fmt.Println(x)
+}
+`,
+			want: []string{"a.go:7:hotpathalloc"},
+		},
+		{
+			name: "interface boxing: assignment, conversion, return",
+			src: `package hot
+
+//perf:hotpath
+func F(x int) any {
+	var v any
+	v = x
+	_ = v
+	w := any(x)
+	_ = w
+	return x
+}
+`,
+			want: []string{"a.go:6:hotpathalloc", "a.go:8:hotpathalloc", "a.go:10:hotpathalloc"},
+		},
+		{
+			name: "interface-to-interface and nil are free",
+			src: `package hot
+
+//perf:hotpath
+func F(x any) any {
+	var v any
+	v = x
+	_ = v
+	if false {
+		return nil
+	}
+	return x
+}
+`,
+			want: nil,
+		},
+		{
+			name: "variadic call builds the argument slice",
+			src: `package hot
+
+func sum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+//perf:hotpath
+func F(xs []int) int {
+	a := sum(1, 2, 3)
+	b := sum(xs...)
+	return a + b
+}
+`,
+			want: []string{"a.go:13:hotpathalloc"}, // sum(xs...) reuses the slice: free
+		},
+		{
+			name: "un-presized append in loop",
+			src: `package hot
+
+//perf:hotpath
+func F(xs []int) []int {
+	out := []int{}
+	pre := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+		pre = append(pre, x)
+	}
+	return append(out, pre...)
+}
+`,
+			// pre is pre-sized and the final append is outside the loop.
+			want: []string{"a.go:8:hotpathalloc"},
+		},
+		{
+			name: "append to parameter is the caller's contract",
+			src: `package hot
+
+//perf:hotpath
+func F(dst []int, xs []int) []int {
+	for _, x := range xs {
+		dst = append(dst, x)
+	}
+	return dst
+}
+`,
+			want: nil,
+		},
+		{
+			name: "map literal",
+			src: `package hot
+
+//perf:hotpath
+func F() int {
+	m := map[string]int{"a": 1}
+	return m["a"]
+}
+`,
+			want: []string{"a.go:5:hotpathalloc"},
+		},
+		{
+			name: "un-annotated function is out of scope",
+			src: `package hot
+
+import "fmt"
+
+func F(a, b string) string {
+	fmt.Println(a + b)
+	m := map[string]int{}
+	_ = m
+	return a + b
+}
+`,
+			want: nil,
+		},
+		{
+			name: "lint:ignore justifies a one-time cost",
+			src: `package hot
+
+//perf:hotpath
+func F(a, b string) string {
+	//lint:ignore hotpathalloc fixture justification
+	return a + b
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := checkFixture(t, HotPathAlloc, "anycastcdn/internal/hot", map[string]string{"a.go": tc.src})
+			wantDiags(t, got, tc.want)
+		})
+	}
+}
+
+// TestHotPathAllocModuleFact pins that the annotation is collected as a
+// module fact: the annotated declaration is enforced during a multi-
+// package run even though the analysis task for its package cannot see
+// the other packages' files.
+func TestHotPathAllocModuleFact(t *testing.T) {
+	got := checkModuleFixture(t, HotPathAlloc, map[string]map[string]string{
+		"a": {"a/a.go": `package a
+
+//perf:hotpath
+func Hot() string {
+	s := "x" + "y"
+	return s
+}
+`},
+		"b": {"b/b.go": `package b
+
+import "a"
+
+func Use() string {
+	return a.Hot()
+}
+`},
+	})
+	wantDiags(t, got, []string{"a/a.go:5:hotpathalloc"})
+}

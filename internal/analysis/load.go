@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -68,6 +70,9 @@ func LoadModule(root string) ([]*Package, error) {
 			src, err := os.ReadFile(filepath.Join(root, rel))
 			if err != nil {
 				return nil, err
+			}
+			if excludedByBuildTags(src) {
+				continue
 			}
 			f, err := parser.ParseFile(fset, filepath.ToSlash(rel), src, parser.ParseComments)
 			if err != nil {
@@ -145,6 +150,33 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 		return p, nil
 	}
 	return m.std.Import(path)
+}
+
+// excludedByBuildTags reports whether a //go:build line before the
+// package clause excludes the file from the default build on this
+// platform. Tag evaluation mirrors what the analysis run needs: GOOS,
+// GOARCH, and go1.N release tags are true, everything else (custom
+// tags like "ignore" or "integration", cgo, other platforms) is false.
+func excludedByBuildTags(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "package ") {
+			return false // constraints must precede the package clause
+		}
+		if !constraint.IsGoBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			continue
+		}
+		return !expr.Eval(func(tag string) bool {
+			return tag == runtime.GOOS || tag == runtime.GOARCH ||
+				strings.HasPrefix(tag, "go1.") ||
+				(tag == "unix" && (runtime.GOOS == "linux" || runtime.GOOS == "darwin"))
+		})
+	}
+	return false
 }
 
 // modulePath reads the module declaration from root/go.mod.

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out files (path → content) under a fresh temp module
+// root and returns the root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const goModM = "module m\n\ngo 1.24\n"
+
+func TestLoadModuleHappyPath(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":        goModM,
+		"a.go":          "package m\n\nimport \"m/sub\"\n\nfunc A() int { return sub.B() }\n",
+		"sub/b.go":      "package sub\n\nfunc B() int { return 1 }\n",
+		"sub/b_test.go": "package sub\n\nimport \"testing\"\n\nfunc TestB(t *testing.T) {}\n",
+	})
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) != 2 || pkgs[0].Path != "m" || pkgs[1].Path != "m/sub" {
+		t.Fatalf("loaded %v, want [m m/sub]", pkgs)
+	}
+	// In-package test files ride along with their package.
+	if len(pkgs[1].Files) != 2 {
+		t.Errorf("m/sub has %d files, want 2 (source + in-package test)", len(pkgs[1].Files))
+	}
+}
+
+func TestLoadModuleUnparsableFile(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": goModM,
+		"a.go":   "package m\n\nfunc A( {\n",
+	})
+	_, err := LoadModule(root)
+	if err == nil || !strings.Contains(err.Error(), "parsing") {
+		t.Fatalf("LoadModule = %v, want a parsing error", err)
+	}
+}
+
+func TestLoadModuleTypeError(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": goModM,
+		"a.go":   "package m\n\nfunc A() int { return \"not an int\" }\n",
+	})
+	_, err := LoadModule(root)
+	if err == nil || !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("LoadModule = %v, want a type-checking error", err)
+	}
+}
+
+func TestLoadModuleNonStdlibImport(t *testing.T) {
+	// The loader serves only module-internal packages and the standard
+	// library; a third-party import surfaces as a type-checking error
+	// rather than a network fetch.
+	root := writeTree(t, map[string]string{
+		"go.mod": goModM,
+		"a.go":   "package m\n\nimport _ \"github.com/nobody/nothing\"\n",
+	})
+	_, err := LoadModule(root)
+	if err == nil || !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("LoadModule = %v, want a type-checking error", err)
+	}
+}
+
+func TestLoadModuleSkipsVendorAndTestdata(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":               goModM,
+		"a.go":                 "package m\n\nfunc A() int { return 1 }\n",
+		"vendor/dep/broken.go": "package dep\n\nthis is not go\n",
+		"testdata/fixture.go":  "also not go\n",
+		".hidden/h.go":         "package h\n\nnot go either\n",
+		"_skipped/s.go":        "package s\n\nnope\n",
+	})
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "m" {
+		t.Fatalf("loaded %v, want only [m]", pkgs)
+	}
+}
+
+func TestLoadModuleSkipsBuildTagExcludedFile(t *testing.T) {
+	// The excluded file is deliberately broken: if the loader ever tried
+	// to parse it, the load would fail.
+	root := writeTree(t, map[string]string{
+		"go.mod":    goModM,
+		"a.go":      "package m\n\nfunc A() int { return 1 }\n",
+		"broken.go": "//go:build ignore\n\npackage m\n\nthis would not parse\n",
+	})
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("loaded %v with %d files, want one package with one file", pkgs, len(pkgs[0].Files))
+	}
+}
+
+func TestLoadModuleSkipsExternalTestPackage(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":        goModM,
+		"a.go":          "package m\n\nfunc A() int { return 1 }\n",
+		"a_ext_test.go": "package m_test\n\nimport \"testing\"\n\nfunc TestExt(t *testing.T) {}\n",
+	})
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("loaded %v with %d files, want the external test package skipped", pkgs, len(pkgs[0].Files))
+	}
+}
+
+func TestLoadModuleNotAModule(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a.go": "package m\n",
+	})
+	_, err := LoadModule(root)
+	if err == nil || !strings.Contains(err.Error(), "not a module root") {
+		t.Fatalf("LoadModule = %v, want a not-a-module-root error", err)
+	}
+}
+
+func TestLoadModuleNoModuleDeclaration(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "go 1.24\n",
+		"a.go":   "package m\n",
+	})
+	_, err := LoadModule(root)
+	if err == nil || !strings.Contains(err.Error(), "no module declaration") {
+		t.Fatalf("LoadModule = %v, want a no-module-declaration error", err)
+	}
+}
+
+func TestLoadModuleImportCycle(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": goModM,
+		"x/x.go": "package x\n\nimport \"m/y\"\n\nvar _ = y.Y\n",
+		"y/y.go": "package y\n\nimport \"m/x\"\n\nvar Y = 0\n\nvar _ = x.X\n",
+	})
+	_, err := LoadModule(root)
+	if err == nil || !strings.Contains(err.Error(), "import cycle") {
+		t.Fatalf("LoadModule = %v, want an import cycle error", err)
+	}
+}
+
+func TestExcludedByBuildTags(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"no constraint", "package p\n", false},
+		{"custom tag", "//go:build integration\n\npackage p\n", true},
+		{"negated custom tag", "//go:build !integration\n\npackage p\n", false},
+		{"current GOOS", "//go:build " + runtime.GOOS + "\n\npackage p\n", false},
+		{"other GOOS", "//go:build plan9\n\npackage p\n", runtime.GOOS != "plan9"},
+		{"go release tag", "//go:build go1.18\n\npackage p\n", false},
+		{"after package clause", "package p\n\n//go:build ignore\n", false},
+	}
+	for _, tc := range cases {
+		if got := excludedByBuildTags([]byte(tc.src)); got != tc.want {
+			t.Errorf("%s: excludedByBuildTags = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SARIF 2.1.0 output — the minimum viable subset every SARIF consumer
+// (GitHub code scanning, VS Code SARIF viewers) understands: one run,
+// one driver with a rule per analyzer, one result per diagnostic with a
+// physical location. Kept as explicit structs rather than map soup so
+// the shape is testable.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits diags as a SARIF 2.1.0 log with one rule per
+// analyzer. Diagnostics from non-analyzer sources (the "lint" check for
+// malformed suppressions) get rules synthesized on the fly.
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, diags []Diagnostic) error {
+	driver := sarifDriver{
+		Name:  "anycastvet",
+		Rules: []sarifRule{},
+	}
+	known := map[string]bool{}
+	for _, an := range analyzers {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               an.Name,
+			ShortDescription: sarifMessage{Text: an.Doc},
+		})
+		known[an.Name] = true
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		if !known[d.Check] {
+			driver.Rules = append(driver.Rules, sarifRule{
+				ID:               d.Check,
+				ShortDescription: sarifMessage{Text: d.Check},
+			})
+			known[d.Check] = true
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Check,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: d.File},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

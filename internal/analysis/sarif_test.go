@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestWriteSARIF decodes the emitted log and pins the subset of SARIF
+// 2.1.0 that consumers key on: schema, version, driver name, one rule
+// per analyzer (plus synthesized rules for non-analyzer checks), and a
+// physical location per result.
+func TestWriteSARIF(t *testing.T) {
+	diags := []Diagnostic{
+		{File: "pkg/a.go", Line: 3, Col: 7, Check: "replaysafety", Message: "first"},
+		{File: "pkg/b.go", Line: 9, Col: 1, Check: "lint", Message: "malformed directive"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, []*Analyzer{ReplaySafety, HotPathAlloc}, diags); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("emitted SARIF does not parse: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || log.Schema == "" {
+		t.Errorf("version = %q, $schema = %q; want 2.1.0 with a schema URI", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "anycastvet" {
+		t.Errorf("driver name = %q, want anycastvet", run.Tool.Driver.Name)
+	}
+	rules := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	for _, id := range []string{"replaysafety", "hotpathalloc", "lint"} {
+		if !rules[id] {
+			t.Errorf("rule %q missing (got %v)", id, rules)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "replaysafety" || first.Level != "error" || first.Message.Text != "first" {
+		t.Errorf("first result = %+v, want replaysafety/error/first", first)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "pkg/a.go" || loc.Region.StartLine != 3 || loc.Region.StartColumn != 7 {
+		t.Errorf("first location = %+v, want pkg/a.go:3:7", loc)
+	}
+}
+
+// TestWriteSARIFEmpty pins that a clean run still emits a valid log with
+// an empty (not null) results array — consumers reject null.
+func TestWriteSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, Analyzers(), nil); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"results": null`)) {
+		t.Errorf("empty run emitted null results:\n%s", buf.String())
+	}
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("emitted SARIF does not parse: %v", err)
+	}
+}

@@ -29,12 +29,12 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
-// TestSuiteShape pins the advertised analyzer set: at least the eight
+// TestSuiteShape pins the advertised analyzer set: at least the ten
 // invariants the repo documents, each with a name and doc.
 func TestSuiteShape(t *testing.T) {
 	ans := Analyzers()
-	if len(ans) < 8 {
-		t.Fatalf("Analyzers() = %d analyzers, want >= 8", len(ans))
+	if len(ans) < 10 {
+		t.Fatalf("Analyzers() = %d analyzers, want >= 10", len(ans))
 	}
 	want := map[string]bool{
 		"nondeterminism": false,
@@ -45,6 +45,8 @@ func TestSuiteShape(t *testing.T) {
 		"ctxpropagation": false,
 		"unitsafety":     false,
 		"lockdoc":        false,
+		"replaysafety":   false,
+		"hotpathalloc":   false,
 	}
 	for _, an := range ans {
 		if an.Name == "" || an.Doc == "" || an.Run == nil {

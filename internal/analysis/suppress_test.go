@@ -1,0 +1,89 @@
+package analysis
+
+import "testing"
+
+// TestIgnoreCoversMultiLineStatement is the regression test for the
+// suppression edge case: a //lint:ignore above a statement that spans
+// several lines must suppress diagnostics reported on the continuation
+// lines, not just the statement's first line. Here the range statement
+// starts on the line below the directive but its violations are
+// reported two and three lines further down.
+func TestIgnoreCoversMultiLineStatement(t *testing.T) {
+	src := `package sim
+
+func Sums(m map[string]float64) (float64, []string) {
+	var total float64
+	var keys []string
+	//lint:ignore replaysafety fixture: order independence argued elsewhere
+	for k, v := range m {
+		total += v
+		keys = append(keys, k)
+	}
+	var again float64
+	for _, v := range m {
+		again += v
+	}
+	return total + again, keys
+}
+`
+	got := checkFixture(t, ReplaySafety, "anycastcdn/internal/sim", map[string]string{"a.go": src})
+	// Lines 8-9 are continuation lines of the suppressed range statement;
+	// the second loop (line 13) is past the statement's extent and must
+	// still be reported.
+	wantDiags(t, got, []string{"a.go:13:replaysafety"})
+}
+
+// TestIgnoreTrailingOnMultiLineStatement pins the trailing-comment form:
+// a directive at the end of the statement's first line covers the whole
+// statement extent too.
+func TestIgnoreTrailingOnMultiLineStatement(t *testing.T) {
+	src := `package sim
+
+func Sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { //lint:ignore replaysafety fixture justification
+		total += v
+	}
+	return total
+}
+`
+	got := checkFixture(t, ReplaySafety, "anycastcdn/internal/sim", map[string]string{"a.go": src})
+	wantDiags(t, got, nil)
+}
+
+// TestIgnoreWrongCheckDoesNotSuppress pins that coverage is per check
+// name: an ignore for a different analyzer leaves the diagnostic alone.
+func TestIgnoreWrongCheckDoesNotSuppress(t *testing.T) {
+	src := `package sim
+
+func Sum(m map[string]float64) float64 {
+	var total float64
+	//lint:ignore nopanic wrong check name
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`
+	got := checkFixture(t, ReplaySafety, "anycastcdn/internal/sim", map[string]string{"a.go": src})
+	wantDiags(t, got, []string{"a.go:7:replaysafety"})
+}
+
+// TestMalformedIgnoreReported pins that a directive without a reason is
+// itself a diagnostic — the escape hatch cannot silently rot — and does
+// not suppress anything.
+func TestMalformedIgnoreReported(t *testing.T) {
+	src := `package sim
+
+func Sum(m map[string]float64) float64 {
+	var total float64
+	//lint:ignore replaysafety
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`
+	got := checkFixture(t, ReplaySafety, "anycastcdn/internal/sim", map[string]string{"a.go": src})
+	wantDiags(t, got, []string{"a.go:5:lint", "a.go:7:replaysafety"})
+}

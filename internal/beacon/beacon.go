@@ -87,6 +87,8 @@ type Executor struct {
 // Run executes one beacon for the given client on the given day using the
 // precomputed anycast assignment for that day. queryID must be globally
 // unique; it seeds the randomized DNS target selection and sample noise.
+//
+//perf:hotpath
 func (e *Executor) Run(c clients.Client, day int, assign bgp.Assignment, queryID uint64) Measurement {
 	ldns := e.Faults.Resolver(e.Mapping.Resolver(c.ID), day)
 	// One stack-allocated stream serves the whole execution: first as the
@@ -146,6 +148,8 @@ func (e *Executor) MeasureCandidates(c clients.Client, day int, assign bgp.Assig
 // inflation added to the true RTT before browser-timing distortion, since
 // real congestion delays the path, not the clock. rs is stream scratch,
 // reseeded before each draw, shared across a measurement's targets.
+//
+//perf:hotpath
 func (e *Executor) sample(rs *xrand.Stream, rc bgp.Client, day int, a bgp.Assignment, queryID, slot uint64, extraMs units.Millis) TargetSample {
 	// Each beacon execution runs in one household of the /24; all four
 	// samples of the execution share it.

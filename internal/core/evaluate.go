@@ -64,6 +64,7 @@ func (ev Evaluator) Evaluate(pred *Predictions, next []Observation, volumes map[
 		clientSet[k.client] = true
 	}
 	ids := make([]uint64, 0, len(clientSet))
+	//replay:commutative keys only; sorted immediately below, so collection order is discarded
 	for id := range clientSet {
 		ids = append(ids, id)
 	}

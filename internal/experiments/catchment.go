@@ -49,10 +49,16 @@ func (s *Suite) Catchments(topN int) Report {
 		agg *agg
 	}
 	rows := make([]row, 0, len(perFE))
+	//replay:commutative rows get a total order immediately below (volume, then site id), so collection order is discarded
 	for fe, a := range perFE {
 		rows = append(rows, row{fe, a})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].agg.volume > rows[j].agg.volume })
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].agg.volume != rows[j].agg.volume {
+			return rows[i].agg.volume > rows[j].agg.volume
+		}
+		return rows[i].fe < rows[j].fe // break volume ties: map order must not reach the output
+	})
 
 	tb := &stats.Table{
 		Title: "Anycast catchments (day 0): the server-side view of Figure 4",

@@ -113,6 +113,7 @@ func dailyComparison(ms []beacon.Measurement, day int, vols map[uint64]float64) 
 	}
 	var out []Comparison
 	clientIDs := make([]uint64, 0, len(anycast))
+	//replay:commutative keys only; sorted immediately below, so collection order is discarded
 	for id := range anycast {
 		clientIDs = append(clientIDs, id)
 	}

@@ -81,6 +81,7 @@ func (s *Suite) Figure6() Report {
 		}
 	}
 	var counts, streaks []float64
+	//replay:commutative counts and streaks feed ECDFs, which sort their samples; the output is independent of collection order
 	for _, days := range poorDays {
 		counts = append(counts, float64(len(days)))
 		// days are appended in ascending day order.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"anycastcdn/internal/stats"
@@ -38,6 +39,12 @@ func (s *Suite) TCPDisruption() Report {
 		Title:   "§2 claim check: probability a TCP flow is broken by an anycast route change",
 		Columns: []string{"flow duration", "disruption probability", "flows broken per 10^6"},
 	}
+	clients := make([]uint64, 0, len(totalDays))
+	//replay:commutative keys only; sorted immediately below, so collection order is discarded
+	for client := range totalDays {
+		clients = append(clients, client)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
 	probs := make([]float64, len(durations))
 	for i, d := range durations {
 		overlap := float64(d) / float64(day)
@@ -46,7 +53,10 @@ func (s *Suite) TCPDisruption() Report {
 		}
 		var sum float64
 		var n int
-		for client, total := range totalDays {
+		// Sorted client order: float accumulation in map order would make
+		// the reported probabilities differ in the last bits between runs.
+		for _, client := range clients {
+			total := totalDays[client]
 			if total == 0 {
 				continue
 			}

@@ -39,10 +39,11 @@ func (s *Suite) LoadShedding(crowdFactor float64) Report {
 		fe, _ := bb.HotPotatoFrontEnd(ing)
 		base[fe] += q
 	}
-	// Hot front-end: the busiest one.
+	// Hot front-end: the busiest one. Iterate the deterministic front-end
+	// list, not the map, so load ties resolve identically on every run.
 	var hot topology.SiteID = topology.InvalidSite
-	for fe, l := range base {
-		if hot == topology.InvalidSite || l > base[hot] {
+	for _, fe := range bb.FrontEnds() {
+		if hot == topology.InvalidSite || base[fe] > base[hot] {
 			hot = fe
 		}
 	}
@@ -78,9 +79,11 @@ func (s *Suite) LoadShedding(crowdFactor float64) Report {
 	// backed by large data centers, so ring-1 members get DC-scale
 	// capacity.
 	ring1 := topCapacityPerRegion(w, caps, hot)
+	// Sum in deterministic front-end order: float accumulation in map
+	// order would shift the derived capacities' last bits between runs.
 	var total float64
-	for _, c := range caps {
-		total += c
+	for _, fe := range bb.FrontEnds() {
+		total += caps[fe]
 	}
 	for _, fe := range ring1 {
 		if dc := total / 2; caps[fe] < dc {
@@ -124,10 +127,17 @@ func (s *Suite) LoadShedding(crowdFactor float64) Report {
 
 // crowdLoad is the plain-anycast load on one front-end under a demand map.
 func crowdLoad(bb *topology.Backbone, demand map[topology.SiteID]float64, fe topology.SiteID) float64 {
+	ings := make([]topology.SiteID, 0, len(demand))
+	//replay:commutative keys only; sorted immediately below, so collection order is discarded
+	for ing := range demand {
+		ings = append(ings, ing)
+	}
+	sort.Slice(ings, func(i, j int) bool { return ings[i] < ings[j] })
+	// Sorted ingress order keeps the float sum bit-stable across runs.
 	var total float64
-	for ing, q := range demand {
+	for _, ing := range ings {
 		if f, _ := bb.HotPotatoFrontEnd(ing); f == fe {
-			total += q
+			total += demand[ing]
 		}
 	}
 	return total
@@ -148,6 +158,7 @@ func topCapacityPerRegion(w *sim.World, caps map[topology.SiteID]float64, exclud
 		}
 	}
 	out := make([]topology.SiteID, 0, len(best))
+	//replay:commutative values are sorted immediately below, so collection order is discarded
 	for _, fe := range best {
 		out = append(out, fe)
 	}

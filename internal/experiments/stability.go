@@ -72,6 +72,7 @@ func (s *Suite) MetricStability() Report {
 	for i, p := range percentiles {
 		var covs []float64
 		var deltas []units.Millis
+		//replay:commutative covs and deltas only feed Median, which sorts; the result is independent of collection order
 		for _, series := range perPair[i] {
 			if len(series) < 3 {
 				continue
@@ -226,6 +227,7 @@ func serveDay(dayObs []core.Observation, pred *core.Predictions, geoDNS bool, vo
 		}
 	}
 	clients := make([]uint64, 0, len(ldns))
+	//replay:commutative keys only; sorted immediately below, so collection order is discarded
 	for c := range ldns {
 		clients = append(clients, c)
 	}

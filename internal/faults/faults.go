@@ -313,6 +313,7 @@ func (s Scenario) Kinds() []Kind {
 		set[e.Kind] = true
 	}
 	out := make([]Kind, 0, len(set))
+	//replay:commutative keys only; sorted immediately below, so collection order is discarded
 	for k := range set {
 		out = append(out, k)
 	}

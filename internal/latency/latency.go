@@ -242,6 +242,8 @@ func (m *Model) SampleRTTms(p Path, day int, sampleKey uint64) units.Millis {
 // stack-allocated Stream can serve every sample of a measurement (the
 // beacon executor reuses one across its four targets). Results are
 // identical to SampleRTTms.
+//
+//perf:hotpath
 func (m *Model) SampleRTTmsInto(rs *xrand.Stream, p Path, day int, sampleKey uint64) units.Millis {
 	rs.Reseed(xrand.DeriveSeedL4(m.seed, labelJitter, p.PrefixID, p.EntryKey, uint64(day), sampleKey))
 	rtt := m.DayRTTms(p, day).Float() + rs.Exp(m.cfg.JitterMeanMs.Float())
@@ -262,6 +264,8 @@ func (m *Model) MeasuredRTTms(trueRTT units.Millis, browserKey uint64, sampleKey
 
 // MeasuredRTTmsInto is MeasuredRTTms with caller-provided stream scratch
 // (reseeded before each use; see SampleRTTmsInto).
+//
+//perf:hotpath
 func (m *Model) MeasuredRTTmsInto(rs *xrand.Stream, trueRTT units.Millis, browserKey uint64, sampleKey uint64) units.Millis {
 	rs.Reseed(xrand.DeriveSeedL1(m.seed, labelTiming, browserKey))
 	if rs.Bool(m.cfg.ResourceTimingSupportRate) {

@@ -134,6 +134,8 @@ func Substream(root uint64, label string, keys ...uint64) *Stream {
 // SubstreamInto reseeds s to the substream Substream(root, label, keys...)
 // would return, without allocating. The label is a precomputed Label; s is
 // typically a stack-allocated Stream reused across many derivations.
+//
+//perf:hotpath
 func SubstreamInto(s *Stream, root uint64, label Label, keys ...uint64) {
 	h := mix64(root ^ uint64(label))
 	for _, k := range keys {
