@@ -237,8 +237,30 @@ func BuildWorld(cfg Config) (*World, error) { return sim.BuildWorld(cfg) }
 // measurements and routing dynamics.
 func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
 
+// DayResult is one streamed simulation day; its buffers are reused for
+// the next day (see sim.DayResult for the ownership contract).
+type DayResult = sim.DayResult
+
+// Stream simulates day by day, invoking fn with each day's outputs and
+// retaining only one day in memory — the mode for paper-scale runs
+// (millions of client /24s) whose full Result would not fit.
+func Stream(cfg Config, fn func(DayResult) error) error { return sim.Stream(cfg, fn) }
+
+// StreamWorld streams over an already-built world.
+func StreamWorld(cfg Config, w *World, fn func(DayResult) error) error {
+	return sim.StreamWorld(cfg, w, fn)
+}
+
 // NewSuite wraps a run for experiment regeneration.
 func NewSuite(res *Result) *Suite { return experiments.NewSuite(res) }
+
+// StreamSuite computes the passive-log experiments online over a
+// streaming run, rendering byte-identical reports to the batch Suite.
+type StreamSuite = experiments.StreamSuite
+
+// NewStreamSuite prepares streaming aggregators over a built world; feed
+// it with StreamWorld via its Observe method, or call its Run.
+func NewStreamSuite(cfg Config, w *World) *StreamSuite { return experiments.NewStreamSuite(cfg, w) }
 
 // CDNSizeTable reproduces the §4 CDN deployment comparison.
 func CDNSizeTable() Report { return experiments.CDNSizeTable() }

@@ -184,3 +184,26 @@ func TestPublicFaultInjectionFlow(t *testing.T) {
 		t.Fatal("empty resilience render")
 	}
 }
+
+func TestPublicStreamingFlow(t *testing.T) {
+	cfg := smallConfig(5)
+	w, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewStreamSuite(cfg, w)
+	days := 0
+	err = StreamWorld(cfg, w, func(d DayResult) error {
+		days++
+		return ss.Observe(d)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if days != cfg.Days {
+		t.Fatalf("streamed %d days, want %d", days, cfg.Days)
+	}
+	if out := ss.Figure4().Render(); len(out) < 50 {
+		t.Fatalf("streaming Figure 4 render too small:\n%s", out)
+	}
+}

@@ -16,8 +16,12 @@
 #      scanning). Then explicit passes of the lifecycle, dimensional,
 #      and replay/hot-path analyzers so a regression in any of them is
 #      named in the CI log, not buried in the full-suite run
-#   4. unit tests (which re-run anycastvet over the tree via
-#      internal/analysis/self_test.go)
+#   4. unit tests in -short mode (which re-run anycastvet over the tree
+#      via internal/analysis/self_test.go), then the long-running targets
+#      as named steps so a failure is attributable in the CI log: the full
+#      experiment suites, and the 1M-prefix x 30-day streaming smoke that
+#      proves paper-scale runs stay inside their wall-clock and 2 GiB
+#      memory budgets
 #   5. fuzz smoke: 5 seconds each on the DNS wire decoder, the /24
 #      parser, and the fault-scenario parser, enough to replay the corpus
 #      and shake out shallow panics
@@ -32,9 +36,12 @@
 #      machine-readable artifact BENCH_repro.json and gated against the
 #      checked-in BENCH_baseline.json: the baseline's benchmarks may not
 #      regress past 15%, BenchmarkAblationFloor50 must stay >= 3x faster
-#      than its pre-optimization baseline, and the xrand substream and
-#      latency sampling benchmarks must report 0 allocs/op; a failure
-#      names the benchmark and both the baseline and current ns/op
+#      than its pre-optimization baseline, the xrand substream and
+#      latency sampling benchmarks must report 0 allocs/op, and the
+#      simulation cores must stay at least 3x below their pre-columnar
+#      B/op (RunWorld/StreamWorld baseline was ~223 MB/op; the ceiling is
+#      74 MB/op); a failure names the benchmark and both the baseline and
+#      current values
 #
 # Usage: ./ci.sh
 set -eu
@@ -71,8 +78,14 @@ go run ./cmd/anycastvet -checks unitsafety,lockdoc ./...
 echo '== anycastvet -checks replaysafety,hotpathalloc ./...'
 go run ./cmd/anycastvet -checks replaysafety,hotpathalloc ./...
 
-echo '== go test ./...'
-go test ./...
+echo '== go test ./... (short mode; the long-running targets get named steps below)'
+go test -short ./...
+
+echo '== long-running experiment suites (skipped above by -short)'
+go test -run 'TestAllRuns|TestDeploymentDensity' ./internal/experiments/
+
+echo '== 1M-prefix x 30-day streaming smoke (bounded memory + wall clock)'
+go test -run TestStreamWorldMillionPrefixSmoke -v ./internal/sim/
 
 echo '== fuzz smoke (5s per target)'
 go test -run '^$' -fuzz FuzzMessageUnpack -fuzztime 5s ./internal/dnswire/
@@ -96,6 +109,7 @@ go test -run '^$' -bench . -benchtime 1x -json ./... | go run ./cmd/benchjson \
 	-o BENCH_repro.json \
 	-compare BENCH_baseline.json -tolerance 0.15 \
 	-minspeedup BenchmarkAblationFloor50=3 \
-	-maxallocs BenchmarkSubstream=0,BenchmarkSampleRTT=0
+	-maxallocs BenchmarkSubstream=0,BenchmarkSampleRTT=0 \
+	-maxbytes BenchmarkRunWorld=74000000,BenchmarkStreamWorld=74000000
 
 echo '== ci.sh: all gates passed'

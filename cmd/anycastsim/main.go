@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"anycastcdn/internal/experiments"
 	"anycastcdn/internal/faults"
 	"anycastcdn/internal/sim"
 )
@@ -44,11 +45,13 @@ func main() {
 		days       = flag.Int("days", 0, "simulated days (0 = default)")
 		out        = flag.String("out", ".", "output directory")
 		scenario   = flag.String("scenario", "", "fault scenario: inline event text or a file path")
+		reports    = flag.Bool("reports", false, "aggregate the passive-log experiment reports online and write reports.txt")
+		beaconrate = flag.Float64("beaconrate", -1, "beacon sample rate override (0 disables beacons; < 0 = default)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
-	if err := runProfiled(*seed, *prefixes, *days, *out, *scenario, *cpuprofile, *memprofile); err != nil {
+	if err := runProfiled(*seed, *prefixes, *days, *out, *scenario, *reports, *beaconrate, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "anycastsim:", err)
 		os.Exit(1)
 	}
@@ -56,7 +59,7 @@ func main() {
 
 // runProfiled wraps run with the optional pprof captures, so profile
 // teardown happens on the error paths too.
-func runProfiled(seed uint64, prefixes, days int, out, scenario, cpuprofile, memprofile string) error {
+func runProfiled(seed uint64, prefixes, days int, out, scenario string, reports bool, beaconrate float64, cpuprofile, memprofile string) error {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -73,7 +76,7 @@ func runProfiled(seed uint64, prefixes, days int, out, scenario, cpuprofile, mem
 			}
 		}()
 	}
-	err := run(seed, prefixes, days, out, scenario)
+	err := run(seed, prefixes, days, out, scenario, reports, beaconrate)
 	if memprofile != "" {
 		if merr := writeHeapProfile(memprofile); err == nil {
 			err = merr
@@ -147,13 +150,18 @@ func (c *csvFile) close() error {
 	return c.f.Close()
 }
 
-func run(seed uint64, prefixes, days int, out, scenario string) error {
+func run(seed uint64, prefixes, days int, out, scenario string, reports bool, beaconrate float64) error {
 	cfg := sim.DefaultConfig(seed)
 	if prefixes > 0 {
 		cfg.Prefixes = prefixes
 	}
 	if days > 0 {
 		cfg.Days = days
+	}
+	if beaconrate >= 0 {
+		// Disabling beacons (-beaconrate 0) is how paper-scale passive runs
+		// avoid paying for active measurements they will not analyze.
+		cfg.BeaconSampleRate = beaconrate
 	}
 	sc, err := loadScenario(scenario)
 	if err != nil {
@@ -169,6 +177,10 @@ func run(seed uint64, prefixes, days int, out, scenario string) error {
 	w, err := sim.BuildWorld(cfg)
 	if err != nil {
 		return err
+	}
+	var suite *experiments.StreamSuite
+	if reports {
+		suite = experiments.NewStreamSuite(cfg, w)
 	}
 
 	beacons, err := createCSV(out, "beacons.csv",
@@ -205,6 +217,9 @@ func run(seed uint64, prefixes, days int, out, scenario string) error {
 				return err
 			}
 		}
+		if suite != nil {
+			return suite.Observe(d)
+		}
 		return nil
 	})
 	if cerr := beacons.close(); err == nil {
@@ -225,10 +240,46 @@ func run(seed uint64, prefixes, days int, out, scenario string) error {
 	if err := writeFrontEnds(out, w); err != nil {
 		return err
 	}
-	for _, name := range []string{"beacons.csv", "passive.csv", "clients.csv", "frontends.csv"} {
+	names := []string{"beacons.csv", "passive.csv", "clients.csv", "frontends.csv"}
+	if suite != nil {
+		if err := writeReports(out, suite); err != nil {
+			return err
+		}
+		names = append(names, "reports.txt")
+	}
+	for _, name := range names {
 		fmt.Println("wrote", filepath.Join(out, name))
 	}
 	return nil
+}
+
+// writeReports renders the streaming suite's passive-log experiments —
+// computed online during the CSV pass, so even a million-prefix month
+// never holds more than one day of raw output — into reports.txt.
+func writeReports(dir string, suite *experiments.StreamSuite) error {
+	f, err := os.Create(filepath.Join(dir, "reports.txt"))
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, r := range []experiments.Report{
+		suite.Figure4(),
+		suite.Figure7(),
+		suite.Figure8(),
+		suite.Catchments(10),
+		suite.TCPDisruption(),
+		suite.LoadShedding(4),
+	} {
+		if _, err := fmt.Fprintln(w, r.Render()); err != nil {
+			_ = f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeClients(dir string, w *sim.World) error {

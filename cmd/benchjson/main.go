@@ -60,6 +60,7 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional ns/op regression versus baseline")
 		minSpeed  = flag.String("minspeedup", "", "comma-separated Benchmark=factor minimum speedups versus baseline")
 		maxAlloc  = flag.String("maxallocs", "", "comma-separated Benchmark=count allocs/op ceilings")
+		maxBytes  = flag.String("maxbytes", "", "comma-separated Benchmark=count B/op ceilings")
 	)
 	flag.Parse()
 	results, err := run(os.Stdin, *out)
@@ -75,7 +76,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	failures, err := gate(results, baseline, *tolerance, *minSpeed, *maxAlloc)
+	failures, err := gate(results, baseline, *tolerance, *minSpeed, *maxAlloc, *maxBytes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -211,8 +212,14 @@ func parseRequirements(spec string) (map[string]float64, error) {
 }
 
 // gate checks current results against the baseline and the explicit
-// speedup/allocation requirements, returning one message per violation.
-func gate(current, baseline []result, tolerance float64, minSpeedSpec, maxAllocSpec string) ([]string, error) {
+// speedup/allocation/byte requirements, returning one message per
+// violation. Baseline entries are matched by (package, name): a
+// same-named benchmark in a different package must not satisfy — and so
+// silently mask the deletion of — a gated benchmark. The requirement
+// specs (-minspeedup, -maxallocs, -maxbytes) stay keyed by bare name for
+// CLI ergonomics; a bare name that matches several packages applies the
+// requirement to every match.
+func gate(current, baseline []result, tolerance float64, minSpeedSpec, maxAllocSpec, maxBytesSpec string) ([]string, error) {
 	minSpeed, err := parseRequirements(minSpeedSpec)
 	if err != nil {
 		return nil, err
@@ -221,16 +228,26 @@ func gate(current, baseline []result, tolerance float64, minSpeedSpec, maxAllocS
 	if err != nil {
 		return nil, err
 	}
-	cur := make(map[string]result, len(current))
+	maxBytes, err := parseRequirements(maxBytesSpec)
+	if err != nil {
+		return nil, err
+	}
+	type benchKey struct{ pkg, name string }
+	cur := make(map[benchKey]result, len(current))
+	byName := make(map[string][]result, len(current))
 	for _, r := range current {
-		cur[benchName(r.Name)] = r
+		name := benchName(r.Name)
+		cur[benchKey{r.Package, name}] = r
+		byName[name] = append(byName[name], r)
 	}
 	var failures []string
+	speedChecked := map[string]bool{}
 	for _, base := range baseline {
 		name := benchName(base.Name)
-		r, ok := cur[name]
+		r, ok := cur[benchKey{base.Package, name}]
 		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from this run", name))
+			failures = append(failures, fmt.Sprintf(
+				"%s (%s): present in baseline but missing from this run", name, base.Package))
 			continue
 		}
 		if base.NsPerOp > 0 && r.NsPerOp > base.NsPerOp*(1+tolerance) {
@@ -239,7 +256,7 @@ func gate(current, baseline []result, tolerance float64, minSpeedSpec, maxAllocS
 				name, base.NsPerOp, r.NsPerOp, (r.NsPerOp/base.NsPerOp-1)*100, tolerance*100))
 		}
 		if factor, want := minSpeed[name]; want {
-			delete(minSpeed, name)
+			speedChecked[name] = true
 			if r.NsPerOp*factor > base.NsPerOp {
 				failures = append(failures, fmt.Sprintf(
 					"%s speedup %.2fx is below the required %.2fx: baseline %.0f ns/op, current %.0f ns/op",
@@ -250,24 +267,32 @@ func gate(current, baseline []result, tolerance float64, minSpeedSpec, maxAllocS
 	// Any minspeedup entries left over name benchmarks absent from the
 	// baseline — that is a configuration error worth failing loudly on.
 	for name := range minSpeed {
-		failures = append(failures, fmt.Sprintf("%s: -minspeedup given but benchmark is not in the baseline", name))
-	}
-	for name, limit := range maxAlloc {
-		r, ok := cur[name]
-		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: -maxallocs given but benchmark did not run", name))
-			continue
-		}
-		allocs, ok := r.Metrics["allocs/op"]
-		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: no allocs/op metric (missing b.ReportAllocs?)", name))
-			continue
-		}
-		if allocs > limit {
-			failures = append(failures, fmt.Sprintf(
-				"%s allocates %.0f allocs/op, limit %.0f (%.0f ns/op)", name, allocs, limit, r.NsPerOp))
+		if !speedChecked[name] {
+			failures = append(failures, fmt.Sprintf("%s: -minspeedup given but benchmark is not in the baseline", name))
 		}
 	}
+	checkMetric := func(spec map[string]float64, flagName, unit, verb string) {
+		for name, limit := range spec {
+			rs := byName[name]
+			if len(rs) == 0 {
+				failures = append(failures, fmt.Sprintf("%s: %s given but benchmark did not run", name, flagName))
+				continue
+			}
+			for _, r := range rs {
+				v, ok := r.Metrics[unit]
+				if !ok {
+					failures = append(failures, fmt.Sprintf("%s: no %s metric (missing b.ReportAllocs?)", name, unit))
+					continue
+				}
+				if v > limit {
+					failures = append(failures, fmt.Sprintf(
+						"%s %s %.0f %s, limit %.0f (%.0f ns/op)", name, verb, v, unit, limit, r.NsPerOp))
+				}
+			}
+		}
+	}
+	checkMetric(maxAlloc, "-maxallocs", "allocs/op", "allocates")
+	checkMetric(maxBytes, "-maxbytes", "B/op", "allocates")
 	sort.Strings(failures)
 	return failures, nil
 }

@@ -91,12 +91,12 @@ func bench(name string, ns float64, metrics map[string]float64) result {
 func TestGateTolerance(t *testing.T) {
 	baseline := []result{bench("BenchmarkA", 1000, nil)}
 
-	fails, err := gate([]result{bench("BenchmarkA-8", 1100, nil)}, baseline, 0.15, "", "")
+	fails, err := gate([]result{bench("BenchmarkA-8", 1100, nil)}, baseline, 0.15, "", "", "")
 	if err != nil || len(fails) != 0 {
 		t.Fatalf("within tolerance: fails=%v err=%v", fails, err)
 	}
 
-	fails, err = gate([]result{bench("BenchmarkA-8", 1300, nil)}, baseline, 0.15, "", "")
+	fails, err = gate([]result{bench("BenchmarkA-8", 1300, nil)}, baseline, 0.15, "", "", "")
 	if err != nil || len(fails) != 1 {
 		t.Fatalf("regression: fails=%v err=%v", fails, err)
 	}
@@ -105,7 +105,7 @@ func TestGateTolerance(t *testing.T) {
 		t.Errorf("failure must name the benchmark and both ns/op values: %q", fails[0])
 	}
 
-	fails, err = gate(nil, baseline, 0.15, "", "")
+	fails, err = gate(nil, baseline, 0.15, "", "", "")
 	if err != nil || len(fails) != 1 || !strings.Contains(fails[0], "missing from this run") {
 		t.Fatalf("missing benchmark: fails=%v err=%v", fails, err)
 	}
@@ -114,12 +114,12 @@ func TestGateTolerance(t *testing.T) {
 func TestGateMinSpeedup(t *testing.T) {
 	baseline := []result{bench("BenchmarkFloor", 9000, nil)}
 
-	fails, err := gate([]result{bench("BenchmarkFloor-4", 3000, nil)}, baseline, 0.15, "BenchmarkFloor=3", "")
+	fails, err := gate([]result{bench("BenchmarkFloor-4", 3000, nil)}, baseline, 0.15, "BenchmarkFloor=3", "", "")
 	if err != nil || len(fails) != 0 {
 		t.Fatalf("exactly 3x: fails=%v err=%v", fails, err)
 	}
 
-	fails, err = gate([]result{bench("BenchmarkFloor-4", 4000, nil)}, baseline, 0.15, "BenchmarkFloor=3", "")
+	fails, err = gate([]result{bench("BenchmarkFloor-4", 4000, nil)}, baseline, 0.15, "BenchmarkFloor=3", "", "")
 	if err != nil || len(fails) != 1 {
 		t.Fatalf("only 2.25x: fails=%v err=%v", fails, err)
 	}
@@ -129,7 +129,7 @@ func TestGateMinSpeedup(t *testing.T) {
 	}
 
 	// A minspeedup target absent from the baseline is a config error.
-	fails, err = gate([]result{bench("BenchmarkFloor-4", 10, nil)}, baseline, 0.15, "BenchmarkGone=2", "")
+	fails, err = gate([]result{bench("BenchmarkFloor-4", 10, nil)}, baseline, 0.15, "BenchmarkGone=2", "", "")
 	if err != nil || len(fails) != 1 || !strings.Contains(fails[0], "BenchmarkGone") {
 		t.Fatalf("unknown minspeedup target: fails=%v err=%v", fails, err)
 	}
@@ -142,33 +142,86 @@ func TestGateMaxAllocs(t *testing.T) {
 		bench("BenchmarkSilent-8", 10, nil),
 	}
 
-	fails, err := gate(cur, nil, 0.15, "", "BenchmarkZero=0")
+	fails, err := gate(cur, nil, 0.15, "", "BenchmarkZero=0", "")
 	if err != nil || len(fails) != 0 {
 		t.Fatalf("zero allocs: fails=%v err=%v", fails, err)
 	}
 
-	fails, err = gate(cur, nil, 0.15, "", "BenchmarkLeaky=0")
+	fails, err = gate(cur, nil, 0.15, "", "BenchmarkLeaky=0", "")
 	if err != nil || len(fails) != 1 || !strings.Contains(fails[0], "3 allocs/op") {
 		t.Fatalf("leaky: fails=%v err=%v", fails, err)
 	}
 
 	// A benchmark without ReportAllocs must fail, not silently pass.
-	fails, err = gate(cur, nil, 0.15, "", "BenchmarkSilent=0")
+	fails, err = gate(cur, nil, 0.15, "", "BenchmarkSilent=0", "")
 	if err != nil || len(fails) != 1 || !strings.Contains(fails[0], "ReportAllocs") {
 		t.Fatalf("missing metric: fails=%v err=%v", fails, err)
 	}
 
-	fails, err = gate(cur, nil, 0.15, "", "BenchmarkAbsent=0")
+	fails, err = gate(cur, nil, 0.15, "", "BenchmarkAbsent=0", "")
 	if err != nil || len(fails) != 1 || !strings.Contains(fails[0], "did not run") {
 		t.Fatalf("absent benchmark: fails=%v err=%v", fails, err)
 	}
 }
 
 func TestGateMalformedSpec(t *testing.T) {
-	if _, err := gate(nil, nil, 0.15, "BenchmarkA", ""); err == nil {
+	if _, err := gate(nil, nil, 0.15, "BenchmarkA", "", ""); err == nil {
 		t.Error("want error for spec without '='")
 	}
-	if _, err := gate(nil, nil, 0.15, "", "BenchmarkA=x"); err == nil {
+	if _, err := gate(nil, nil, 0.15, "", "BenchmarkA=x", ""); err == nil {
 		t.Error("want error for non-numeric value")
+	}
+}
+
+// TestGateBaselineMatchedByPackage pins the package-collision fix: a
+// benchmark with the same bare name in a DIFFERENT package must not
+// satisfy a baseline entry — deleting a gated benchmark while an
+// unrelated package happens to define one with the same name has to fail
+// the gate, not silently pass it.
+func TestGateBaselineMatchedByPackage(t *testing.T) {
+	baseline := []result{{Package: "pkg/a", Name: "BenchmarkShared", Iterations: 1, NsPerOp: 1000}}
+	impostor := []result{{Package: "pkg/b", Name: "BenchmarkShared-8", Iterations: 1, NsPerOp: 10}}
+
+	fails, err := gate(impostor, baseline, 0.15, "", "", "")
+	if err != nil || len(fails) != 1 {
+		t.Fatalf("same-name bench in another package masked the deletion: fails=%v err=%v", fails, err)
+	}
+	if !strings.Contains(fails[0], "missing from this run") || !strings.Contains(fails[0], "pkg/a") {
+		t.Errorf("failure must name the missing benchmark's package: %q", fails[0])
+	}
+
+	// The real benchmark in the right package still gates normally, even
+	// with the impostor present.
+	both := append([]result{{Package: "pkg/a", Name: "BenchmarkShared-8", Iterations: 1, NsPerOp: 900}}, impostor...)
+	fails, err = gate(both, baseline, 0.15, "", "", "")
+	if err != nil || len(fails) != 0 {
+		t.Fatalf("correct package within tolerance: fails=%v err=%v", fails, err)
+	}
+	both[0].NsPerOp = 5000
+	fails, err = gate(both, baseline, 0.15, "", "", "")
+	if err != nil || len(fails) != 1 || !strings.Contains(fails[0], "regressed") {
+		t.Fatalf("regression in the right package must fail despite the fast impostor: fails=%v err=%v", fails, err)
+	}
+}
+
+func TestGateMaxBytes(t *testing.T) {
+	cur := []result{
+		bench("BenchmarkLean-8", 10, map[string]float64{"B/op": 1024}),
+		bench("BenchmarkFat-8", 10, map[string]float64{"B/op": 4096}),
+	}
+
+	fails, err := gate(cur, nil, 0.15, "", "", "BenchmarkLean=2048")
+	if err != nil || len(fails) != 0 {
+		t.Fatalf("under the byte ceiling: fails=%v err=%v", fails, err)
+	}
+
+	fails, err = gate(cur, nil, 0.15, "", "", "BenchmarkFat=2048")
+	if err != nil || len(fails) != 1 || !strings.Contains(fails[0], "4096 B/op") {
+		t.Fatalf("over the byte ceiling: fails=%v err=%v", fails, err)
+	}
+
+	fails, err = gate(cur, nil, 0.15, "", "", "BenchmarkAbsent=1")
+	if err != nil || len(fails) != 1 || !strings.Contains(fails[0], "did not run") {
+		t.Fatalf("absent benchmark: fails=%v err=%v", fails, err)
 	}
 }

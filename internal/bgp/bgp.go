@@ -89,6 +89,18 @@ func DefaultConfig() Config {
 	}
 }
 
+// Per-router substream labels, hashed once. SwitchedOnDay and churnClass
+// run once per client-day; the schedule builders run once per client. All
+// use value-type streams reseeded from these labels so the routing layer
+// contributes no steady-state allocations to a simulated month.
+var (
+	labelTieBreak    = xrand.NewLabel("tiebreak")
+	labelHPMiss      = xrand.NewLabel("hp-miss")
+	labelChurnClass  = xrand.NewLabel("churn-class")
+	labelChurnEvent  = xrand.NewLabel("churn-event")
+	labelChurnTarget = xrand.NewLabel("churn-target")
+)
+
 // Router computes anycast assignments.
 type Router struct {
 	backbone *topology.Backbone
@@ -116,18 +128,29 @@ func (r *Router) IsWeekend(day int) bool {
 	return wd == time.Saturday || wd == time.Sunday
 }
 
+// rankBufSites sizes the stack buffers the routing paths hand to
+// RankPeeringByAirInto; larger peering sets fall back to the heap.
+const rankBufSites = 128
+
 // BaseIngress returns the steady-state ingress peering site for a client,
 // applying its ISP's egress policy.
 func (r *Router) BaseIngress(c Client) topology.SiteID {
 	isp := r.isps.ISP(c.ISP)
-	switch isp.Policy {
-	case topology.Centralized:
+	if isp.Policy == topology.Centralized {
 		// Nearest hub to the client among the ISP's hub set. With one hub
 		// this is the paper's Moscow→Stockholm pathology whenever the hub
 		// is far from the client.
 		return r.nearestHub(c, isp)
-	case topology.TieBreak:
-		ranked := r.backbone.RankPeeringByAir(c.Point)
+	}
+	var rbuf [rankBufSites]topology.SiteID
+	return r.baseIngressRanked(c, isp, r.backbone.RankPeeringByAirInto(c.Point, rbuf[:0]))
+}
+
+// baseIngressRanked resolves the TieBreak and HotPotato policies given the
+// client's precomputed peering ranking. The schedule builder ranks once per
+// client and shares the result with every switch day.
+func (r *Router) baseIngressRanked(c Client, isp topology.ISP, ranked []topology.SiteID) topology.SiteID {
+	if isp.Policy == topology.TieBreak {
 		k := r.cfg.TieBreakTopK
 		if k > len(ranked) {
 			k = len(ranked)
@@ -136,21 +159,23 @@ func (r *Router) BaseIngress(c Client) topology.SiteID {
 		// decision depends on AS-path artifacts, not distance, so it is a
 		// hash of (ISP salt, prefix) — consistent for the client, but
 		// uncorrelated with which candidate is closest.
-		rs := xrand.Substream(r.seed, "tiebreak", isp.TieBreakSalt, c.PrefixID)
+		var rs xrand.Stream
+		rs.Reseed(xrand.DeriveSeedL2(r.seed, labelTieBreak, isp.TieBreakSalt, c.PrefixID))
 		return ranked[rs.Intn(k)]
-	default: // HotPotato
-		ranked := r.backbone.RankPeeringByAir(c.Point)
-		rs := xrand.Substream(r.seed, "hp-miss", uint64(isp.ID), c.PrefixID)
-		if len(ranked) > 1 && rs.Bool(r.cfg.HotPotatoMissRate) {
-			return ranked[1]
-		}
-		return ranked[0]
 	}
+	// HotPotato
+	var rs xrand.Stream
+	rs.Reseed(xrand.DeriveSeedL2(r.seed, labelHPMiss, uint64(isp.ID), c.PrefixID))
+	if len(ranked) > 1 && rs.Bool(r.cfg.HotPotatoMissRate) {
+		return ranked[1]
+	}
+	return ranked[0]
 }
 
 // churnClass returns the per-weekday switch rate for a client.
 func (r *Router) churnClass(prefixID uint64) float64 {
-	rs := xrand.Substream(r.seed, "churn-class", prefixID)
+	var rs xrand.Stream
+	rs.Reseed(xrand.DeriveSeedL1(r.seed, labelChurnClass, prefixID))
 	u := rs.Float64()
 	switch {
 	case u < r.cfg.StableFrac:
@@ -169,21 +194,30 @@ func (r *Router) SwitchedOnDay(c Client, day int) bool {
 	if r.IsWeekend(day) {
 		rate *= r.cfg.WeekendFactor
 	}
-	rs := xrand.Substream(r.seed, "churn-event", c.PrefixID, uint64(day))
+	var rs xrand.Stream
+	rs.Reseed(xrand.DeriveSeedL2(r.seed, labelChurnEvent, c.PrefixID, uint64(day)))
 	return rs.Bool(rate)
 }
 
 // alternativeIngress picks the ingress a route change lands on: usually a
 // nearby alternative (rank 2–4 by distance), occasionally back to rank 1.
-func (r *Router) alternativeIngress(c Client, day int, current topology.SiteID) topology.SiteID {
-	ranked := r.backbone.RankPeeringByAir(c.Point)
+// ranked is the client's peering ranking from RankPeeringByAir.
+func (r *Router) alternativeIngress(ranked []topology.SiteID, c Client, day int, current topology.SiteID) topology.SiteID {
 	if len(ranked) == 1 {
 		return ranked[0]
 	}
-	rs := xrand.Substream(r.seed, "churn-target", c.PrefixID, uint64(day))
+	var rs xrand.Stream
+	rs.Reseed(xrand.DeriveSeedL2(r.seed, labelChurnTarget, c.PrefixID, uint64(day)))
 	// Geometric preference over ranks: nearby alternatives dominate, with
-	// a long tail, matching Figure 8's switch-distance distribution.
-	weights := make([]float64, len(ranked))
+	// a long tail, matching Figure 8's switch-distance distribution. The
+	// peering set is deployment-sized, so the weights fit a stack buffer.
+	var wbuf [128]float64
+	var weights []float64
+	if len(ranked) <= len(wbuf) {
+		weights = wbuf[:len(ranked)]
+	} else {
+		weights = make([]float64, len(ranked))
+	}
 	w := 1.0
 	for i := range ranked {
 		if ranked[i] == current {
@@ -204,14 +238,32 @@ func (r *Router) alternativeIngress(c Client, day int, current topology.SiteID) 
 // Day d's ingress reflects any switch events up to and including day d.
 func (r *Router) IngressSchedule(c Client, days int) []topology.SiteID {
 	out := make([]topology.SiteID, days)
-	cur := r.BaseIngress(c)
-	for d := 0; d < days; d++ {
+	r.IngressScheduleInto(c, out)
+	return out
+}
+
+// IngressScheduleInto fills out[d] with the client's ingress on day d, for
+// d in [0, len(out)) — IngressSchedule without the allocation, for callers
+// (the streaming simulation) that pack all clients' schedules into one
+// flat array instead of holding a slice per client. The peering ranking is
+// computed once here and reused for the base choice and every switch day,
+// so extra simulated days cost no extra ranking work (and no allocations).
+func (r *Router) IngressScheduleInto(c Client, out []topology.SiteID) {
+	isp := r.isps.ISP(c.ISP)
+	var rbuf [rankBufSites]topology.SiteID
+	ranked := r.backbone.RankPeeringByAirInto(c.Point, rbuf[:0])
+	var cur topology.SiteID
+	if isp.Policy == topology.Centralized {
+		cur = r.nearestHub(c, isp)
+	} else {
+		cur = r.baseIngressRanked(c, isp, ranked)
+	}
+	for d := range out {
 		if r.SwitchedOnDay(c, d) {
-			cur = r.alternativeIngress(c, d, cur)
+			cur = r.alternativeIngress(ranked, c, d, cur)
 		}
 		out[d] = cur
 	}
-	return out
 }
 
 // Assign resolves a full assignment from an ingress.

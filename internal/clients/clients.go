@@ -108,6 +108,10 @@ func Generate(metros []geo.Metro, isps *topology.ISPModel, cfg Config) (*Populat
 	return pop, nil
 }
 
+// labelQueries is the precomputed substream label of QueriesOnDay, the one
+// clients entry point on the per-client-day hot path.
+var labelQueries = xrand.NewLabel("queries")
+
 // QueriesOnDay returns the number of search queries the prefix issues on a
 // simulation day: volume scaled by a weekday/weekend activity factor and
 // per-day noise. perVolumeQueries converts relative volume into queries.
@@ -119,7 +123,10 @@ func (c Client) QueriesOnDay(seed uint64, day int, weekend bool, perVolumeQuerie
 	// Daily activity is bursty: a light prefix can be very active on one
 	// day and silent the next, which is what lets light /24s appear in
 	// the measurable population on only a day or two of the month.
-	rs := xrand.Substream(seed, "queries", c.ID, uint64(day))
+	// Value-type stream: this runs once per client-day, and a heap
+	// *Stream here dominates the streaming loop's steady-state allocs.
+	var rs xrand.Stream
+	rs.Reseed(xrand.DeriveSeedL2(seed, labelQueries, c.ID, uint64(day)))
 	noise := rs.LogNormal(0, 1.1)
 	n := c.Volume * perVolumeQueries * factor * noise
 	q := int(n)

@@ -276,8 +276,17 @@ func (a *Authority) SelectBeaconTargets(l LDNS, rs *xrand.Stream) BeaconTargets 
 		t.Random = [2]topology.SiteID{cands[0], cands[0]}
 		return t
 	}
-	// Inverse-rank weights over the remaining candidates.
-	weights := make([]float64, len(rest))
+	// Inverse-rank weights over the remaining candidates. Candidate sets
+	// are small (Config.CandidateCount, default 10), so the weights live
+	// in a stack buffer: this runs once per beacon execution and was a
+	// top-five allocation site of a simulated month.
+	var wbuf [16]float64
+	var weights []float64
+	if len(rest) <= len(wbuf) {
+		weights = wbuf[:len(rest)]
+	} else {
+		weights = make([]float64, len(rest))
+	}
 	for i := range rest {
 		weights[i] = 1 / float64(i+2) // candidate i is the (i+2)-th closest
 	}

@@ -5,6 +5,8 @@ import (
 	"sort"
 
 	"anycastcdn/internal/geo"
+	"anycastcdn/internal/logs"
+	"anycastcdn/internal/sim"
 	"anycastcdn/internal/stats"
 	"anycastcdn/internal/topology"
 	"anycastcdn/internal/units"
@@ -17,41 +19,61 @@ import (
 // the server side — and quantifies the load imbalance §2 says anycast
 // cannot control ("anycast is unaware of server load").
 func (s *Suite) Catchments(topN int) Report {
+	agg := newCatchmentAgg(s.Res.World)
+	for c := s.Res.Passive.Cursor(); c.Next(); {
+		agg.observe(c.Record())
+	}
+	return agg.report(topN)
+}
+
+// catchmentAgg accumulates per-front-end catchment statistics one passive
+// record at a time; Suite and StreamSuite share it.
+type catchmentAgg struct {
+	w           *sim.World
+	perFE       map[topology.SiteID]*catchmentFE
+	totalVolume float64
+}
+
+type catchmentFE struct {
+	clients int
+	volume  float64
+	dists   []units.Kilometers
+}
+
+func newCatchmentAgg(w *sim.World) *catchmentAgg {
+	return &catchmentAgg{w: w, perFE: map[topology.SiteID]*catchmentFE{}}
+}
+
+func (a *catchmentAgg) observe(r logs.DayRecord) {
+	if r.Day != 0 || r.Queries == 0 {
+		return
+	}
+	c := a.w.Population.Clients[r.ClientID]
+	fe := a.perFE[r.FrontEnd]
+	if fe == nil {
+		fe = &catchmentFE{}
+		a.perFE[r.FrontEnd] = fe
+	}
+	fe.clients++
+	fe.volume += c.Volume
+	a.totalVolume += c.Volume
+	bb := a.w.Deployment.Backbone
+	fe.dists = append(fe.dists, geo.DistanceKm(c.Point, bb.Site(r.FrontEnd).Metro.Point))
+}
+
+func (a *catchmentAgg) report(topN int) Report {
 	if topN <= 0 {
 		topN = 15
 	}
-	w := s.Res.World
-	bb := w.Deployment.Backbone
-	type agg struct {
-		clients int
-		volume  float64
-		dists   []units.Kilometers
-	}
-	perFE := map[topology.SiteID]*agg{}
-	var totalVolume float64
-	for _, r := range s.Res.Passive.Records() {
-		if r.Day != 0 || r.Queries == 0 {
-			continue
-		}
-		c := w.Population.Clients[r.ClientID]
-		a := perFE[r.FrontEnd]
-		if a == nil {
-			a = &agg{}
-			perFE[r.FrontEnd] = a
-		}
-		a.clients++
-		a.volume += c.Volume
-		totalVolume += c.Volume
-		a.dists = append(a.dists, geo.DistanceKm(c.Point, bb.Site(r.FrontEnd).Metro.Point))
-	}
+	bb := a.w.Deployment.Backbone
 	type row struct {
 		fe  topology.SiteID
-		agg *agg
+		agg *catchmentFE
 	}
-	rows := make([]row, 0, len(perFE))
+	rows := make([]row, 0, len(a.perFE))
 	//replay:commutative rows get a total order immediately below (volume, then site id), so collection order is discarded
-	for fe, a := range perFE {
-		rows = append(rows, row{fe, a})
+	for fe, fa := range a.perFE {
+		rows = append(rows, row{fe, fa})
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].agg.volume != rows[j].agg.volume {
@@ -78,16 +100,16 @@ func (s *Suite) Catchments(topN int) Report {
 		tb.Rows = append(tb.Rows, []string{
 			bb.Site(r.fe).Metro.Name,
 			fmt.Sprintf("%d", r.agg.clients),
-			pct(r.agg.volume / totalVolume),
+			pct(r.agg.volume / a.totalVolume),
 			fmt.Sprintf("%.0f", med),
 			fmt.Sprintf("%.0f", p90),
 		})
 	}
 	// Imbalance headline: top front-end share vs a uniform share.
 	lines := []Headline{}
-	if len(rows) > 0 && totalVolume > 0 {
-		topShare := rows[0].agg.volume / totalVolume
-		uniform := 1 / float64(w.Deployment.NumFrontEnds())
+	if len(rows) > 0 && a.totalVolume > 0 {
+		topShare := rows[0].agg.volume / a.totalVolume
+		uniform := 1 / float64(a.w.Deployment.NumFrontEnds())
 		lines = append(lines, Headline{
 			Name:     "anycast load imbalance (top front-end vs uniform)",
 			Paper:    "anycast 'is unaware of server load' (§2)",

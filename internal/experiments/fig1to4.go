@@ -7,6 +7,8 @@ import (
 	"anycastcdn/internal/bgp"
 	"anycastcdn/internal/cdn"
 	"anycastcdn/internal/geo"
+	"anycastcdn/internal/logs"
+	"anycastcdn/internal/sim"
 	"anycastcdn/internal/stats"
 	"anycastcdn/internal/units"
 	"anycastcdn/internal/xrand"
@@ -257,33 +259,59 @@ func (s *Suite) Figure3() Report {
 // ~55% of clients go to the closest front-end; 75% within ~400 km of
 // closest; ~82% of clients (87% of volume) within 2000 km.
 func (s *Suite) Figure4() Report {
-	w := s.Res.World
+	agg := newFigure4Agg(s.Res.Cfg, s.Res.World)
+	for c := s.Res.Passive.Cursor(); c.Next(); {
+		agg.observe(c.Record())
+	}
+	return agg.report()
+}
+
+// figure4Agg accumulates Figure 4's distance samples one passive record at
+// a time, so the batch Suite (cursor over the full log) and StreamSuite
+// (one day at a time) share the figure's code and produce byte-identical
+// reports. It looks only at day 0 with traffic — one day of production
+// logs, as in the paper.
+type figure4Agg struct {
+	w     *sim.World
+	geoDB *geo.DB
+	pts   []geo.Point
+	// Weighted and unweighted builders over the same samples: distance to
+	// the serving front-end and distance past the closest one. Client
+	// positions come from the geolocation database, as in the paper's
+	// pipeline — its footnote notes that a fraction of very long distances
+	// may be geolocation error, and the same is true here.
+	wToFE, uToFE, wPast, uPast stats.ECDFBuilder[units.Kilometers]
+}
+
+func newFigure4Agg(cfg sim.Config, w *sim.World) *figure4Agg {
 	fes := w.Deployment.FrontEnds
 	pts := make([]geo.Point, len(fes))
 	for i, fe := range fes {
 		pts[i] = w.Deployment.Backbone.Site(fe.Site).Metro.Point
 	}
-	// One day of production traffic: day 0 passive records with traffic.
-	// Client positions come from the geolocation database, as in the
-	// paper's pipeline — its footnote notes that a fraction of very long
-	// distances may be geolocation error, and the same is true here.
-	geoDB := geo.NewDB(s.Res.Cfg.Seed, s.Res.Cfg.GeoMedianErrKm,
-		s.Res.Cfg.GeoGrossRate, s.Res.Cfg.GeoGrossKm)
-	var toFE, past []units.Kilometers
-	var weights []float64
-	for _, r := range s.Res.Passive.Records() {
-		if r.Day != 0 || r.Queries == 0 {
-			continue
-		}
-		c := w.Population.Clients[r.ClientID]
-		loc := geoDB.Locate(c.ID, c.Point)
-		fePt := w.Deployment.Backbone.Site(r.FrontEnd).Metro.Point
-		d := geo.DistanceKm(loc, fePt)
-		_, closest := geo.NearestIndex(loc, pts)
-		toFE = append(toFE, d)
-		past = append(past, d-closest)
-		weights = append(weights, c.Volume)
+	return &figure4Agg{
+		w:     w,
+		geoDB: geo.NewDB(cfg.Seed, cfg.GeoMedianErrKm, cfg.GeoGrossRate, cfg.GeoGrossKm),
+		pts:   pts,
 	}
+}
+
+func (a *figure4Agg) observe(r logs.DayRecord) {
+	if r.Day != 0 || r.Queries == 0 {
+		return
+	}
+	c := a.w.Population.Clients[r.ClientID]
+	loc := a.geoDB.Locate(c.ID, c.Point)
+	fePt := a.w.Deployment.Backbone.Site(r.FrontEnd).Metro.Point
+	d := geo.DistanceKm(loc, fePt)
+	_, closest := geo.NearestIndex(loc, a.pts)
+	a.wPast.AddWeighted(d-closest, c.Volume)
+	a.uPast.Add(d - closest)
+	a.wToFE.AddWeighted(d, c.Volume)
+	a.uToFE.Add(d)
+}
+
+func (a *figure4Agg) report() Report {
 	fig := &stats.Figure{
 		Title:  "Figure 4: distance between clients and their anycast front-end",
 		XLabel: "distance (km, log)",
@@ -291,24 +319,18 @@ func (s *Suite) Figure4() Report {
 	}
 	grid := stats.LogGrid[units.Kilometers](64, 8192, 14)
 	var lines []Headline
-	add := func(name string, data []units.Kilometers, wts []float64) *stats.ECDF[units.Kilometers] {
-		var e *stats.ECDF[units.Kilometers]
-		var err error
-		if wts == nil {
-			e, err = stats.NewECDF(data)
-		} else {
-			e, err = stats.NewWeightedECDF(data, wts)
-		}
+	add := func(name string, b *stats.ECDFBuilder[units.Kilometers]) *stats.ECDF[units.Kilometers] {
+		e, err := b.ECDF()
 		if err != nil {
 			return nil
 		}
 		fig.Series = append(fig.Series, e.SampleCDF(name, grid))
 		return e
 	}
-	wPast := add("weighted past closest", past, weights)
-	uPast := add("clients past closest", past, nil)
-	wTo := add("weighted to front-end", toFE, weights)
-	uTo := add("clients to front-end", toFE, nil)
+	wPast := add("weighted past closest", &a.wPast)
+	uPast := add("clients past closest", &a.uPast)
+	wTo := add("weighted to front-end", &a.wToFE)
+	uTo := add("clients to front-end", &a.uToFE)
 	if uPast != nil && uTo != nil && wTo != nil && wPast != nil {
 		lines = []Headline{
 			{Name: "clients directed to their closest front-end", Paper: "~55%",

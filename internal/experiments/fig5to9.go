@@ -5,7 +5,10 @@ import (
 	"time"
 
 	"anycastcdn/internal/core"
+	"anycastcdn/internal/geo"
+	"anycastcdn/internal/logs"
 	"anycastcdn/internal/stats"
+	"anycastcdn/internal/topology"
 	"anycastcdn/internal/units"
 )
 
@@ -125,13 +128,72 @@ func (s *Suite) Figure6() Report {
 	}
 }
 
+// figure7Week is Figure 7's window: one week starting Wednesday.
+const figure7Week = 7
+
 // Figure7 reproduces the front-end affinity analysis (§5): the cumulative
 // fraction of clients that have changed front-ends at least once by each
 // day of a week starting Wednesday. Paper: 7% after the first day, +2-4%
 // per weekday, <0.5% on weekend days, 21% by week's end.
 func (s *Suite) Figure7() Report {
-	const week = 7
-	cum := s.Res.Passive.CumulativeSwitched(week)
+	agg := newSwitchAgg(figure7Week)
+	for c := s.Res.Passive.Cursor(); c.Next(); {
+		agg.observe(c.Record())
+	}
+	return agg.report(s.Res.World.Router.Weekday)
+}
+
+// switchAgg accumulates Figure 7's cumulative-switch analysis one passive
+// record at a time; Suite and StreamSuite share it. It mirrors
+// logs.CumulativeSwitched exactly — integer counting keyed by client, so
+// the result is independent of observation order: clients with no traffic
+// on a day don't count as active (the paper can only observe clients that
+// appear in logs), and a client's first visible front-end change marks
+// every later day of the window.
+type switchAgg struct {
+	days        int
+	firstChange map[uint64]int
+	active      map[uint64]bool
+}
+
+func newSwitchAgg(days int) *switchAgg {
+	return &switchAgg{days: days, firstChange: map[uint64]int{}, active: map[uint64]bool{}}
+}
+
+func (a *switchAgg) observe(r logs.DayRecord) {
+	if r.Day < 0 || r.Day >= a.days || r.Queries == 0 {
+		return
+	}
+	a.active[r.ClientID] = true
+	if r.FrontEndChanged() {
+		if d, ok := a.firstChange[r.ClientID]; !ok || r.Day < d {
+			a.firstChange[r.ClientID] = r.Day
+		}
+	}
+}
+
+// cumulative computes the per-day cumulative switched fraction — the same
+// output as logs.CumulativeSwitched over the records observed.
+func (a *switchAgg) cumulative() []float64 {
+	out := make([]float64, a.days)
+	if len(a.active) == 0 {
+		return out
+	}
+	perDay := make([]int, a.days)
+	//replay:commutative integer histogram increments; per-day counts are order-independent
+	for _, d := range a.firstChange {
+		perDay[d]++
+	}
+	cum := 0
+	for d := 0; d < a.days; d++ {
+		cum += perDay[d]
+		out[d] = float64(cum) / float64(len(a.active))
+	}
+	return out
+}
+
+func (a *switchAgg) report(weekday func(day int) time.Weekday) Report {
+	cum := a.cumulative()
 	fig := &stats.Figure{
 		Title:  "Figure 7: cumulative fraction of clients that changed front-end during a week",
 		XLabel: "day of week (0 = Wednesday)",
@@ -142,10 +204,9 @@ func (s *Suite) Figure7() Report {
 		series.Points = append(series.Points, stats.SeriesPoint{X: float64(d), Y: v})
 	}
 	fig.Series = []stats.Series{series}
-	wd := func(d int) time.Weekday { return s.Res.World.Router.Weekday(d) }
 	var weekendDelta float64
-	for d := 1; d < week; d++ {
-		if wd(d) == time.Saturday || wd(d) == time.Sunday {
+	for d := 1; d < a.days; d++ {
+		if weekday(d) == time.Saturday || weekday(d) == time.Sunday {
 			weekendDelta += cum[d] - cum[d-1]
 		}
 	}
@@ -154,17 +215,60 @@ func (s *Suite) Figure7() Report {
 		Figure: fig,
 		Lines: []Headline{
 			{Name: "clients on multiple front-ends within first day", Paper: "7%", Measured: pct(cum[0])},
-			{Name: "clients switched within the week", Paper: "21%", Measured: pct(cum[week-1])},
+			{Name: "clients switched within the week", Paper: "21%", Measured: pct(cum[a.days-1])},
 			{Name: "weekend churn (sum of Sat+Sun additions)", Paper: "<1% (<0.5%/day)", Measured: pct(weekendDelta)},
 		},
 	}
 }
 
+// Figure 8's sketch layout: 128 log-spaced bins over [62.5, 16000) km,
+// a factor of 2^(1/16) per bin (≈4.4% distance resolution), with 2000 km —
+// the figure's headline threshold — landing exactly on a bin boundary.
+const (
+	fig8SketchLo   units.Kilometers = 62.5
+	fig8SketchHi   units.Kilometers = 16000
+	fig8SketchBins                  = 128
+)
+
 // Figure8 reproduces the switch-distance analysis (§5): the CDF of the
 // change in client-to-front-end distance when the front-end changes.
 // Paper: median 483 km, 83% within 2000 km.
 func (s *Suite) Figure8() Report {
-	dists := s.Res.Passive.SwitchDistancesKm(s.Res.World.Deployment.Backbone)
+	agg := newFig8Agg(s.Res.World.Deployment.Backbone)
+	for c := s.Res.Passive.Cursor(); c.Next(); {
+		agg.observe(c.Record())
+	}
+	return agg.report()
+}
+
+// fig8Agg accumulates switch distances into a constant-memory quantile
+// sketch; Suite and StreamSuite share it. Unweighted samples make the
+// sketch bit-identical regardless of observation order. The observability
+// filter matches logs.SwitchDistancesKm: a switch on a zero-query day has
+// no log row in a real passive log, so it is invisible to the figure —
+// the same rule Figure 7 applies.
+type fig8Agg struct {
+	bb     *topology.Backbone
+	sketch *stats.QuantileSketch[units.Kilometers]
+}
+
+func newFig8Agg(bb *topology.Backbone) *fig8Agg {
+	// The layout is constant and valid, so the error path is unreachable;
+	// if it were ever hit, the nil sketch degrades to an empty figure.
+	sk, _ := stats.NewLogQuantileSketch(fig8SketchLo, fig8SketchHi, fig8SketchBins)
+	return &fig8Agg{bb: bb, sketch: sk}
+}
+
+func (a *fig8Agg) observe(r logs.DayRecord) {
+	if a.sketch == nil || r.Queries == 0 || !r.FrontEndChanged() {
+		return
+	}
+	from := a.bb.Site(r.PrevFrontEnd).Metro.Point
+	to := a.bb.Site(r.FrontEnd).Metro.Point
+	a.sketch.Add(geo.DistanceKm(from, to))
+}
+
+func (a *fig8Agg) report() Report {
 	fig := &stats.Figure{
 		Title:  "Figure 8: distance between old and new front-end on a switch",
 		XLabel: "distance (km, log)",
@@ -172,10 +276,10 @@ func (s *Suite) Figure8() Report {
 	}
 	var med units.Kilometers
 	var within2000 float64
-	if e, err := stats.NewECDF(dists); err == nil {
-		fig.Series = append(fig.Series, e.SampleCDF("front-end changes", stats.LogGrid[units.Kilometers](64, 8192, 14)))
-		med = e.Quantile(0.5)
-		within2000 = e.P(2000)
+	if a.sketch != nil && a.sketch.N() > 0 {
+		fig.Series = append(fig.Series, a.sketch.SampleCDF("front-end changes", stats.LogGrid[units.Kilometers](64, 8192, 14)))
+		med = a.sketch.Quantile(0.5)
+		within2000 = a.sketch.P(2000)
 	}
 	return Report{
 		ID:     "fig8",

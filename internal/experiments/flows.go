@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"anycastcdn/internal/logs"
 	"anycastcdn/internal/stats"
 )
 
@@ -20,28 +21,47 @@ import (
 // switch day. The per-duration disruption probability is the client-day
 // average of that overlap.
 func (s *Suite) TCPDisruption() Report {
+	agg := newTCPAgg()
+	for c := s.Res.Passive.Cursor(); c.Next(); {
+		agg.observe(c.Record())
+	}
+	return agg.report()
+}
+
+// tcpAgg accumulates per-client switch-day and total-day counts one
+// passive record at a time; Suite and StreamSuite share it. Integer
+// counters keyed by client make the report independent of observation
+// order (the final float sums run in sorted client order).
+type tcpAgg struct {
+	switchDays map[uint64]int
+	totalDays  map[uint64]int
+}
+
+func newTCPAgg() *tcpAgg {
+	return &tcpAgg{switchDays: map[uint64]int{}, totalDays: map[uint64]int{}}
+}
+
+func (a *tcpAgg) observe(r logs.DayRecord) {
+	a.totalDays[r.ClientID]++
+	if r.FrontEndChanged() {
+		a.switchDays[r.ClientID]++
+	}
+}
+
+func (a *tcpAgg) report() Report {
 	durations := []time.Duration{
 		time.Second, 10 * time.Second, time.Minute,
 		10 * time.Minute, time.Hour, 12 * time.Hour, 24 * time.Hour,
 	}
 	const day = 24 * time.Hour
 
-	// Per client: fraction of days with a front-end change.
-	switchDays := map[uint64]int{}
-	totalDays := map[uint64]int{}
-	for _, r := range s.Res.Passive.Records() {
-		totalDays[r.ClientID]++
-		if r.FrontEndChanged() {
-			switchDays[r.ClientID]++
-		}
-	}
 	tb := &stats.Table{
 		Title:   "§2 claim check: probability a TCP flow is broken by an anycast route change",
 		Columns: []string{"flow duration", "disruption probability", "flows broken per 10^6"},
 	}
-	clients := make([]uint64, 0, len(totalDays))
+	clients := make([]uint64, 0, len(a.totalDays))
 	//replay:commutative keys only; sorted immediately below, so collection order is discarded
-	for client := range totalDays {
+	for client := range a.totalDays {
 		clients = append(clients, client)
 	}
 	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
@@ -56,11 +76,11 @@ func (s *Suite) TCPDisruption() Report {
 		// Sorted client order: float accumulation in map order would make
 		// the reported probabilities differ in the last bits between runs.
 		for _, client := range clients {
-			total := totalDays[client]
+			total := a.totalDays[client]
 			if total == 0 {
 				continue
 			}
-			rate := float64(switchDays[client]) / float64(total)
+			rate := float64(a.switchDays[client]) / float64(total)
 			sum += rate * overlap
 			n++
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"anycastcdn/internal/load"
+	"anycastcdn/internal/logs"
 	"anycastcdn/internal/sim"
 	"anycastcdn/internal/stats"
 	"anycastcdn/internal/topology"
@@ -18,21 +19,42 @@ import (
 // while a naive route withdrawal cascades (§2's warning). crowdFactor
 // scales the hot front-end's demand.
 func (s *Suite) LoadShedding(crowdFactor float64) Report {
+	agg := newLoadShedAgg()
+	for c := s.Res.Passive.Cursor(); c.Next(); {
+		r := c.Record()
+		if r.Day != 0 {
+			continue
+		}
+		agg.observe(r, s.Res.Assignments[r.ClientID][0].Ingress)
+	}
+	return agg.report(s.Res.World, crowdFactor)
+}
+
+// loadShedAgg accumulates day-0 per-ingress query demand one passive
+// record at a time; Suite and StreamSuite share it. The caller supplies
+// each record's effective day-0 ingress alongside the record (the log
+// itself doesn't store ingresses).
+type loadShedAgg struct {
+	demand map[topology.SiteID]float64
+}
+
+func newLoadShedAgg() *loadShedAgg {
+	return &loadShedAgg{demand: map[topology.SiteID]float64{}}
+}
+
+func (a *loadShedAgg) observe(r logs.DayRecord, ingress topology.SiteID) {
+	if r.Day != 0 || r.Queries == 0 {
+		return
+	}
+	a.demand[ingress] += float64(r.Queries)
+}
+
+func (a *loadShedAgg) report(w *sim.World, crowdFactor float64) Report {
 	if crowdFactor <= 1 {
 		crowdFactor = 4
 	}
-	w := s.Res.World
 	bb := w.Deployment.Backbone
-
-	// Per-ingress demand from day 0 of the passive logs.
-	demand := map[topology.SiteID]float64{}
-	for _, r := range s.Res.Passive.Records() {
-		if r.Day != 0 || r.Queries == 0 {
-			continue
-		}
-		ing := s.Res.Assignments[r.ClientID][0].Ingress
-		demand[ing] += float64(r.Queries)
-	}
+	demand := a.demand
 	// Baseline per-front-end load under plain anycast.
 	base := map[topology.SiteID]float64{}
 	for ing, q := range demand {

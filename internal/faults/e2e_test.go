@@ -46,13 +46,12 @@ func diffRuns(a, b *sim.Result) string {
 			}
 		}
 	}
-	ra, rb := a.Passive.Records(), b.Passive.Records()
-	if len(ra) != len(rb) {
-		return fmt.Sprintf("passive lengths %d vs %d", len(ra), len(rb))
+	if a.Passive.Len() != b.Passive.Len() {
+		return fmt.Sprintf("passive lengths %d vs %d", a.Passive.Len(), b.Passive.Len())
 	}
-	for i := range ra {
-		if ra[i] != rb[i] {
-			return fmt.Sprintf("passive record %d: %+v vs %+v", i, ra[i], rb[i])
+	for i := 0; i < a.Passive.Len(); i++ {
+		if a.Passive.At(i) != b.Passive.At(i) {
+			return fmt.Sprintf("passive record %d: %+v vs %+v", i, a.Passive.At(i), b.Passive.At(i))
 		}
 	}
 	for c := range a.Assignments {

@@ -9,7 +9,7 @@ import (
 )
 
 // dayKey identifies one memoized day-RTT value. Path is a comparable
-// struct of plain scalars, so it can key a map directly; the day is kept
+// struct of plain scalars, so keys compare with ==; the day is kept
 // alongside because congestion events are drawn per day.
 type dayKey struct {
 	p   Path
@@ -21,63 +21,82 @@ type dayKey struct {
 // at GOMAXPROCS-scale worker counts.
 const dayCacheShards = 64
 
-// dayShardMaxEntries bounds one shard's map. Memoized values are pure
-// functions of the model seed, so a full shard is simply reset and
-// repopulated on demand — eviction can never change a returned value,
-// which is what keeps paper-scale streaming runs (hundreds of thousands
-// of prefixes) memory-bounded without a replay hazard.
+// dayShardMaxEntries is one shard's slot count (power of two). Memoized
+// values are pure functions of the model seed, so a collision simply
+// overwrites the slot and the displaced value is recomputed on its next
+// miss — eviction can never change a returned value, which is what keeps
+// paper-scale streaming runs (millions of prefixes) memory-bounded
+// without a replay hazard.
 const dayShardMaxEntries = 4096
 
-// dayShard is one lock-striped slice of the cache. mu guards m.
+// dayEntry is one direct-mapped slot.
+type dayEntry struct {
+	key  dayKey
+	val  units.Millis
+	used bool
+}
+
+// dayShard is one lock-striped slice of the cache. mu guards entries.
+// Slots are allocated lazily on the shard's first store, so models built
+// for tiny worlds (unit tests) don't pay for the full cache.
 type dayShard struct {
-	mu sync.RWMutex
-	m  map[dayKey]units.Millis
+	mu      sync.RWMutex
+	entries []dayEntry // nil until first put; then dayShardMaxEntries slots
 }
 
 // dayCache memoizes DayRTTms per (path, day) behind striped RWMutexes so
-// parallel simulation workers share computed base RTTs race-free. Each
-// shard's mutex guards only that shard's map; values are deterministic in
-// the model seed, so concurrent duplicate computation is harmless.
+// parallel simulation workers share computed base RTTs race-free. It is a
+// direct-mapped hash cache: each key owns exactly one slot, a store
+// overwrites whatever occupied it, and steady-state operation allocates
+// nothing — unlike a bounded map, which churns a fresh map (and its
+// buckets) every time a shard fills while simulating a working set larger
+// than its capacity.
 type dayCache struct {
 	shards [dayCacheShards]dayShard
 }
 
-func newDayCache() *dayCache {
-	c := &dayCache{}
-	for i := range c.shards {
-		c.shards[i].m = make(map[dayKey]units.Millis)
-	}
-	return c
-}
+func newDayCache() *dayCache { return &dayCache{} }
 
-// shardOf hashes the key to a shard with deterministic mixing (Go's
-// randomized map hash only distributes entries inside a shard).
-func shardOf(k dayKey) uint64 {
+// hashKey mixes the key with deterministic functions (Go's randomized map
+// hash would make shard and slot placement differ between processes). The
+// low bits pick the shard, bits 32+ pick the slot within it, so the two
+// indices are independent.
+func hashKey(k dayKey) uint64 {
 	h := xrand.Mix64(k.p.PrefixID ^ xrand.Mix64(k.p.EntryKey))
 	h = xrand.Mix64(h ^ k.p.Household ^ uint64(k.day)<<32)
 	h ^= math.Float64bits(k.p.AirKm.Float())
 	if k.p.Unicast {
 		h = xrand.Mix64(h ^ 1)
 	}
-	return h & (dayCacheShards - 1)
+	return xrand.Mix64(h)
 }
 
 // get returns the cached value for k, if present.
 func (c *dayCache) get(k dayKey) (units.Millis, bool) {
-	sh := &c.shards[shardOf(k)]
+	h := hashKey(k)
+	sh := &c.shards[h&(dayCacheShards-1)]
+	slot := (h >> 32) & (dayShardMaxEntries - 1)
+	var v units.Millis
+	ok := false
 	sh.mu.RLock()
-	v, ok := sh.m[k]
+	if sh.entries != nil {
+		if e := &sh.entries[slot]; e.used && e.key == k {
+			v, ok = e.val, true
+		}
+	}
 	sh.mu.RUnlock()
 	return v, ok
 }
 
-// put stores v for k, resetting the shard first if it is full.
+// put stores v for k, displacing any colliding entry.
 func (c *dayCache) put(k dayKey, v units.Millis) {
-	sh := &c.shards[shardOf(k)]
+	h := hashKey(k)
+	sh := &c.shards[h&(dayCacheShards-1)]
+	slot := (h >> 32) & (dayShardMaxEntries - 1)
 	sh.mu.Lock()
-	if len(sh.m) >= dayShardMaxEntries {
-		sh.m = make(map[dayKey]units.Millis, dayShardMaxEntries)
+	if sh.entries == nil {
+		sh.entries = make([]dayEntry, dayShardMaxEntries)
 	}
-	sh.m[k] = v
+	sh.entries[slot] = dayEntry{key: k, val: v, used: true}
 	sh.mu.Unlock()
 }

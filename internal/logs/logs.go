@@ -2,6 +2,17 @@
 // records of which front-end served each client, aggregated per client /24
 // and day. The front-end affinity analysis of §5 (Figures 7 and 8) runs
 // over these logs.
+//
+// The log is stored column-wise (struct-of-arrays): parallel slices per
+// field instead of a slice of row structs. Passive logs are the one
+// dataset that scales with prefixes × days — the paper's covers millions
+// of client /24s over a month — and the columnar layout cuts a record
+// from 48 padded AoS bytes to 28 (the switched flag rides in the
+// prev-front-end column's sign bit instead of its own padded byte), keeps
+// each analysis touching only the columns it reads, and lets the parallel
+// simulation reduce write disjoint indices of shared columns with no
+// per-client row buffers. Rows materialize only at the API edge: Append
+// and Set take a DayRecord, At and Cursor return one.
 package logs
 
 import (
@@ -13,6 +24,8 @@ import (
 )
 
 // DayRecord summarizes one client /24's production traffic on one day.
+// It is the row view of the columnar log: cheap to materialize (a handful
+// of scalar loads), never stored.
 type DayRecord struct {
 	ClientID uint64
 	Day      int
@@ -33,13 +46,37 @@ func (r DayRecord) FrontEndChanged() bool {
 	return r.Switched && r.PrevFrontEnd != r.FrontEnd
 }
 
-// Log is an append-only collection of day records.
+// switchedBit marks a route change in the packed prev-front-end column.
+// Site IDs are small non-negative integers, so the top bit is free.
+const switchedBit = uint32(1) << 31
+
+// Log is an append-only columnar collection of day records.
 type Log struct {
-	records []DayRecord
+	clientIDs []uint64
+	days      []int32
+	frontEnds []topology.SiteID
+	// prevPacked holds PrevFrontEnd in the low 31 bits and Switched in
+	// the top bit.
+	prevPacked []uint32
+	queries    []int32
 }
 
 // Append adds a record.
-func (l *Log) Append(r DayRecord) { l.records = append(l.records, r) }
+func (l *Log) Append(r DayRecord) {
+	l.clientIDs = append(l.clientIDs, r.ClientID)
+	l.days = append(l.days, int32(r.Day))
+	l.frontEnds = append(l.frontEnds, r.FrontEnd)
+	l.prevPacked = append(l.prevPacked, packPrev(r))
+	l.queries = append(l.queries, int32(r.Queries))
+}
+
+func packPrev(r DayRecord) uint32 {
+	p := uint32(r.PrevFrontEnd)
+	if r.Switched {
+		p |= switchedBit
+	}
+	return p
+}
 
 // Grow reserves capacity for n additional records, so bulk loaders (the
 // simulation reduce knows its exact row count up front) avoid incremental
@@ -48,18 +85,91 @@ func (l *Log) Grow(n int) {
 	if n <= 0 {
 		return
 	}
-	if free := cap(l.records) - len(l.records); free < n {
-		grown := make([]DayRecord, len(l.records), len(l.records)+n)
-		copy(grown, l.records)
-		l.records = grown
+	if free := cap(l.clientIDs) - len(l.clientIDs); free < n {
+		l.clientIDs = append(make([]uint64, 0, len(l.clientIDs)+n), l.clientIDs...)
+		l.days = append(make([]int32, 0, len(l.days)+n), l.days...)
+		l.frontEnds = append(make([]topology.SiteID, 0, len(l.frontEnds)+n), l.frontEnds...)
+		l.prevPacked = append(make([]uint32, 0, len(l.prevPacked)+n), l.prevPacked...)
+		l.queries = append(make([]int32, 0, len(l.queries)+n), l.queries...)
 	}
 }
 
-// Len returns the number of records.
-func (l *Log) Len() int { return len(l.records) }
+// Extend appends n zero records and returns the index of the first, so a
+// bulk producer that knows its exact row count can size the log once and
+// then fill disjoint index ranges with Set — including concurrently: Set
+// calls on distinct indices of an extended log are race-free, which is
+// what lets the parallel simulation reduce write worker outputs straight
+// into the shared log.
+func (l *Log) Extend(n int) int {
+	base := len(l.clientIDs)
+	if n <= 0 {
+		return base
+	}
+	l.Grow(n)
+	l.clientIDs = l.clientIDs[: base+n : base+n]
+	l.days = l.days[: base+n : base+n]
+	l.frontEnds = l.frontEnds[: base+n : base+n]
+	l.prevPacked = l.prevPacked[: base+n : base+n]
+	l.queries = l.queries[: base+n : base+n]
+	return base
+}
 
-// Records returns the records (shared slice; callers must not modify).
-func (l *Log) Records() []DayRecord { return l.records }
+// Set overwrites record i.
+func (l *Log) Set(i int, r DayRecord) {
+	l.clientIDs[i] = r.ClientID
+	l.days[i] = int32(r.Day)
+	l.frontEnds[i] = r.FrontEnd
+	l.prevPacked[i] = packPrev(r)
+	l.queries[i] = int32(r.Queries)
+}
+
+// Len returns the number of records.
+func (l *Log) Len() int { return len(l.clientIDs) }
+
+// At materializes record i as a row.
+func (l *Log) At(i int) DayRecord {
+	p := l.prevPacked[i]
+	return DayRecord{
+		ClientID:     l.clientIDs[i],
+		Day:          int(l.days[i]),
+		FrontEnd:     l.frontEnds[i],
+		Switched:     p&switchedBit != 0,
+		PrevFrontEnd: topology.SiteID(p &^ switchedBit),
+		Queries:      int(l.queries[i]),
+	}
+}
+
+// frontEndChanged is At(i).FrontEndChanged() without materializing the
+// row: the record saw a route change that landed on a different front-end.
+func (l *Log) frontEndChanged(i int) bool {
+	p := l.prevPacked[i]
+	return p&switchedBit != 0 && topology.SiteID(p&^switchedBit) != l.frontEnds[i]
+}
+
+// Cursor iterates the log in record order without materializing more than
+// one row at a time. Usage:
+//
+//	for c := l.Cursor(); c.Next(); {
+//		r := c.Record()
+//		...
+//	}
+type Cursor struct {
+	l *Log
+	i int
+}
+
+// Cursor returns an iterator positioned before the first record.
+func (l *Log) Cursor() Cursor { return Cursor{l: l, i: -1} }
+
+// Next advances to the next record, reporting whether one exists.
+func (c *Cursor) Next() bool {
+	c.i++
+	return c.i < c.l.Len()
+}
+
+// Record materializes the current row. Valid only after Next returned
+// true.
+func (c *Cursor) Record() DayRecord { return c.l.At(c.i) }
 
 // CumulativeSwitched computes Figure 7: for each day in [0, days), the
 // fraction of active clients that have seen at least one front-end change
@@ -68,14 +178,15 @@ func (l *Log) Records() []DayRecord { return l.records }
 func (l *Log) CumulativeSwitched(days int) []float64 {
 	firstChange := map[uint64]int{}
 	active := map[uint64]bool{}
-	for _, r := range l.records {
-		if r.Day < 0 || r.Day >= days || r.Queries == 0 {
+	for i := range l.clientIDs {
+		day := int(l.days[i])
+		if day < 0 || day >= days || l.queries[i] == 0 {
 			continue
 		}
-		active[r.ClientID] = true
-		if r.FrontEndChanged() {
-			if d, ok := firstChange[r.ClientID]; !ok || r.Day < d {
-				firstChange[r.ClientID] = r.Day
+		active[l.clientIDs[i]] = true
+		if l.frontEndChanged(i) {
+			if d, ok := firstChange[l.clientIDs[i]]; !ok || day < d {
+				firstChange[l.clientIDs[i]] = day
 			}
 		}
 	}
@@ -84,6 +195,7 @@ func (l *Log) CumulativeSwitched(days int) []float64 {
 		return out
 	}
 	perDay := make([]int, days)
+	//replay:commutative integer histogram increments; per-day counts are order-independent
 	for _, d := range firstChange {
 		perDay[d]++
 	}
@@ -95,16 +207,21 @@ func (l *Log) CumulativeSwitched(days int) []float64 {
 	return out
 }
 
-// SwitchDistancesKm computes Figure 8's sample: for every front-end change
-// in the log, the distance between the old and new front-end sites.
+// SwitchDistancesKm computes Figure 8's sample: for every observable
+// front-end change in the log, the distance between the old and new
+// front-end sites. Records with zero queries are excluded — a real
+// passive log has no row at all for a silent client-day, so a switch
+// there is invisible. This is the same observability rule
+// CumulativeSwitched applies, keeping Figures 7 and 8 consistent.
 func (l *Log) SwitchDistancesKm(b *topology.Backbone) []units.Kilometers {
 	var out []units.Kilometers
-	for _, r := range l.records {
-		if !r.FrontEndChanged() {
+	for i := range l.clientIDs {
+		if l.queries[i] == 0 || !l.frontEndChanged(i) {
 			continue
 		}
-		a := b.Site(r.PrevFrontEnd).Metro.Point
-		c := b.Site(r.FrontEnd).Metro.Point
+		p := l.prevPacked[i]
+		a := b.Site(topology.SiteID(p &^ switchedBit)).Metro.Point
+		c := b.Site(l.frontEnds[i]).Metro.Point
 		out = append(out, geo.DistanceKm(a, c))
 	}
 	return out
@@ -115,14 +232,15 @@ func (l *Log) SwitchDistancesKm(b *topology.Backbone) []units.Kilometers {
 func (l *Log) FrontEndShare() map[topology.SiteID]float64 {
 	counts := map[topology.SiteID]int{}
 	total := 0
-	for _, r := range l.records {
-		counts[r.FrontEnd] += r.Queries
-		total += r.Queries
+	for i := range l.frontEnds {
+		counts[l.frontEnds[i]] += int(l.queries[i])
+		total += int(l.queries[i])
 	}
 	out := make(map[topology.SiteID]float64, len(counts))
 	if total == 0 {
 		return out
 	}
+	//replay:commutative each key is written once from an integer count; no cross-key accumulation
 	for fe, c := range counts {
 		out[fe] = float64(c) / float64(total)
 	}
@@ -133,9 +251,9 @@ func (l *Log) FrontEndShare() map[topology.SiteID]float64 {
 // with traffic.
 func (l *Log) ClientDays(clientID uint64) []int {
 	var out []int
-	for _, r := range l.records {
-		if r.ClientID == clientID && r.Queries > 0 {
-			out = append(out, r.Day)
+	for i := range l.clientIDs {
+		if l.clientIDs[i] == clientID && l.queries[i] > 0 {
+			out = append(out, int(l.days[i]))
 		}
 	}
 	sort.Ints(out)

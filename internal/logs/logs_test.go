@@ -90,6 +90,97 @@ func TestSwitchDistances(t *testing.T) {
 	}
 }
 
+// TestZeroQuerySwitchInvisibleToBothFigures is the regression test for the
+// observability rule shared by Figures 7 and 8: a front-end change on a day
+// with zero queries produces no passive-log row in a real CDN, so it must be
+// excluded from both the cumulative-switch fraction (Figure 7) and the
+// switch-distance sample (Figure 8). SwitchDistancesKm used to include it.
+func TestZeroQuerySwitchInvisibleToBothFigures(t *testing.T) {
+	b := backbone(t)
+	var l Log
+	// A silent switch (zero queries) and, for contrast, an observed one.
+	l.Append(DayRecord{ClientID: 1, Day: 0, FrontEnd: 1, Switched: true, PrevFrontEnd: 0, Queries: 0})
+	l.Append(DayRecord{ClientID: 2, Day: 0, FrontEnd: 2, Switched: true, PrevFrontEnd: 0, Queries: 3})
+	if got := l.CumulativeSwitched(1); math.Abs(got[0]-1.0) > 1e-9 {
+		t.Fatalf("Figure 7: only client 2 is observable and it switched, want fraction 1.0, got %v", got)
+	}
+	ds := l.SwitchDistancesKm(b)
+	if len(ds) != 1 {
+		t.Fatalf("Figure 8: zero-query switch must be excluded, got %d distances, want 1", len(ds))
+	}
+	want := geo.DistanceKm(b.Site(0).Metro.Point, b.Site(2).Metro.Point)
+	if math.Abs(ds[0].Float()-want.Float()) > 1e-9 {
+		t.Fatalf("Figure 8 kept the wrong switch: distance %v, want %v", ds[0], want)
+	}
+}
+
+func TestAppendAtRoundTrip(t *testing.T) {
+	recs := []DayRecord{
+		{ClientID: 7, Day: 3, FrontEnd: 2, Switched: true, PrevFrontEnd: 1, Queries: 11},
+		{ClientID: 9, Day: 0, FrontEnd: 0, Switched: false, PrevFrontEnd: 0, Queries: 0},
+		{ClientID: 1, Day: 29, FrontEnd: 5, Switched: true, PrevFrontEnd: 5, Queries: 1},
+	}
+	var l Log
+	for _, r := range recs {
+		l.Append(r)
+	}
+	if l.Len() != len(recs) {
+		t.Fatalf("Len = %d, want %d", l.Len(), len(recs))
+	}
+	for i, want := range recs {
+		if got := l.At(i); got != want {
+			t.Fatalf("At(%d) = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestExtendSetAndCursor(t *testing.T) {
+	var l Log
+	l.Append(DayRecord{ClientID: 1, Day: 0, Queries: 1})
+	base := l.Extend(2)
+	if base != 1 {
+		t.Fatalf("Extend base = %d, want 1", base)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len after Extend = %d, want 3", l.Len())
+	}
+	want1 := DayRecord{ClientID: 2, Day: 1, FrontEnd: 1, Switched: true, PrevFrontEnd: 0, Queries: 4}
+	want2 := DayRecord{ClientID: 3, Day: 2, FrontEnd: 2, Queries: 9}
+	l.Set(base+1, want2)
+	l.Set(base, want1)
+	var got []DayRecord
+	for c := l.Cursor(); c.Next(); {
+		got = append(got, c.Record())
+	}
+	want := []DayRecord{{ClientID: 1, Day: 0, Queries: 1}, want1, want2}
+	if len(got) != len(want) {
+		t.Fatalf("cursor yielded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cursor record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGrowPreservesRecords(t *testing.T) {
+	var l Log
+	r0 := DayRecord{ClientID: 5, Day: 1, FrontEnd: 1, Switched: true, PrevFrontEnd: 0, Queries: 2}
+	l.Append(r0)
+	l.Grow(1000)
+	if l.Len() != 1 {
+		t.Fatalf("Grow changed Len to %d", l.Len())
+	}
+	if got := l.At(0); got != r0 {
+		t.Fatalf("Grow corrupted record: %+v", got)
+	}
+	l.Grow(-5) // no-op
+	l.Append(DayRecord{ClientID: 6, Day: 2, Queries: 3})
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+}
+
 func TestFrontEndShare(t *testing.T) {
 	var l Log
 	l.Append(DayRecord{ClientID: 1, Day: 0, FrontEnd: 0, Queries: 30})

@@ -74,22 +74,29 @@ func (p Prefix24) String() string {
 	return fmt.Sprintf("%d.%d.%d.0/24", a, b, c)
 }
 
-// Allocator hands out non-overlapping synthetic /24s from documentation
-// and test ranges, so generated "client" and "front-end" prefixes can never
-// collide with each other.
+// Allocator hands out non-overlapping synthetic /24s from a chain of
+// ranges, so generated "client" and "front-end" prefixes can never collide
+// with each other. The addresses are simulation-only labels — nothing is
+// ever bound or routed — so the ranges only need to be mutually disjoint.
 type Allocator struct {
-	next uint32
-	base uint32
+	next   uint32 // offset within ranges[ri]
+	ri     int
+	ranges []addrRange
+}
+
+type addrRange struct {
+	base uint32 // /24 index of the range start (addr >> 8)
 	size uint32
 }
 
 // Pool identifies an address pool for an Allocator.
 type Pool int
 
-// Address pools. ClientPool allocates from 100.64.0.0/10 (CGN space, 16k
-// /24s is not enough for big runs, so it continues into 10.0.0.0/8);
+// Address pools. ClientPool starts in 10.0.0.0/8 (65,536 /24s) and, for
+// paper-scale populations, continues into 16.0.0.0/4 (1,048,576 more) —
+// over a million client /24s, matching the measurement scale of the paper.
 // FrontEndPool allocates from 198.18.0.0/15 (benchmarking); AnycastPool is
-// the single well-known VIP prefix 192.0.2.0/24.
+// the single well-known VIP prefix 192.0.2.0/24. All pools are disjoint.
 const (
 	ClientPool Pool = iota
 	FrontEndPool
@@ -100,26 +107,41 @@ func NewAllocator(pool Pool) *Allocator {
 	switch pool {
 	case FrontEndPool:
 		// 198.18.0.0/15 => 512 /24s, plenty for front-ends.
-		return &Allocator{base: uint32(198)<<16 | uint32(18)<<8, size: 512}
+		return &Allocator{ranges: []addrRange{{base: uint32(198)<<16 | uint32(18)<<8, size: 512}}}
 	default:
-		// 10.0.0.0/8 => 65536 /24s.
-		return &Allocator{base: uint32(10) << 16, size: 65536}
+		return &Allocator{ranges: []addrRange{
+			{base: uint32(10) << 16, size: 65536},   // 10.0.0.0/8
+			{base: uint32(16) << 16, size: 1048576}, // 16.0.0.0/4
+		}}
 	}
 }
 
 // Next returns the next unallocated /24. ok is false when the pool is
 // exhausted.
 func (al *Allocator) Next() (Prefix24, bool) {
-	if al.next >= al.size {
+	for al.ri < len(al.ranges) && al.next >= al.ranges[al.ri].size {
+		al.ri++
+		al.next = 0
+	}
+	if al.ri >= len(al.ranges) {
 		return 0, false
 	}
-	p := Prefix24(al.base + al.next)
+	p := Prefix24(al.ranges[al.ri].base + al.next)
 	al.next++
 	return p, true
 }
 
 // Remaining returns how many /24s are left in the pool.
-func (al *Allocator) Remaining() int { return int(al.size - al.next) }
+func (al *Allocator) Remaining() int {
+	var n uint32
+	for i := al.ri; i < len(al.ranges); i++ {
+		n += al.ranges[i].size
+		if i == al.ri {
+			n -= al.next
+		}
+	}
+	return int(n)
+}
 
 // AnycastVIP is the anycast service address announced from every front-end
 // location, mirroring the production anycast address of §3.1.

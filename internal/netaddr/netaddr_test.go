@@ -130,3 +130,38 @@ func TestAnycastVIPInPrefix(t *testing.T) {
 		t.Fatal("anycast VIP not inside anycast prefix")
 	}
 }
+
+// TestClientPoolSpansAMillionPrefixes pins the paper-scale capacity: the
+// client pool must hand out over a million distinct /24s (the 10/8 range
+// chained into 16/4), never overlapping the front-end pool, and Remaining
+// must count down across the range boundary.
+func TestClientPoolSpansAMillionPrefixes(t *testing.T) {
+	al := NewAllocator(ClientPool)
+	total := al.Remaining()
+	if total < 1_000_000 {
+		t.Fatalf("client pool holds %d /24s, want >= 1M", total)
+	}
+	var last Prefix24
+	for i := 0; i < total; i++ {
+		p, ok := al.Next()
+		if !ok {
+			t.Fatalf("pool exhausted at %d of %d", i, total)
+		}
+		if i > 0 && p <= last && i != 65536 {
+			// Monotone within a range; the single drop is the 10/8 -> 16/4
+			// boundary, which guarantees uniqueness without a seen-map.
+			t.Fatalf("allocation %d not increasing: %v after %v", i, p, last)
+		}
+		a, _, _ := p.Octets()
+		if a != 10 && (a < 16 || a > 31) {
+			t.Fatalf("allocation %v outside the client ranges", p)
+		}
+		last = p
+	}
+	if _, ok := al.Next(); ok {
+		t.Fatal("pool should be exhausted")
+	}
+	if al.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after exhaustion", al.Remaining())
+	}
+}

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor runs fn(i) for i in [0, n). It is the single worker-pool
+// helper of the simulation core — RunWorld and StreamWorld both dispatch
+// every parallel phase through it — so there is exactly one clamping rule
+// for Config.Workers: workers <= 0 means GOMAXPROCS. (Validate rejects
+// negative counts at the config boundary; a negative value reaching this
+// level through a direct RunWorld/StreamWorld call behaves like the zero
+// value rather than silently serializing, which is the disagreement the
+// two hand-rolled pools used to have.) The worker count is additionally
+// clamped to n, and a single worker runs inline: no goroutines, no
+// channel, zero scheduling allocations — the serial path replay tests
+// compare against parallel runs byte for byte.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

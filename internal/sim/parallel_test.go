@@ -48,13 +48,14 @@ func TestParallelMatchesSerial(t *testing.T) {
 		}
 	}
 
-	rs, rp := serial.Passive.Records(), parallel.Passive.Records()
-	if len(rs) != len(rp) {
-		t.Fatalf("passive log lengths differ: serial %d vs parallel %d", len(rs), len(rp))
+	if serial.Passive.Len() != parallel.Passive.Len() {
+		t.Fatalf("passive log lengths differ: serial %d vs parallel %d",
+			serial.Passive.Len(), parallel.Passive.Len())
 	}
-	for i := range rs {
-		if rs[i] != rp[i] {
-			t.Fatalf("passive record %d differs:\nserial   %+v\nparallel %+v", i, rs[i], rp[i])
+	for i := 0; i < serial.Passive.Len(); i++ {
+		if serial.Passive.At(i) != parallel.Passive.At(i) {
+			t.Fatalf("passive record %d differs:\nserial   %+v\nparallel %+v",
+				i, serial.Passive.At(i), parallel.Passive.At(i))
 		}
 	}
 

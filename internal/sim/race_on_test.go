@@ -1,0 +1,11 @@
+//go:build race
+
+package sim_test
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. The million-prefix smoke skips under race: its wall-clock
+// budget assumes uninstrumented code (race slows the day loop ~3x,
+// pushing a ~70s run against the 210s budget), and the race coverage of
+// the streaming path comes from TestRunVsStreamEquivalence10k, which
+// does run race-enabled.
+const raceEnabled = true

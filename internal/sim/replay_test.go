@@ -38,13 +38,12 @@ func TestReplayIdentical(t *testing.T) {
 		}
 	}
 
-	ra, rb := a.Passive.Records(), b.Passive.Records()
-	if len(ra) != len(rb) {
-		t.Fatalf("passive log lengths differ across replays: %d vs %d", len(ra), len(rb))
+	if a.Passive.Len() != b.Passive.Len() {
+		t.Fatalf("passive log lengths differ across replays: %d vs %d", a.Passive.Len(), b.Passive.Len())
 	}
-	for i := range ra {
-		if ra[i] != rb[i] {
-			t.Fatalf("passive record %d differs across replays:\n%+v\nvs\n%+v", i, ra[i], rb[i])
+	for i := 0; i < a.Passive.Len(); i++ {
+		if a.Passive.At(i) != b.Passive.At(i) {
+			t.Fatalf("passive record %d differs across replays:\n%+v\nvs\n%+v", i, a.Passive.At(i), b.Passive.At(i))
 		}
 	}
 

@@ -7,8 +7,6 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"anycastcdn/internal/beacon"
 	"anycastcdn/internal/bgp"
@@ -55,7 +53,10 @@ type Config struct {
 	Latency *latency.Config
 	ISPs    *topology.ISPModelConfig
 	Mapper  *dns.MapperConfig
-	// Workers bounds simulation parallelism (0 = GOMAXPROCS).
+	// Workers bounds simulation parallelism. 0 means GOMAXPROCS; Validate
+	// rejects negative values. RunWorld and StreamWorld share one worker
+	// pool (parallelFor), so the rule is identical on every parallel path:
+	// any non-positive count that reaches the pool behaves like 0.
 	Workers int
 	// Scenario optionally injects deterministic fault events (front-end
 	// drains, BGP flaps, LDNS outages, latency inflation) into the run;
@@ -237,13 +238,6 @@ func Run(cfg Config) (*Result, error) {
 	return RunWorld(cfg, w)
 }
 
-// clientOutput is one worker's result for a single client.
-type clientOutput struct {
-	assignments []bgp.Assignment
-	passive     []logs.DayRecord
-	beacons     []beacon.Measurement
-}
-
 // Per-run substream labels, hashed once (see xrand.Label).
 var (
 	labelTraffic     = xrand.NewLabel("traffic")
@@ -254,117 +248,87 @@ var (
 // RunWorld simulates over an already-built world. The run is
 // deterministic: all randomness derives from per-entity substreams, so the
 // parallel schedule cannot affect results.
+//
+// The reduce is direct-write. Beacon counts and passive rows are
+// deterministic functions of the config, so every output position is
+// known before the expensive work runs: pass one fills the columnar
+// passive log at exact indices (client-major: client i's day-d record is
+// row i*Days+d) and records per-client-day beacon counts; a serial
+// prefix-sum pass turns the counts into exact offsets within each day's
+// beacon slice; pass two executes beacons straight into their final
+// positions. Workers write disjoint indices of shared outputs, and no
+// per-client intermediate buffers exist — the allocation profile is the
+// outputs themselves plus two int32 index arrays.
 func RunWorld(cfg Config, w *World) (*Result, error) {
 	n := len(w.Population.Clients)
-	outs := make([]clientOutput, n)
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				outs[i] = simulateClient(cfg, w, w.Population.Clients[i])
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-
+	days := cfg.Days
 	res := &Result{
 		Cfg:         cfg,
 		World:       w,
-		Beacons:     make([][]beacon.Measurement, cfg.Days),
+		Beacons:     make([][]beacon.Measurement, days),
 		Passive:     &logs.Log{},
 		Assignments: make([][]bgp.Assignment, n),
 	}
-	// Two-pass reduce: count, then fill into exactly-sized buckets. The
-	// per-client outputs are already materialized, so a counting pass is
-	// two cache-friendly sweeps instead of O(clients×days) incremental
-	// append growth on the shared day slices.
-	perDay := make([]int, cfg.Days)
-	totalPassive := 0
-	for i := range outs {
-		totalPassive += len(outs[i].passive)
-		for _, m := range outs[i].beacons {
-			perDay[m.Day]++
-		}
-	}
-	res.Passive.Grow(totalPassive)
-	for d, c := range perDay {
-		if c > 0 {
-			res.Beacons[d] = make([]beacon.Measurement, 0, c)
-		}
-	}
-	for i := range outs {
-		res.Assignments[i] = outs[i].assignments
-		for _, r := range outs[i].passive {
-			res.Passive.Append(r)
-		}
-		for _, m := range outs[i].beacons {
-			res.Beacons[m.Day] = append(res.Beacons[m.Day], m)
-		}
-	}
-	return res, nil
-}
-
-// simulateClient walks one client through all days. Passive rows and
-// beacon counts are deterministic functions of the config, so both output
-// slices are sized exactly before the beacon executions run: pass one
-// fills the per-day log (one record per day, drawing each day's query
-// volume) and sums beacon counts; pass two re-derives each day's count
-// from its own substream — identical by construction — and executes into
-// a slice that never reallocates.
-func simulateClient(cfg Config, w *World, c clients.Client) clientOutput {
-	rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
-	sched := effectiveSchedule(cfg, w, rc)
-	base := w.Router.Assign(rc, w.Router.BaseIngress(rc))
-	out := clientOutput{
-		assignments: sched,
-		passive:     make([]logs.DayRecord, 0, cfg.Days),
-	}
+	res.Passive.Extend(n * days)
+	// counts[i*days+d] is client i's beacon count on day d; offs is its
+	// exclusive prefix sum within day d in client order, i.e. where client
+	// i's beacons start in res.Beacons[d].
+	counts := make([]int32, n*days)
+	offs := make([]int32, n*days)
 	trafficSeed := xrand.DeriveSeedL(cfg.Seed, labelTraffic)
-	totalBeacons := 0
-	for day := 0; day < cfg.Days; day++ {
-		weekend := w.Router.IsWeekend(day)
-		q := c.QueriesOnDay(trafficSeed, day, weekend, cfg.QueriesPerVolume)
-		prevFE := base.FrontEnd
-		if day > 0 {
-			prevFE = sched[day-1].FrontEnd
+	parallelFor(n, cfg.Workers, func(i int) {
+		c := w.Population.Clients[i]
+		rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
+		sched := effectiveSchedule(cfg, w, rc)
+		res.Assignments[i] = sched
+		prevFE := w.Router.Assign(rc, w.Router.BaseIngress(rc)).FrontEnd
+		for day := 0; day < days; day++ {
+			if day > 0 {
+				prevFE = sched[day-1].FrontEnd
+			}
+			q := c.QueriesOnDay(trafficSeed, day, w.Router.IsWeekend(day), cfg.QueriesPerVolume)
+			res.Passive.Set(i*days+day, logs.DayRecord{
+				ClientID:     c.ID,
+				Day:          day,
+				FrontEnd:     sched[day].FrontEnd,
+				Switched:     w.Router.SwitchedOnDay(rc, day),
+				PrevFrontEnd: prevFE,
+				Queries:      q,
+			})
+			if q > 0 {
+				counts[i*days+day] = int32(beaconCount(cfg, c.ID, day, q))
+			}
 		}
-		out.passive = append(out.passive, logs.DayRecord{
-			ClientID:     c.ID,
-			Day:          day,
-			FrontEnd:     sched[day].FrontEnd,
-			Switched:     w.Router.SwitchedOnDay(rc, day),
-			PrevFrontEnd: prevFE,
-			Queries:      q,
-		})
-		totalBeacons += beaconCount(cfg, c.ID, day, q)
-	}
-	if totalBeacons == 0 {
-		return out
-	}
-	out.beacons = make([]beacon.Measurement, 0, totalBeacons)
-	for day := 0; day < cfg.Days; day++ {
-		q := out.passive[day].Queries
-		if q == 0 {
-			continue
-		}
-		nb := beaconCount(cfg, c.ID, day, q)
-		for k := 0; k < nb; k++ {
-			qid := xrand.DeriveSeedL3(cfg.Seed, labelQID, c.ID, uint64(day), uint64(k))
-			out.beacons = append(out.beacons, w.Executor.Run(c, day, sched[day], qid))
+	})
+	dayTotals := make([]int32, days)
+	for i := 0; i < n; i++ {
+		for d := 0; d < days; d++ {
+			offs[i*days+d] = dayTotals[d]
+			dayTotals[d] += counts[i*days+d]
 		}
 	}
-	return out
+	for d, total := range dayTotals {
+		if total > 0 {
+			res.Beacons[d] = make([]beacon.Measurement, total)
+		}
+	}
+	parallelFor(n, cfg.Workers, func(i int) {
+		c := w.Population.Clients[i]
+		sched := res.Assignments[i]
+		for day := 0; day < days; day++ {
+			nb := int(counts[i*days+day])
+			if nb == 0 {
+				continue
+			}
+			off := int(offs[i*days+day])
+			out := res.Beacons[day][off : off+nb]
+			for k := 0; k < nb; k++ {
+				qid := xrand.DeriveSeedL3(cfg.Seed, labelQID, c.ID, uint64(day), uint64(k))
+				out[k] = w.Executor.Run(c, day, sched[day], qid)
+			}
+		}
+	})
+	return res, nil
 }
 
 // effectiveSchedule is the per-day anycast assignment a client actually

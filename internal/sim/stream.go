@@ -2,29 +2,39 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"anycastcdn/internal/beacon"
 	"anycastcdn/internal/bgp"
-	"anycastcdn/internal/clients"
 	"anycastcdn/internal/logs"
+	"anycastcdn/internal/topology"
 	"anycastcdn/internal/xrand"
 )
 
 // DayResult is one simulated day's output, delivered in day order.
+//
+// All three slices are OWNED BY THE STREAM and reused for the next day:
+// they are valid only until the callback passed to Stream/StreamWorld
+// returns. A consumer that needs data past that point must copy it —
+// which is the point: streaming consumers aggregate online precisely so
+// nothing per-day is retained.
 type DayResult struct {
 	Day int
-	// Beacons holds the day's active measurements (client order).
+	// Beacons holds the day's active measurements (client order, each
+	// client's executions in query order).
 	Beacons []beacon.Measurement
-	// Passive holds the day's per-client log records (client order).
+	// Passive holds the day's per-client log records (client order, one
+	// per client).
 	Passive []logs.DayRecord
+	// Assignments holds the day's effective anycast assignment per client
+	// (client order), after any fault rewrite — what Result.Assignments
+	// exposes per day in batch mode.
+	Assignments []bgp.Assignment
 }
 
 // Stream simulates cfg.Days days, invoking fn once per day with that
 // day's outputs and retaining only one day in memory — the mode to use
-// for paper-scale runs (hundreds of thousands of prefixes) whose full
-// measurement set would not fit.
+// for paper-scale runs (millions of prefixes) whose full measurement set
+// would not fit.
 //
 // The stream is identical, measurement for measurement, to the equivalent
 // Run: both derive from the same per-entity substreams.
@@ -37,116 +47,116 @@ func Stream(cfg Config, fn func(DayResult) error) error {
 }
 
 // StreamWorld streams over an already-built world.
+//
+// Steady-state memory is one flat ingress-schedule array (one SiteID per
+// client-day — the only cross-day state the simulation needs, since the
+// rest of an assignment is a pure function of the ingress) plus per-day
+// output buffers that are allocated once and reused for every day. A
+// million-prefix 30-day run therefore holds a few hundred MB, not the
+// tens of GB the batch Result would occupy. After the schedule pass,
+// steady-state day iterations allocate nothing (enforced by
+// TestStreamWorldSteadyStateAllocs).
+//
+// On error from fn the stream stops immediately; all workers have already
+// joined (the pool runs per phase, never across fn), so nothing leaks and
+// the buffers become garbage as soon as StreamWorld returns.
 func StreamWorld(cfg Config, w *World, fn func(DayResult) error) error {
 	if fn == nil {
 		return fmt.Errorf("sim: nil stream function")
 	}
 	n := len(w.Population.Clients)
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	days := cfg.Days
 
-	// Assignment schedules are small; precompute them in parallel. The
-	// effective schedule already has any fault scenario applied, exactly
-	// as Run's per-client path does.
-	schedules := make([][]bgp.Assignment, n)
-	parallelFor(n, workers, func(i int) {
+	// Per-client-day ingress sites, packed flat (client-major). The full
+	// [][]bgp.Assignment schedule RunWorld materializes is ~48 bytes per
+	// client-day — gigabytes at paper scale — while the ingress alone is
+	// one SiteID, and Router.Assign plus the fault rewrite recompute the
+	// rest per day, value-identically to the batch path.
+	scheds := make([]topology.SiteID, n*days)
+	// prevFE[i] is client i's serving front-end at the end of the previous
+	// day (the base assignment before day 0), carried across days for the
+	// passive log's switch records.
+	prevFE := make([]topology.SiteID, n)
+	parallelFor(n, cfg.Workers, func(i int) {
 		c := w.Population.Clients[i]
 		rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
-		schedules[i] = effectiveSchedule(cfg, w, rc)
+		w.Router.IngressScheduleInto(rc, scheds[i*days:(i+1)*days])
+		prevFE[i] = w.Router.Assign(rc, w.Router.BaseIngress(rc)).FrontEnd
 	})
 
-	type clientDay struct {
-		passive logs.DayRecord
-		beacons []beacon.Measurement
+	// Per-day output buffers, reused across days. The beacon buffer grows
+	// to the busiest day seen and stays there.
+	passive := make([]logs.DayRecord, n)
+	assigns := make([]bgp.Assignment, n)
+	counts := make([]int32, n)
+	offs := make([]int32, n)
+	var beacons []beacon.Measurement
+	trafficSeed := xrand.DeriveSeedL(cfg.Seed, labelTraffic)
+	// The worker bodies are hoisted out of the day loop and capture the
+	// loop state (day, weekend, beacons) by reference: a closure literal
+	// inside the loop would allocate once per day, which the steady-state
+	// contract forbids.
+	var day int
+	var weekend bool
+	logDay := func(i int) {
+		c := w.Population.Clients[i]
+		rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
+		a := w.Router.Assign(rc, scheds[i*days+day])
+		if !w.Faults.Empty() {
+			a = w.Faults.Rewrite(rc, day, a, w.Router)
+		}
+		assigns[i] = a
+		q := c.QueriesOnDay(trafficSeed, day, weekend, cfg.QueriesPerVolume)
+		passive[i] = logs.DayRecord{
+			ClientID:     c.ID,
+			Day:          day,
+			FrontEnd:     a.FrontEnd,
+			Switched:     w.Router.SwitchedOnDay(rc, day),
+			PrevFrontEnd: prevFE[i],
+			Queries:      q,
+		}
+		// Only this worker touches index i today, so the end-of-day
+		// front-end commits as soon as the record has the old one.
+		prevFE[i] = a.FrontEnd
+		if q > 0 {
+			counts[i] = int32(beaconCount(cfg, c.ID, day, q))
+		} else {
+			counts[i] = 0
+		}
 	}
-	buf := make([]clientDay, n)
-	for day := 0; day < cfg.Days; day++ {
-		parallelFor(n, workers, func(i int) {
-			c := w.Population.Clients[i]
-			buf[i] = simulateClientDay(cfg, w, c, schedules[i], day)
-		})
-		// Count-then-fill: sizes are known once the workers finish, so the
-		// day's output slices are allocated exactly once.
-		nBeacons := 0
-		for i := range buf {
-			nBeacons += len(buf[i].beacons)
+	runBeacons := func(i int) {
+		nb := int(counts[i])
+		if nb == 0 {
+			return
 		}
-		out := DayResult{
-			Day:     day,
-			Passive: make([]logs.DayRecord, 0, n),
-			Beacons: make([]beacon.Measurement, 0, nBeacons),
+		c := w.Population.Clients[i]
+		out := beacons[offs[i] : int(offs[i])+nb]
+		for k := 0; k < nb; k++ {
+			qid := xrand.DeriveSeedL3(cfg.Seed, labelQID, c.ID, uint64(day), uint64(k))
+			out[k] = w.Executor.Run(c, day, assigns[i], qid)
 		}
-		for i := range buf {
-			out.Passive = append(out.Passive, buf[i].passive)
-			out.Beacons = append(out.Beacons, buf[i].beacons...)
-			buf[i] = clientDay{}
+	}
+	for day = 0; day < days; day++ {
+		weekend = w.Router.IsWeekend(day)
+		parallelFor(n, cfg.Workers, logDay)
+		// Exclusive prefix sum: client i's beacons start at offs[i], so
+		// the execution pass writes disjoint ranges of the shared buffer.
+		var total int32
+		for i := range counts {
+			offs[i] = total
+			total += counts[i]
 		}
-		if err := fn(out); err != nil {
+		if int(total) > cap(beacons) {
+			beacons = make([]beacon.Measurement, total)
+		} else {
+			beacons = beacons[:total]
+		}
+		if total > 0 {
+			parallelFor(n, cfg.Workers, runBeacons)
+		}
+		if err := fn(DayResult{Day: day, Beacons: beacons, Passive: passive, Assignments: assigns}); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-// simulateClientDay is the one-day slice of simulateClient; the two must
-// stay in lockstep so Stream and Run emit identical data.
-func simulateClientDay(cfg Config, w *World, c clients.Client, sched []bgp.Assignment, day int) (out struct {
-	passive logs.DayRecord
-	beacons []beacon.Measurement
-}) {
-	rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
-	weekend := w.Router.IsWeekend(day)
-	q := c.QueriesOnDay(xrand.DeriveSeedL(cfg.Seed, labelTraffic), day, weekend, cfg.QueriesPerVolume)
-	prevFE := sched[day].FrontEnd
-	if day > 0 {
-		prevFE = sched[day-1].FrontEnd
-	} else {
-		base := w.Router.Assign(rc, w.Router.BaseIngress(rc))
-		prevFE = base.FrontEnd
-	}
-	out.passive = logs.DayRecord{
-		ClientID:     c.ID,
-		Day:          day,
-		FrontEnd:     sched[day].FrontEnd,
-		Switched:     w.Router.SwitchedOnDay(rc, day),
-		PrevFrontEnd: prevFE,
-		Queries:      q,
-	}
-	if q == 0 {
-		return out
-	}
-	nb := beaconCount(cfg, c.ID, day, q)
-	if nb > 0 {
-		out.beacons = make([]beacon.Measurement, 0, nb)
-	}
-	for k := 0; k < nb; k++ {
-		qid := xrand.DeriveSeedL3(cfg.Seed, labelQID, c.ID, uint64(day), uint64(k))
-		out.beacons = append(out.beacons, w.Executor.Run(c, day, sched[day], qid))
-	}
-	return out
-}
-
-// parallelFor runs fn(i) for i in [0, n) across the given worker count.
-func parallelFor(n, workers int, fn func(i int)) {
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
 }

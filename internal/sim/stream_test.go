@@ -46,7 +46,8 @@ func TestStreamPassiveMatchesRun(t *testing.T) {
 		day    int
 	}
 	want := map[key]int{}
-	for _, r := range full.Passive.Records() {
+	for c := full.Passive.Cursor(); c.Next(); {
+		r := c.Record()
 		want[key{r.ClientID, r.Day}] = r.Queries
 	}
 	err := sim.Stream(full.Cfg, func(d sim.DayResult) error {
@@ -84,6 +85,34 @@ func TestStreamStopsOnError(t *testing.T) {
 func TestStreamNilFn(t *testing.T) {
 	if err := sim.Stream(testutil.SmallConfig(24), nil); err == nil {
 		t.Fatal("nil fn should fail")
+	}
+}
+
+// BenchmarkStreamWorld measures the streaming hot path end to end —
+// BuildWorld excluded, mirroring BenchmarkRunWorld — on DefaultConfig at
+// a reduced prefix count. Its B/op is the per-run cost of the reused day
+// buffers plus the per-client-day simulation work; the CI gate pins it.
+func BenchmarkStreamWorld(b *testing.B) {
+	cfg := sim.DefaultConfig(3)
+	cfg.Prefixes = 1000
+	w, err := sim.BuildWorld(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		beacons := 0
+		err := sim.StreamWorld(cfg, w, func(d sim.DayResult) error {
+			beacons += len(d.Beacons)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if beacons == 0 {
+			b.Fatal("no beacons")
+		}
 	}
 }
 

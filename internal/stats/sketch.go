@@ -1,0 +1,240 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// This file holds the streaming accumulators the online experiment
+// pipeline aggregates with: an exact mergeable ECDF builder and a
+// fixed-bin quantile sketch. Both are deterministic under the rules
+// documented on each type, so a day-at-a-time streaming run and a
+// whole-log batch scan produce byte-identical figures.
+
+// ECDFBuilder accumulates weighted samples incrementally and finalizes
+// them into an exact ECDF. It is the streaming front door to
+// NewWeightedECDF: consumers that used to materialize a whole dataset and
+// hand it over in one call instead Add samples as the simulation streams
+// days past them.
+//
+// Determinism: the finalized ECDF sorts its samples, so two builders fed
+// the same multiset of (sample, weight) pairs agree on every query —
+// byte-identically when weights are equal-valued (cumulative sums of a
+// constant are exact), and otherwise whenever the insertion order of
+// equal-valued samples matches. Merge appends the other builder's samples
+// in their insertion order; merging partial builders in a fixed order
+// (e.g. day order) therefore reproduces the order a sequential pass would
+// have produced.
+type ECDFBuilder[T ~float64] struct {
+	xs []T
+	ws []float64
+}
+
+// Add records a sample with weight 1.
+func (b *ECDFBuilder[T]) Add(x T) { b.AddWeighted(x, 1) }
+
+// AddWeighted records a sample with an arbitrary non-negative weight.
+func (b *ECDFBuilder[T]) AddWeighted(x T, w float64) {
+	b.xs = append(b.xs, x)
+	b.ws = append(b.ws, w)
+}
+
+// Grow reserves capacity for n additional samples.
+func (b *ECDFBuilder[T]) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if free := cap(b.xs) - len(b.xs); free < n {
+		b.xs = append(make([]T, 0, len(b.xs)+n), b.xs...)
+		b.ws = append(make([]float64, 0, len(b.ws)+n), b.ws...)
+	}
+}
+
+// Merge appends all of o's samples, in o's insertion order. o is
+// unchanged.
+func (b *ECDFBuilder[T]) Merge(o *ECDFBuilder[T]) {
+	b.Grow(len(o.xs))
+	b.xs = append(b.xs, o.xs...)
+	b.ws = append(b.ws, o.ws...)
+}
+
+// Len returns the number of accumulated samples.
+func (b *ECDFBuilder[T]) Len() int { return len(b.xs) }
+
+// ECDF finalizes the accumulated samples. The builder remains usable;
+// later Adds are reflected in later ECDF calls.
+func (b *ECDFBuilder[T]) ECDF() (*ECDF[T], error) {
+	return NewWeightedECDF(b.xs, b.ws)
+}
+
+// QuantileSketch is a fixed-bin streaming distribution sketch: constant
+// memory however many samples it sees, at the cost of quantile resolution
+// equal to the bin width. Bins may be linearly or logarithmically spaced;
+// samples below the range land in an underflow bin (reported as lo) and
+// samples at or above hi land in an overflow bin (reported as hi).
+//
+// Determinism: a sample's bin is a pure function of its value, and
+// unweighted Adds accumulate integer-valued bin counts, whose float64
+// sums are exact in any accumulation order — so two sketches fed the same
+// multiset of samples are identical regardless of order, and Merge is
+// exactly commutative. With fractional weights, merge partial sketches in
+// a fixed order to keep runs reproducible.
+type QuantileSketch[T ~float64] struct {
+	lo, hi float64
+	log    bool
+	scale  float64   // bins per unit of (transformed) x
+	bins   []float64 // [underflow, bin 0 .. bin n-1, overflow]
+	total  float64
+	n      uint64
+}
+
+// ErrRange reports an invalid sketch range.
+var ErrRange = errors.New("stats: invalid sketch range")
+
+// NewLogQuantileSketch builds a sketch with nbins log-spaced bins
+// covering [lo, hi), lo > 0 — the layout for long-tailed quantities like
+// the paper's switch distances (Figure 8's axis is log-scale kilometers).
+func NewLogQuantileSketch[T ~float64](lo, hi T, nbins int) (*QuantileSketch[T], error) {
+	if !(float64(lo) > 0) || !(float64(hi) > float64(lo)) || nbins < 1 {
+		return nil, ErrRange
+	}
+	return &QuantileSketch[T]{
+		lo:    float64(lo),
+		hi:    float64(hi),
+		log:   true,
+		scale: float64(nbins) / (math.Log(float64(hi)) - math.Log(float64(lo))),
+		bins:  make([]float64, nbins+2),
+	}, nil
+}
+
+// NewLinearQuantileSketch builds a sketch with nbins evenly spaced bins
+// covering [lo, hi).
+func NewLinearQuantileSketch[T ~float64](lo, hi T, nbins int) (*QuantileSketch[T], error) {
+	if !(float64(hi) > float64(lo)) || nbins < 1 {
+		return nil, ErrRange
+	}
+	return &QuantileSketch[T]{
+		lo:    float64(lo),
+		hi:    float64(hi),
+		scale: float64(nbins) / (float64(hi) - float64(lo)),
+		bins:  make([]float64, nbins+2),
+	}, nil
+}
+
+// binOf maps a sample to its bin index within bins (0 = underflow,
+// len(bins)-1 = overflow).
+func (s *QuantileSketch[T]) binOf(x T) int {
+	v := float64(x)
+	if math.IsNaN(v) || v < s.lo {
+		return 0
+	}
+	if v >= s.hi {
+		return len(s.bins) - 1
+	}
+	var pos float64
+	if s.log {
+		pos = (math.Log(v) - math.Log(s.lo)) * s.scale
+	} else {
+		pos = (v - s.lo) * s.scale
+	}
+	i := int(pos) + 1
+	if i > len(s.bins)-2 { // float edge: Log(v) rounding at the top bound
+		i = len(s.bins) - 2
+	}
+	return i
+}
+
+// Add records a sample with weight 1.
+func (s *QuantileSketch[T]) Add(x T) { s.AddWeighted(x, 1) }
+
+// AddWeighted records a sample with an arbitrary non-negative weight.
+func (s *QuantileSketch[T]) AddWeighted(x T, w float64) {
+	s.bins[s.binOf(x)] += w
+	s.total += w
+	s.n++
+}
+
+// Merge adds o's bins into s. The two sketches must have identical
+// layouts (same constructor arguments).
+func (s *QuantileSketch[T]) Merge(o *QuantileSketch[T]) error {
+	if len(s.bins) != len(o.bins) || s.lo != o.lo || s.hi != o.hi || s.log != o.log {
+		return errors.New("stats: merging sketches with different layouts")
+	}
+	for i, w := range o.bins {
+		s.bins[i] += w
+	}
+	s.total += o.total
+	s.n += o.n
+	return nil
+}
+
+// N returns the number of samples recorded.
+func (s *QuantileSketch[T]) N() uint64 { return s.n }
+
+// upperEdge returns the inclusive upper value of bin i: lo for the
+// underflow bin, hi for the overflow bin.
+func (s *QuantileSketch[T]) upperEdge(i int) T {
+	switch {
+	case i <= 0:
+		return T(s.lo)
+	case i >= len(s.bins)-1:
+		return T(s.hi)
+	}
+	nbins := len(s.bins) - 2
+	if s.log {
+		llo, lhi := math.Log(s.lo), math.Log(s.hi)
+		return T(math.Exp(llo + float64(i)*(lhi-llo)/float64(nbins)))
+	}
+	return T(s.lo + float64(i)*(s.hi-s.lo)/float64(nbins))
+}
+
+// Quantile returns the upper edge of the bin holding the q-quantile: the
+// smallest bin boundary x with P[X <= x] >= q, i.e. the true quantile
+// rounded up to bin resolution. It returns lo on an empty sketch.
+func (s *QuantileSketch[T]) Quantile(q float64) T {
+	if s.total <= 0 {
+		return T(s.lo)
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * s.total
+	var acc float64
+	for i, w := range s.bins {
+		acc += w
+		if acc >= target && w > 0 {
+			return s.upperEdge(i)
+		}
+	}
+	return T(s.hi)
+}
+
+// P returns the fraction of recorded weight in bins whose upper edge is
+// <= x — the CDF at bin resolution, exact at bin boundaries. An empty
+// sketch reports 0.
+func (s *QuantileSketch[T]) P(x T) float64 {
+	if s.total <= 0 {
+		return 0
+	}
+	var acc float64
+	for i, w := range s.bins {
+		if float64(s.upperEdge(i)) > float64(x) && i > 0 {
+			break
+		}
+		acc += w
+	}
+	return acc / s.total
+}
+
+// SampleCDF evaluates the sketch CDF at each x in grid, producing a
+// figure line like ECDF.SampleCDF.
+func (s *QuantileSketch[T]) SampleCDF(name string, grid []T) Series {
+	out := Series{Name: name, Points: make([]SeriesPoint, len(grid))}
+	for i, x := range grid {
+		out.Points[i] = SeriesPoint{X: float64(x), Y: s.P(x)}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// sketchSamples is a fixed, shuffled-looking sample set spanning the
+// [64, 8192) range plus out-of-range values.
+func sketchSamples() []float64 {
+	xs := make([]float64, 0, 500)
+	v := 1.0
+	for i := 0; i < 500; i++ {
+		// Deterministic low-discrepancy walk over [1, 20000).
+		v = math.Mod(v*1.6180339887498949+137.5, 20000)
+		xs = append(xs, v+1)
+	}
+	return xs
+}
+
+func TestECDFBuilderMatchesDirect(t *testing.T) {
+	xs := sketchSamples()
+	var b ECDFBuilder[float64]
+	for _, x := range xs {
+		b.Add(x)
+	}
+	if b.Len() != len(xs) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(xs))
+	}
+	got, err := b.ECDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewECDF(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		if got.Quantile(q) != want.Quantile(q) {
+			t.Fatalf("quantile %v: builder %v != direct %v", q, got.Quantile(q), want.Quantile(q))
+		}
+	}
+	for _, x := range []float64{1, 100, 5000, 25000} {
+		if got.P(x) != want.P(x) {
+			t.Fatalf("P(%v): builder %v != direct %v", x, got.P(x), want.P(x))
+		}
+	}
+}
+
+func TestECDFBuilderWeightedMergePreservesOrder(t *testing.T) {
+	xs := sketchSamples()
+	ws := make([]float64, len(xs))
+	for i := range ws {
+		ws[i] = 0.5 + float64(i%7)/3
+	}
+	var whole ECDFBuilder[float64]
+	var partA, partB ECDFBuilder[float64]
+	for i, x := range xs {
+		whole.AddWeighted(x, ws[i])
+		if i < len(xs)/2 {
+			partA.AddWeighted(x, ws[i])
+		} else {
+			partB.AddWeighted(x, ws[i])
+		}
+	}
+	partA.Merge(&partB)
+	got, err := partA.ECDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := whole.ECDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := NewWeightedECDF(xs, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{10, 500, 2000, 10000} {
+		if got.P(x) != want.P(x) || want.P(x) != direct.P(x) {
+			t.Fatalf("P(%v): merged %v, whole %v, direct %v — all must match exactly",
+				x, got.P(x), want.P(x), direct.P(x))
+		}
+	}
+}
+
+func TestQuantileSketchQuantileWithinOneBin(t *testing.T) {
+	xs := sketchSamples()
+	sk, err := NewLogQuantileSketch(1.0, 32768.0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		sk.Add(x)
+	}
+	if sk.N() != uint64(len(xs)) {
+		t.Fatalf("N = %d, want %d", sk.N(), len(xs))
+	}
+	exact, err := NewECDF(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := math.Pow(32768, 1.0/256) // one bin's width
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		got, want := sk.Quantile(q), exact.Quantile(q)
+		if got < want/ratio || got > want*ratio*ratio {
+			t.Fatalf("quantile %v: sketch %v not within one bin of exact %v", q, got, want)
+		}
+	}
+}
+
+func TestQuantileSketchOrderAndMergeInvariance(t *testing.T) {
+	xs := sketchSamples()
+	build := func(order []float64) *QuantileSketch[float64] {
+		sk, err := NewLogQuantileSketch(1.0, 32768.0, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range order {
+			sk.Add(x)
+		}
+		return sk
+	}
+	fwd := build(xs)
+	rev := make([]float64, len(xs))
+	for i, x := range xs {
+		rev[len(xs)-1-i] = x
+	}
+	bwd := build(rev)
+	// Merge two halves in both orders.
+	a1, a2 := build(xs[:100]), build(xs[100:])
+	if err := a1.Merge(a2); err != nil {
+		t.Fatal(err)
+	}
+	b2, b1 := build(xs[100:]), build(xs[:100])
+	if err := b2.Merge(b1); err != nil {
+		t.Fatal(err)
+	}
+	grid := LogGrid[float64](1, 32768, 30)
+	for _, x := range grid {
+		p := fwd.P(x)
+		for name, sk := range map[string]*QuantileSketch[float64]{"reversed": bwd, "mergeAB": a1, "mergeBA": b2} {
+			if sk.P(x) != p {
+				t.Fatalf("%s: P(%v) = %v, want %v (must be bit-identical)", name, x, sk.P(x), p)
+			}
+		}
+	}
+}
+
+func TestQuantileSketchBoundsAndErrors(t *testing.T) {
+	if _, err := NewLogQuantileSketch(0.0, 10.0, 4); err == nil {
+		t.Fatal("log sketch with lo=0 should fail")
+	}
+	if _, err := NewLogQuantileSketch(10.0, 10.0, 4); err == nil {
+		t.Fatal("empty range should fail")
+	}
+	if _, err := NewLinearQuantileSketch(0.0, 10.0, 0); err == nil {
+		t.Fatal("zero bins should fail")
+	}
+	a, err := NewLogQuantileSketch(1.0, 100.0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLogQuantileSketch(1.0, 100.0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging different layouts should fail")
+	}
+
+	// Out-of-range samples land in the clamping bins.
+	sk, err := NewLinearQuantileSketch(0.0, 100.0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.P(50) != 0 {
+		t.Fatal("empty sketch should report P = 0")
+	}
+	sk.Add(-5)
+	sk.Add(500)
+	if got := sk.Quantile(0.25); got != 0 {
+		t.Fatalf("underflow quantile = %v, want lo (0)", got)
+	}
+	if got := sk.Quantile(1); got != 100 {
+		t.Fatalf("overflow quantile = %v, want hi (100)", got)
+	}
+	if got := sk.P(100); got != 1 {
+		t.Fatalf("P(hi) = %v, want 1", got)
+	}
+	s := sk.SampleCDF("line", []float64{0, 50, 100})
+	if len(s.Points) != 3 || s.Points[0].Y != 0.5 || s.Points[2].Y != 1 {
+		t.Fatalf("SampleCDF = %+v", s.Points)
+	}
+}

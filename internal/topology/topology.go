@@ -22,7 +22,6 @@ package topology
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"anycastcdn/internal/geo"
 	"anycastcdn/internal/units"
@@ -379,23 +378,48 @@ func (b *Backbone) NearestSiteByAir(p geo.Point, onlyPeering bool) (SiteID, unit
 // RankPeeringByAir returns peering site IDs ordered by increasing air
 // distance from p.
 func (b *Backbone) RankPeeringByAir(p geo.Point) []SiteID {
-	type entry struct {
-		id SiteID
-		d  units.Kilometers
+	return b.RankPeeringByAirInto(p, nil)
+}
+
+// rankStackSites bounds the distance scratch RankPeeringByAirInto keeps on
+// the stack; deployments are at most a couple hundred sites.
+const rankStackSites = 256
+
+// RankPeeringByAirInto is RankPeeringByAir into a caller-provided buffer:
+// when cap(buf) covers the peering count the ranking is written there and
+// no allocation occurs, otherwise a fresh slice is returned. The order is
+// identical either way — distance is tie-broken by site ID, a total order,
+// so the sort has exactly one answer. Callers on the simulation's schedule
+// path rank once per client and reuse the result across every switch day.
+func (b *Backbone) RankPeeringByAirInto(p geo.Point, buf []SiteID) []SiteID {
+	n := len(b.peerings)
+	var out []SiteID
+	if cap(buf) >= n {
+		out = buf[:n]
+	} else {
+		out = make([]SiteID, n)
 	}
-	es := make([]entry, 0, len(b.peerings))
-	for _, id := range b.peerings {
-		es = append(es, entry{id, geo.DistanceKm(p, b.Sites[id].Metro.Point)})
+	var dbuf [rankStackSites]units.Kilometers
+	var ds []units.Kilometers
+	if n <= len(dbuf) {
+		ds = dbuf[:n]
+	} else {
+		ds = make([]units.Kilometers, n)
 	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].d != es[j].d {
-			return es[i].d < es[j].d
+	for i, id := range b.peerings {
+		out[i] = id
+		ds[i] = geo.DistanceKm(p, b.Sites[id].Metro.Point)
+	}
+	// Insertion sort in tandem over (distance, id): allocation-free, and
+	// fast at deployment scale (tens of sites).
+	for i := 1; i < n; i++ {
+		id, d := out[i], ds[i]
+		j := i - 1
+		for j >= 0 && (ds[j] > d || (ds[j] == d && out[j] > id)) {
+			out[j+1], ds[j+1] = out[j], ds[j]
+			j--
 		}
-		return es[i].id < es[j].id
-	})
-	out := make([]SiteID, len(es))
-	for i, e := range es {
-		out[i] = e.id
+		out[j+1], ds[j+1] = id, d
 	}
 	return out
 }
