@@ -287,10 +287,11 @@ func BenchmarkLoadShedding(b *testing.B) {
 }
 
 // BenchmarkAnycastvet measures a full-repo analysis run: the shared
-// type-checked load amortized once, then all ten analyzers over every
-// package per iteration (the same work the CI gate times with its 60s
-// budget). Allocations are reported so an analyzer that starts copying
-// per-package state shows up here before it shows up as wall-clock.
+// type-checked load amortized once, then every analyzer in the suite
+// over every package per iteration (the same work the CI gate times
+// with its 60s budget). Allocations are reported so an analyzer that
+// starts copying per-package state shows up here before it shows up as
+// wall-clock.
 func BenchmarkAnycastvet(b *testing.B) {
 	pkgs, err := analysis.LoadModule(".")
 	if err != nil {
@@ -301,6 +302,38 @@ func BenchmarkAnycastvet(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		diags, _ := analysis.RunModule(mod, pkgs, analysis.Analyzers())
+		if len(diags) != 0 {
+			b.Fatalf("repo is not clean: %v", diags)
+		}
+	}
+}
+
+// BenchmarkAnycastvetDataflow measures the dataflow passes alone: a
+// full-repo lockorder+errflow run per iteration, with a fresh Module
+// each time so the once-cached module-wide lock facts (CFG
+// construction, held-lock fixpoints, call-graph propagation, cycle
+// detection) are actually recomputed rather than served from the
+// sync.Once cache. This is the benchjson gate that catches the CFG or
+// worklist fixpoint going quadratic.
+func BenchmarkAnycastvetDataflow(b *testing.B) {
+	pkgs, err := analysis.LoadModule(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dataflow []*analysis.Analyzer
+	for _, an := range analysis.Analyzers() {
+		if an.Name == "lockorder" || an.Name == "errflow" {
+			dataflow = append(dataflow, an)
+		}
+	}
+	if len(dataflow) != 2 {
+		b.Fatalf("expected lockorder and errflow in the suite, got %d analyzers", len(dataflow))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mod := analysis.NewModule(pkgs)
+		diags, _ := analysis.RunModule(mod, pkgs, dataflow)
 		if len(diags) != 0 {
 			b.Fatalf("repo is not clean: %v", diags)
 		}

@@ -7,15 +7,19 @@
 #      errors, mutex hygiene, no panics in library code, goroutine
 #      join/cancel paths, ctx propagation in dnswire, dimensional safety
 #      for ms/km quantities, documented locking contracts, replay-safe
-#      map iteration, allocation-free hot paths) — the JSON run leaves
+#      map iteration, allocation-free hot paths, lock-order deadlock
+#      cycles, flow-sensitive error tracking) — the JSON run leaves
 #      anycastvet.json in the CI log as a machine-readable artifact,
-#      prints per-analyzer timings, and fails if the whole pass exceeds
-#      60 seconds (the suite runs in a couple of seconds; an order-of-
-#      magnitude regression means an analyzer went quadratic). A second
-#      run emits anycastvet.sarif for SARIF consumers (GitHub code
-#      scanning). Then explicit passes of the lifecycle, dimensional,
-#      and replay/hot-path analyzers so a regression in any of them is
-#      named in the CI log, not buried in the full-suite run
+#      prints per-analyzer timings (artifact: vet_timings.txt), and
+#      fails if the whole pass exceeds 60 seconds or any single
+#      analyzer exceeds 20 seconds (the suite runs in a couple of
+#      seconds; an order-of-magnitude regression means an analyzer —
+#      with the dataflow passes, most plausibly the CFG fixpoint —
+#      went quadratic). A second run emits anycastvet.sarif for SARIF
+#      consumers (GitHub code scanning). Then explicit passes of the
+#      lifecycle, dimensional, replay/hot-path, and dataflow analyzers
+#      so a regression in any of them is named in the CI log, not
+#      buried in the full-suite run
 #   4. unit tests in -short mode (which re-run anycastvet over the tree
 #      via internal/analysis/self_test.go), then the long-running targets
 #      as named steps so a failure is attributable in the CI log: the full
@@ -27,8 +31,9 @@
 #      and shake out shallow panics
 #   6. race detector over the concurrent packages: the dnswire servers,
 #      the parallel simulation core, the fault-injection layer, the
-#      loopback testbed, the HTTP front-ends, and the client population
-#      generator
+#      loopback testbed, the HTTP front-ends, the client population
+#      generator, the load manager, the columnar log, and the stats
+#      kernels
 #   7. coverage floor: the scenario engine, the simulation core, and the
 #      analysis engine together must keep >= 80% statement coverage
 #      (artifact: cover_repro.out)
@@ -52,19 +57,25 @@ go build ./...
 echo '== go vet ./...'
 go vet ./...
 
-echo '== anycastvet -json -timings ./... (artifact: anycastvet.json)'
+echo '== anycastvet -json -timings ./... (artifacts: anycastvet.json, vet_timings.txt)'
 vet_start=$(date +%s)
-if ! go run ./cmd/anycastvet -json -timings ./... > anycastvet.json; then
+if ! go run ./cmd/anycastvet -json -timings ./... > anycastvet.json 2> vet_timings.txt; then
+	cat vet_timings.txt >&2
 	echo 'ci.sh: anycastvet reported violations; offending check(s):' >&2
 	grep -o '"check": *"[a-z0-9]*"' anycastvet.json | sort -u >&2
 	exit 1
 fi
+cat vet_timings.txt
 vet_elapsed=$(( $(date +%s) - vet_start ))
-echo "anycastvet pass took ${vet_elapsed}s (budget 60s)"
+echo "anycastvet pass took ${vet_elapsed}s (budget 60s, 20s per analyzer)"
 if [ "$vet_elapsed" -gt 60 ]; then
 	echo "ci.sh: anycastvet took ${vet_elapsed}s, over the 60s budget; an analyzer has gone quadratic" >&2
 	exit 1
 fi
+awk '/^anycastvet:/ {
+	ms = $3; sub(/ms$/, "", ms)
+	if (ms + 0 > 20000) { printf "ci.sh: analyzer %s took %sms, over the 20s per-analyzer budget\n", $2, ms; bad = 1 }
+} END { exit bad }' vet_timings.txt
 
 echo '== anycastvet -sarif ./... (artifact: anycastvet.sarif)'
 go run ./cmd/anycastvet -sarif ./... > anycastvet.sarif
@@ -77,6 +88,9 @@ go run ./cmd/anycastvet -checks unitsafety,lockdoc ./...
 
 echo '== anycastvet -checks replaysafety,hotpathalloc ./...'
 go run ./cmd/anycastvet -checks replaysafety,hotpathalloc ./...
+
+echo '== anycastvet -checks lockorder,errflow ./...'
+go run ./cmd/anycastvet -checks lockorder,errflow ./...
 
 echo '== go test ./... (short mode; the long-running targets get named steps below)'
 go test -short ./...
@@ -93,7 +107,7 @@ go test -run '^$' -fuzz FuzzParsePrefix24 -fuzztime 5s ./internal/netaddr/
 go test -run '^$' -fuzz FuzzParseScenario -fuzztime 5s ./internal/faults/
 
 echo '== go test -race (concurrent packages)'
-go test -race ./internal/dnswire/ ./internal/sim/ ./internal/faults/ ./internal/testbed/ ./internal/frontend/ ./internal/clients/
+go test -race ./internal/dnswire/ ./internal/sim/ ./internal/faults/ ./internal/testbed/ ./internal/frontend/ ./internal/clients/ ./internal/load/ ./internal/logs/ ./internal/stats/
 
 echo '== coverage floor: internal/faults + internal/sim + internal/analysis >= 80% (artifact: cover_repro.out)'
 go test -coverpkg=anycastcdn/internal/faults,anycastcdn/internal/sim,anycastcdn/internal/analysis \

@@ -6,12 +6,17 @@
 // bare-float64 latency/distance quantities that bypass internal/units,
 // exported mutex-holding types with no documented locking contract,
 // order-dependent map iteration (or wall-clock/global-rand use) reachable
-// from the replay roots, and allocation-forcing constructs in
-// //perf:hotpath functions.
+// from the replay roots, allocation-forcing constructs in //perf:hotpath
+// functions, lock-order deadlock cycles plus double locks and
+// some-paths-only unlocks found by held-lock dataflow over the
+// control-flow graph (lockorder), and flow-sensitive error mishandling —
+// errors overwritten before any check, nil checks reading a
+// shadowed-out err, results dereferenced on the error path (errflow).
 //
 // The whole module is loaded and type-checked once; cross-package facts
-// (replay reachability, hot-path annotations) always reflect the full
-// module even when the report is narrowed to a package pattern.
+// (replay reachability, hot-path annotations, the global
+// lock-acquisition-order graph) always reflect the full module even when
+// the report is narrowed to a package pattern.
 //
 // Usage:
 //

@@ -113,6 +113,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		Nondeterminism, UncheckedErr, MutexHygiene, NoPanic, GoroutineLeak,
 		CtxPropagation, UnitSafety, LockDoc, ReplaySafety, HotPathAlloc,
+		LockOrder, ErrFlow,
 	}
 }
 

@@ -1,0 +1,599 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// This file is the control-flow half of the dataflow framework (see
+// dataflow.go for the worklist solver). A CFG partitions one function
+// body into basic blocks — maximal straight-line statement runs — and
+// records the edges a Go program can take between them: if/else, the
+// three for-loop forms, range, switch and type-switch (with
+// fallthrough), select, goto, labeled and unlabeled break/continue,
+// return, and panic. Deferred calls are modeled with a single synthetic
+// "defers" block that every function-exiting edge funnels through, in
+// reverse registration order — the standard static approximation: a
+// conditionally registered defer is treated as running on every exit
+// path, which errs toward believing a deferred Unlock happens (fewer
+// lockorder false positives, never a false "double lock").
+//
+// Statement placement invariant (pinned by cfg_selfrepo_test.go): every
+// atomic statement of the body lands in exactly one block, including
+// statements that are unreachable (code after a return starts a fresh
+// block with no predecessors), so reachability is a property of blocks,
+// not a hole in the partition.
+
+// Block is one basic block: a run of nodes with no internal control
+// transfer. Nodes holds atomic statements plus the control expressions
+// evaluated in this block (an if/for/switch condition, a range operand,
+// a switch tag) — expressions are included so transfer functions see
+// every read in execution order.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (stable, build order).
+	Index int
+	// Kind names what created the block ("entry", "if.then", "for.body",
+	// "defers", …) — for dumps and debugging only.
+	Kind string
+	// Nodes are the statements and control expressions, in order.
+	Nodes []ast.Node
+	// Succs are the blocks control may transfer to. For a block ending
+	// in a branching condition (Cond != nil), Succs[0] is the true edge
+	// and Succs[1] the false edge.
+	Succs []*Block
+	// Preds are the incoming edges (inverse of Succs).
+	Preds []*Block
+	// Cond is the branching condition evaluated last in this block, when
+	// the block ends in a two-way branch (if and for conditions). It is
+	// also present in Nodes; solvers use it for edge refinement.
+	Cond ast.Expr
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks lists every block, entry first; Blocks[i].Index == i.
+	Blocks []*Block
+	// Entry is the function entry block.
+	Entry *Block
+	// Exit is the single synthetic exit block (no Nodes, no Succs).
+	// Return statements, panics, and the fall-off-the-end path all reach
+	// it — through Defers when the function registers any defer.
+	Exit *Block
+	// Defers, non-nil only when the body contains defer statements, is
+	// the synthetic block holding each deferred call in reverse
+	// registration order; its only successor is Exit.
+	Defers *Block
+}
+
+// cfgBuilder carries the under-construction graph and the lexical
+// context needed to resolve break/continue/goto targets.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+
+	// breakTo / continueTo map a label ("" for the innermost construct)
+	// to the jump target; inner constructs shadow outer ones via the
+	// save/restore in the statement builders.
+	breakTo    map[string]*Block
+	continueTo map[string]*Block
+	// gotos defers edge creation for forward gotos until every label's
+	// block exists.
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// exitPending lists blocks ending in return or panic; their edge to
+	// the defers/exit block is patched in once that block exists.
+	exitPending []*Block
+	// defers collects DeferStmts in registration order.
+	defers []*ast.DeferStmt
+	// label names the next loop/switch/select block's label, consumed by
+	// the construct that starts immediately after a LabeledStmt.
+	label string
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+	pos   token.Pos
+}
+
+// NewCFG builds the control-flow graph of one function body. It never
+// fails: syntactically valid bodies always partition (ill-formed jumps —
+// a goto to a missing label — land on an isolated dead-end block rather
+// than panicking, since the type checker has already rejected them in
+// any analyzed package).
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:        &CFG{},
+		breakTo:    map[string]*Block{},
+		continueTo: map[string]*Block{},
+		labels:     map[string]*Block{},
+	}
+	entry := b.newBlock("entry")
+	b.cfg.Entry = entry
+	b.cur = entry
+	b.stmtList(body.List)
+
+	// The fall-off-the-end path and every return/panic edge meet at the
+	// exit — through the defers block when any defer was registered.
+	exit := b.newBlock("exit")
+	b.cfg.Exit = exit
+	var preExit *Block = exit
+	if len(b.defers) > 0 {
+		d := b.newBlock("defers")
+		for i := len(b.defers) - 1; i >= 0; i-- {
+			d.Nodes = append(d.Nodes, b.defers[i].Call)
+		}
+		b.edge(d, exit)
+		b.cfg.Defers = d
+		preExit = d
+	}
+	// Blocks that recorded a pending exit edge (returns, panics) and the
+	// current fall-through block all jump to preExit.
+	for _, blk := range b.exitPending {
+		b.edge(blk, preExit)
+	}
+	if b.cur != nil {
+		b.edge(b.cur, preExit)
+	}
+	// Resolve forward gotos now that every label exists.
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, target)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends an atomic node to the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// jump ends the current block with an edge to target and starts an
+// unreachable successor (so statements after a break/goto still land in
+// exactly one block).
+func (b *cfgBuilder) jump(target *Block, deadKind string) {
+	b.edge(b.cur, target)
+	b.cur = b.newBlock(deadKind)
+}
+
+// stmtList builds each statement in order into the growing graph.
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	// Any statement other than a labeled loop/switch/select consumes a
+	// pending label (a label on a plain statement is a goto target only).
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(s, b.takeLabel())
+	case *ast.SwitchStmt:
+		b.switchStmt(s, b.takeLabel())
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, b.takeLabel())
+	case *ast.SelectStmt:
+		b.selectStmt(s, b.takeLabel())
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.exitPending = append(b.exitPending, b.cur)
+		b.cur = b.newBlock("dead.return")
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.defers = append(b.defers, s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.exitPending = append(b.exitPending, b.cur)
+			b.cur = b.newBlock("dead.panic")
+		}
+	case *ast.EmptyStmt:
+		// no effect, no node
+	default:
+		// Assign, IncDec, Send, Decl, Go, …: straight-line.
+		b.add(s)
+	}
+}
+
+// takeLabel consumes the label a LabeledStmt recorded for the construct
+// that directly follows it.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+func (b *cfgBuilder) labeledStmt(s *ast.LabeledStmt) {
+	// The label starts a fresh block so goto can target it.
+	target := b.newBlock("label." + s.Label.Name)
+	b.edge(b.cur, target)
+	b.cur = target
+	b.labels[s.Label.Name] = target
+	switch s.Stmt.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.label = s.Label.Name
+	}
+	b.stmt(s.Stmt)
+	b.label = ""
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t, ok := b.breakTo[label]; ok {
+			b.jump(t, "dead.break")
+			return
+		}
+	case token.CONTINUE:
+		if t, ok := b.continueTo[label]; ok {
+			b.jump(t, "dead.continue")
+			return
+		}
+	case token.GOTO:
+		from := b.cur
+		b.gotos = append(b.gotos, pendingGoto{from: from, label: label, pos: s.Pos()})
+		b.cur = b.newBlock("dead.goto")
+		return
+	case token.FALLTHROUGH:
+		// Handled by the switch builder (the clause's fall edge); the
+		// statement itself is just a marker here.
+		return
+	}
+	// break/continue with no visible target (ill-formed code): dead-end.
+	b.cur = b.newBlock("dead.branch")
+}
+
+// setTarget binds m[key] = blk and returns a restore func undoing it.
+func setTarget(m map[string]*Block, key string, blk *Block) func() {
+	saved, had := m[key]
+	m[key] = blk
+	return func() {
+		if had {
+			m[key] = saved
+		} else {
+			delete(m, key)
+		}
+	}
+}
+
+// pushLoop registers break/continue targets for a loop (label may be
+// ""), returning a restore func.
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) func() {
+	restores := []func(){
+		setTarget(b.breakTo, "", brk),
+		setTarget(b.continueTo, "", cont),
+	}
+	if label != "" {
+		restores = append(restores,
+			setTarget(b.breakTo, label, brk),
+			setTarget(b.continueTo, label, cont))
+	}
+	return func() {
+		for _, r := range restores {
+			r()
+		}
+	}
+}
+
+// pushBreakable registers a break-only target (switch/select).
+func (b *cfgBuilder) pushBreakable(label string, brk *Block) func() {
+	restores := []func(){setTarget(b.breakTo, "", brk)}
+	if label != "" {
+		restores = append(restores, setTarget(b.breakTo, label, brk))
+	}
+	return func() {
+		for _, r := range restores {
+			r()
+		}
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	b.cur.Cond = s.Cond
+	condBlk := b.cur
+
+	then := b.newBlock("if.then")
+	done := b.newBlock("if.done")
+	b.edge(condBlk, then) // Succs[0]: true edge
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, done)
+
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(condBlk, els) // Succs[1]: false edge
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, done)
+	} else {
+		b.edge(condBlk, done) // Succs[1]: false edge
+	}
+	b.cur = done
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.edge(b.cur, head)
+	body := b.newBlock("for.body")
+	done := b.newBlock("for.done")
+	post := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+	}
+
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+		head.Cond = s.Cond
+		b.edge(head, body) // true edge
+		b.edge(head, done) // false edge
+	} else {
+		b.edge(head, body) // for {} — done is reachable only via break
+	}
+
+	restore := b.pushLoop(label, done, post)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	restore()
+	if s.Post != nil {
+		b.edge(b.cur, post)
+		b.cur = post
+		b.stmt(s.Post)
+		b.edge(b.cur, head)
+	} else {
+		b.edge(b.cur, head)
+	}
+	b.cur = done
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	// The range operand is evaluated once, before the loop.
+	b.add(s.X)
+	head := b.newBlock("range.head")
+	b.edge(b.cur, head)
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	// head models the per-iteration "next element" decision: into the
+	// body while elements remain, to done when exhausted.
+	b.cur = head
+	if s.Key != nil {
+		b.add(s.Key)
+	}
+	if s.Value != nil {
+		b.add(s.Value)
+	}
+	b.edge(head, body)
+	b.edge(head, done)
+
+	restore := b.pushLoop(label, done, head)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	restore()
+	b.edge(b.cur, head)
+	b.cur = done
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	head := b.cur
+	done := b.newBlock("switch.done")
+	restore := b.pushBreakable(label, done)
+	b.caseClauses(s.Body.List, head, done, "switch")
+	restore()
+	b.cur = done
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.stmt(s.Assign) // the x := y.(type) assignment or bare y.(type)
+	head := b.cur
+	done := b.newBlock("typeswitch.done")
+	restore := b.pushBreakable(label, done)
+	b.caseClauses(s.Body.List, head, done, "typeswitch")
+	restore()
+	b.cur = done
+}
+
+// caseClauses wires each CaseClause as a successor of head; a clause
+// with no terminating jump falls to done, and a trailing fallthrough
+// falls to the next clause's body. A switch with no default also edges
+// head → done directly.
+func (b *cfgBuilder) caseClauses(clauses []ast.Stmt, head, done *Block, kindPrefix string) {
+	hasDefault := false
+	blocks := make([]*Block, len(clauses))
+	for i, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		kind := kindPrefix + ".case"
+		if cc.List == nil {
+			kind = kindPrefix + ".default"
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock(kind)
+		b.edge(head, blocks[i])
+	}
+	if !hasDefault {
+		b.edge(head, done)
+	}
+	for i, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok || blocks[i] == nil {
+			continue
+		}
+		b.cur = blocks[i]
+		// Case expressions are evaluated when the clause is considered.
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.stmtList(cc.Body)
+		if endsInFallthrough(cc.Body) && i+1 < len(clauses) && blocks[i+1] != nil {
+			b.edge(b.cur, blocks[i+1])
+		} else {
+			b.edge(b.cur, done)
+		}
+	}
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	done := b.newBlock("select.done")
+	restore := b.pushBreakable(label, done)
+	for _, c := range s.Body.List {
+		comm, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		kind := "select.comm"
+		if comm.Comm == nil {
+			kind = "select.default"
+		}
+		blk := b.newBlock(kind)
+		b.edge(head, blk)
+		b.cur = blk
+		if comm.Comm != nil {
+			b.stmt(comm.Comm)
+		}
+		b.stmtList(comm.Body)
+		b.edge(b.cur, done)
+	}
+	restore()
+	b.cur = done
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// isPanicCall reports whether e is a call to the panic builtin. Lexical
+// on purpose: NewCFG has no types.Info, and nothing in this module
+// shadows panic (nopanic keeps library code panic-free anyway).
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// Reachable returns the blocks reachable from the entry, as a set
+// indexed by Block.Index.
+func (g *CFG) Reachable() []bool {
+	seen := make([]bool, len(g.Blocks))
+	stack := []*Block{g.Entry}
+	seen[g.Entry.Index] = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// Dump renders the CFG in a stable human-readable form for golden
+// tests: one line per block with kind, reachability, successor list,
+// and the source text of each node (via go/printer against fset).
+func (g *CFG) Dump(fset *token.FileSet) string {
+	reach := g.Reachable()
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		succs := make([]string, len(blk.Succs))
+		for i, s := range blk.Succs {
+			succs[i] = fmt.Sprintf("b%d", s.Index)
+		}
+		mark := ""
+		if !reach[blk.Index] {
+			mark = " unreachable"
+		}
+		fmt.Fprintf(&sb, "b%d %s%s -> [%s]\n", blk.Index, blk.Kind, mark, strings.Join(succs, " "))
+		for _, n := range blk.Nodes {
+			var nb strings.Builder
+			if err := printer.Fprint(&nb, fset, n); err != nil {
+				nb.WriteString("<unprintable>")
+			}
+			text := strings.Join(strings.Fields(nb.String()), " ")
+			fmt.Fprintf(&sb, "\t%s\n", text)
+		}
+	}
+	return sb.String()
+}
+
+// AtomicStmts returns, for a function body, every statement the CFG
+// builder places into blocks (the partition the self-test checks):
+// assignments, expression and send statements, inc/dec, declarations,
+// go/defer/return/branch statements — excluding statements nested in
+// func literals, which get their own CFGs.
+func AtomicStmts(body *ast.BlockStmt) []ast.Stmt {
+	var out []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n.(type) {
+		case *ast.AssignStmt, *ast.ExprStmt, *ast.SendStmt, *ast.IncDecStmt,
+			*ast.DeclStmt, *ast.GoStmt, *ast.DeferStmt, *ast.ReturnStmt,
+			*ast.BranchStmt:
+			out = append(out, n.(ast.Stmt))
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}

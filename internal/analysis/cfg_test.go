@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateCFG = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// TestCFGWholeRepo is the builder's self-test against this repository:
+// every function body (declarations and function literals alike) must
+// build a CFG without panicking, every atomic statement must land in
+// exactly one basic block, and the entry/exit blocks must keep their
+// structural invariants. A failure means the builder mis-handles a
+// control construct the repo actually uses — exactly the situation
+// that would silently corrupt lockorder/errflow facts.
+func TestCFGWholeRepo(t *testing.T) {
+	root := moduleRootForTest(t)
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	var bodies int
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				var name string
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body == nil {
+						return true
+					}
+					body, name = n.Body, n.Name.Name
+				case *ast.FuncLit:
+					body, name = n.Body, "func literal"
+				default:
+					return true
+				}
+				bodies++
+				pos := pkg.Fset.Position(body.Pos())
+				checkCFGInvariants(t, pkg.Fset, body, fmt.Sprintf("%s (%s)", name, pos))
+				return true
+			})
+		}
+	}
+	if bodies < 500 {
+		t.Fatalf("checked only %d function bodies; the walk is missing most of the tree", bodies)
+	}
+}
+
+// checkCFGInvariants builds the CFG for one body (converting a builder
+// panic into a test failure) and verifies the block partition.
+func checkCFGInvariants(t *testing.T, fset *token.FileSet, body *ast.BlockStmt, where string) {
+	t.Helper()
+	var g *CFG
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("NewCFG panicked on %s: %v", where, r)
+			}
+		}()
+		g = NewCFG(body)
+	}()
+	if g == nil {
+		return
+	}
+	if len(g.Entry.Preds) != 0 {
+		t.Errorf("%s: entry block has %d predecessors", where, len(g.Entry.Preds))
+	}
+	if len(g.Exit.Succs) != 0 {
+		t.Errorf("%s: exit block has %d successors", where, len(g.Exit.Succs))
+	}
+	counts := map[ast.Node]int{}
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			counts[n]++
+		}
+	}
+	for _, s := range AtomicStmts(body) {
+		switch counts[s] {
+		case 1:
+		case 0:
+			t.Errorf("%s: statement at %s missing from every block", where, fset.Position(s.Pos()))
+		default:
+			t.Errorf("%s: statement at %s appears in %d blocks", where, fset.Position(s.Pos()), counts[s])
+		}
+	}
+}
+
+// cfgGoldenSrc exercises the edge cases the golden dumps pin: goto
+// (forward and backward), labeled break/continue across nested loops,
+// select with send/receive/default arms, defer funneling every exit
+// path, type switches with fallthrough-free clauses, switch
+// fallthrough, range loops, and panic as a terminator.
+const cfgGoldenSrc = `package fixture
+
+func gotos(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	if n < 0 {
+		goto out
+	}
+	i *= 2
+out:
+	return i
+}
+
+func labeled(rows [][]int) int {
+	total := 0
+outer:
+	for _, row := range rows {
+		for _, v := range row {
+			if v < 0 {
+				continue outer
+			}
+			if v == 99 {
+				break outer
+			}
+			total += v
+		}
+	}
+	return total
+}
+
+func selects(a, b chan int, stop chan struct{}) int {
+	for {
+		select {
+		case v := <-a:
+			return v
+		case b <- 1:
+		case <-stop:
+			return 0
+		default:
+			return -1
+		}
+	}
+}
+
+func deferred(release func(), fail bool) int {
+	defer release()
+	if fail {
+		panic("boom")
+	}
+	defer release()
+	return 1
+}
+
+func typeSwitch(x any) int {
+	switch v := x.(type) {
+	case int:
+		return v
+	case string:
+		return len(v)
+	default:
+		return 0
+	}
+}
+
+func fallthroughs(n int) string {
+	s := ""
+	switch n {
+	case 0:
+		s += "zero "
+		fallthrough
+	case 1:
+		s += "one"
+	case 2:
+		s += "two"
+	}
+	return s
+}
+`
+
+// TestCFGGoldenDumps renders the CFG of each fixture function with
+// Dump and compares against testdata/cfg_dumps.golden. Run
+// `go test ./internal/analysis -run CFGGolden -update` after an
+// intentional builder change.
+func TestCFGGoldenDumps(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", cfgGoldenSrc, 0)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	var b strings.Builder
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "== %s ==\n%s\n", fd.Name.Name, NewCFG(fd.Body).Dump(fset))
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "cfg_dumps.golden")
+	if *updateCFG {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatalf("creating testdata: %v", err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("writing golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("CFG dumps drifted from %s (re-run with -update if intentional):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// This file is the solver half of the dataflow framework: a generic
+// forward/backward worklist fixpoint over the CFGs of cfg.go,
+// parameterized over the state type the same way internal/stats is
+// generic over its sample type — the lattice is supplied as values
+// (bottom, join, equality, transfer), the solver owns only the
+// iteration order and convergence.
+//
+// States must be treated as immutable by Transfer and Join: return a
+// fresh (or shared-structure) value rather than mutating the argument,
+// because a block's In state is the join of several predecessors' Out
+// states and aliasing them would corrupt the fixpoint.
+
+// FlowAnalysis defines one dataflow problem over a CFG.
+type FlowAnalysis[S any] struct {
+	// Backward runs the transfer functions against edge direction
+	// (facts flow from Succs to Preds, nodes fold in reverse).
+	Backward bool
+	// Boundary is the fact at the entry block (forward) or exit block
+	// (backward).
+	Boundary S
+	// Bottom produces the identity for Join — the fact of an edge never
+	// taken. Join(Bottom(), x) must equal x.
+	Bottom func() S
+	// Join merges the facts of two converging paths.
+	Join func(a, b S) S
+	// Equal reports lattice-state equality; the fixpoint has converged
+	// when no block's input changes under Join.
+	Equal func(a, b S) bool
+	// Transfer applies one node's effect to the state. Nodes are the
+	// statements and control expressions of a block, folded in execution
+	// order (reverse order for backward analyses).
+	Transfer func(n ast.Node, s S) S
+	// EdgeTransfer, optional, refines the fact flowing along one edge
+	// before it joins into the successor — this is where a branch
+	// condition (from.Cond, true on from.Succs[0], false on
+	// from.Succs[1]) sharpens the state. Forward analyses only.
+	EdgeTransfer func(from, to *Block, s S) S
+}
+
+// FlowResult holds the per-block fixpoint: In[i] is the fact at entry
+// of Blocks[i], Out[i] at its exit (for backward analyses In is the
+// fact *after* the block in execution order — i.e. facts still flow
+// In -> Out through the transfer fold).
+type FlowResult[S any] struct {
+	In, Out []S
+}
+
+// Solve runs the worklist fixpoint of a over g and returns the
+// per-block facts. Every block is processed at least once (unreachable
+// blocks converge immediately from Bottom), so analyzers can still
+// inspect dead code without special cases.
+func Solve[S any](g *CFG, a FlowAnalysis[S]) *FlowResult[S] {
+	n := len(g.Blocks)
+	res := &FlowResult[S]{In: make([]S, n), Out: make([]S, n)}
+	for i := 0; i < n; i++ {
+		res.In[i] = a.Bottom()
+		res.Out[i] = a.Bottom()
+	}
+	boundary := g.Entry
+	if a.Backward {
+		boundary = g.Exit
+	}
+	res.In[boundary.Index] = a.Boundary
+
+	// Worklist seeded in index order (approximately reverse post-order
+	// for the forward builder's numbering); the queued set keeps each
+	// block at most once in flight.
+	queue := make([]*Block, 0, n)
+	queued := make([]bool, n)
+	push := func(blk *Block) {
+		if !queued[blk.Index] {
+			queued[blk.Index] = true
+			queue = append(queue, blk)
+		}
+	}
+	for _, blk := range g.Blocks {
+		push(blk)
+	}
+
+	preds := func(blk *Block) []*Block { return blk.Preds }
+	succs := func(blk *Block) []*Block { return blk.Succs }
+	if a.Backward {
+		preds, succs = succs, preds
+	}
+
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		queued[blk.Index] = false
+
+		// In = join over incoming edges (boundary block keeps its seed).
+		in := res.In[blk.Index]
+		if blk != boundary {
+			in = a.Bottom()
+			for _, p := range preds(blk) {
+				fact := res.Out[p.Index]
+				if a.EdgeTransfer != nil && !a.Backward {
+					fact = a.EdgeTransfer(p, blk, fact)
+				}
+				in = a.Join(in, fact)
+			}
+			res.In[blk.Index] = in
+		}
+
+		out := a.FoldBlock(blk, in)
+		if a.Equal(out, res.Out[blk.Index]) {
+			continue
+		}
+		res.Out[blk.Index] = out
+		for _, s := range succs(blk) {
+			push(s)
+		}
+	}
+	return res
+}
+
+// FoldBlock applies the transfer function across one block's nodes
+// (reversed for backward analyses), returning the block's output fact
+// for the given input. Analyzers reuse it after Solve to recover the
+// state immediately before a node of interest.
+func (a FlowAnalysis[S]) FoldBlock(blk *Block, in S) S {
+	s := in
+	if a.Backward {
+		for i := len(blk.Nodes) - 1; i >= 0; i-- {
+			s = a.Transfer(blk.Nodes[i], s)
+		}
+		return s
+	}
+	for _, n := range blk.Nodes {
+		s = a.Transfer(n, s)
+	}
+	return s
+}

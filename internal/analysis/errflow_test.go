@@ -1,0 +1,274 @@
+package analysis
+
+import "testing"
+
+// TestErrFlowOverwrite covers the dead-error-store finding: an error
+// assignment no path reads before a rewrite or return.
+func TestErrFlowOverwrite(t *testing.T) {
+	got := checkFixture(t, ErrFlow, "fix", map[string]string{
+		"over.go": `package fix
+
+import "errors"
+
+func step() error { return errors.New("x") }
+
+func lost() error {
+	err := step() // line 8: overwritten before any check
+	err = step()
+	return err
+}
+
+func abandoned() int {
+	n, err := twoStep()
+	if err != nil {
+		return 0
+	}
+	m, err := twoStep() // line 18: err never checked again
+	return n + m
+}
+
+func twoStep() (int, error) { return 1, step() }
+`,
+	})
+	wantDiags(t, got, []string{
+		"over.go:8:errflow",
+		"over.go:18:errflow",
+	})
+}
+
+// TestErrFlowOverwriteNegatives pins the idioms the overwrite finding
+// must not fire on: the retry loop keeping the last error (live via
+// the loop-exit path), wrapping reads the old value, and err = nil is
+// a reset, not a droppable error.
+func TestErrFlowOverwriteNegatives(t *testing.T) {
+	got := checkFixture(t, ErrFlow, "fix", map[string]string{
+		"neg.go": `package fix
+
+import (
+	"errors"
+	"fmt"
+)
+
+func attempt() error { return errors.New("x") }
+
+func retry() error {
+	var lastErr error
+	for i := 0; i < 3; i++ {
+		err := attempt()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("3 attempts: %w", lastErr)
+}
+
+func wrap() error {
+	err := attempt()
+	err = fmt.Errorf("wrapped: %w", err)
+	return err
+}
+
+func reset() error {
+	err := attempt()
+	if errors.Is(err, errSentinel) {
+		err = nil
+	}
+	return err
+}
+
+var errSentinel = errors.New("sentinel")
+`,
+	})
+	wantDiags(t, got, nil)
+}
+
+// TestErrFlowShadowedCheck covers the shadowed-check finding: a nil
+// check that reads the outer err while a shadowing err assigned on
+// this path was never nil-checked.
+func TestErrFlowShadowedCheck(t *testing.T) {
+	got := checkFixture(t, ErrFlow, "fix", map[string]string{
+		"shadow.go": `package fix
+
+import (
+	"errors"
+	"fmt"
+)
+
+func side() (int, error) { return 0, errors.New("x") }
+
+func confused(c bool) error {
+	n, err := side()
+	if err != nil {
+		return err
+	}
+	if c {
+		_, err := side() // assigned, logged, never nil-checked
+		fmt.Println(n, err)
+	}
+	if err != nil { // line 19: reads the outer err
+		return err
+	}
+	return nil
+}
+
+func clean(c bool) error {
+	_, err := side()
+	if err != nil {
+		return err
+	}
+	if c {
+		_, err := side()
+		if err != nil { // inner checked: fine
+			return err
+		}
+	}
+	if err != nil {
+		return err
+	}
+	return nil
+}
+`,
+	})
+	wantDiags(t, got, []string{"shadow.go:19:errflow"})
+}
+
+// TestErrFlowUseOnErrorPath covers the use-of-result finding: a
+// dereference-like use of a result on the branch where its paired
+// error is known non-nil, with nil-guarded uses and plain copies
+// allowed.
+func TestErrFlowUseOnErrorPath(t *testing.T) {
+	got := checkFixture(t, ErrFlow, "fix", map[string]string{
+		"use.go": `package fix
+
+import "errors"
+
+type conn struct{ n int }
+
+func (c *conn) close() {}
+
+func dial() (*conn, error) { return nil, errors.New("refused") }
+
+func bad() {
+	c, err := dial()
+	if err != nil {
+		c.close() // line 14: c may be nil here
+	}
+}
+
+func guarded() {
+	c, err := dial()
+	if err != nil {
+		if c != nil {
+			c.close() // proven non-nil: fine
+		}
+	}
+}
+
+func earlyReturn() error {
+	c, err := dial()
+	if err != nil {
+		return err
+	}
+	c.close() // error path returned: fine
+	return nil
+}
+
+func copied() (*conn, error) {
+	c, err := dial()
+	if err != nil {
+		return c, err // plain copy, no dereference: fine
+	}
+	return c, nil
+}
+`,
+	})
+	wantDiags(t, got, []string{"use.go:14:errflow"})
+}
+
+// TestErrFlowReassignKillsPairing is the regression for the stale
+// pairing bug: once the error variable is reassigned by a later call,
+// results of the earlier call are no longer tied to it.
+func TestErrFlowReassignKillsPairing(t *testing.T) {
+	got := checkFixture(t, ErrFlow, "fix", map[string]string{
+		"pair.go": `package fix
+
+import "errors"
+
+type f struct{}
+
+func (*f) close() {}
+
+func open() (*f, error) { return nil, errors.New("x") }
+
+func sequential() error {
+	a, err := open()
+	if err != nil {
+		return err
+	}
+	b, err := open()
+	if err != nil {
+		a.close() // a's error was checked above: fine
+		return err
+	}
+	b.close()
+	return nil
+}
+`,
+	})
+	wantDiags(t, got, nil)
+}
+
+// TestErrFlowClosuresExcluded pins the escape rule: error variables
+// captured by closures or address-taken are off the CFG and must not
+// be reported.
+func TestErrFlowClosuresExcluded(t *testing.T) {
+	got := checkFixture(t, ErrFlow, "fix", map[string]string{
+		"esc.go": `package fix
+
+import "errors"
+
+func produce() error { return errors.New("x") }
+
+func captured() error {
+	var err error
+	fn := func() { err = produce() }
+	fn()
+	err = produce() // would look like an overwrite, but err escaped
+	return err
+}
+
+func addressed() error {
+	err := produce()
+	record(&err)
+	err = produce()
+	return err
+}
+
+func record(*error) {}
+`,
+	})
+	wantDiags(t, got, nil)
+}
+
+// TestErrFlowSkipsTestFiles pins that errflow leaves _test.go files
+// alone — tests drop errors on purpose.
+func TestErrFlowSkipsTestFiles(t *testing.T) {
+	got := checkFixture(t, ErrFlow, "fix", map[string]string{
+		"x.go": `package fix
+
+import "errors"
+
+func mk() error { return errors.New("x") }
+`,
+		"x_test.go": `package fix
+
+func helper() error {
+	err := mk()
+	err = mk()
+	return err
+}
+`,
+	})
+	wantDiags(t, got, nil)
+}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/types"
 	"strings"
+	"sync"
 )
 
 // Module is the cross-package view of one loaded module: every package
@@ -27,6 +28,11 @@ type Module struct {
 
 	replayReachable map[*types.Func]bool
 	hotPath         map[*types.Func]bool
+
+	// Lock facts (lockorder.go) are derived lazily on first use and
+	// shared by every pass over this module.
+	lockOnce sync.Once
+	lockData *lockFactsData
 }
 
 // ReplayRootNames are the function names treated as replay roots: every

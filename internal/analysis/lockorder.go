@@ -1,0 +1,820 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder is the deadlock analyzer: it runs the held-lock dataflow
+// (cfg.go + dataflow.go) over every function body in the module, joins
+// the per-function results through the whole-program call graph, and
+// reports path properties no syntactic check can see:
+//
+//   - lock-order cycles: lock A is held while B is acquired on one
+//     path, and B is held while A is acquired on another — in the same
+//     package or across packages via the call graph. Two goroutines
+//     interleaving those paths deadlock. Both acquisition sites are
+//     named; the diagnostic lands on the acquisition that closes the
+//     cycle.
+//   - double lock / RW upgrade: re-acquiring a sync.Mutex the path
+//     already holds (sync mutexes are not reentrant), or taking
+//     Lock/RLock on an RWMutex whose write (or, for Lock, read) side
+//     the path already holds — including through a call chain, where
+//     the callee that re-acquires is named.
+//   - unlock on some paths only: a lock still held on at least one
+//     path into the function exit (after deferred unlocks run) while
+//     other paths release it — the conditional-early-return bug
+//     mutexhygiene's "any unlock exists" rule cannot see.
+//
+// The held-lock state is a may-analysis (union join): an acquisition
+// on either branch of an if counts as held after the join. Deferred
+// calls are modeled as running on every exit path (cfg.go's defers
+// block), so `defer mu.Unlock()` never yields a false
+// held-at-exit. Goroutine bodies are analyzed as their own functions —
+// locks held at a `go` statement do not leak into the spawned body,
+// but the body's own acquisition order still feeds the global graph,
+// which is what makes cross-goroutine inversions visible.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "detect lock-order deadlock cycles (cross-package), double locks, and locks released on only some paths",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(pass *Pass) {
+	if pass.Mod == nil {
+		return
+	}
+	facts := pass.Mod.LockFacts()
+	if facts == nil {
+		return
+	}
+	owned := pass.ownedFiles()
+	for _, f := range facts.findings {
+		if owned[pass.Pkg.Fset.Position(f.pos).Filename] {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+}
+
+// ownedFiles returns the set of file names this pass's package declares —
+// the filter that keeps module-wide facts reported exactly once, in the
+// package that owns the diagnostic's site (so a //lint:ignore at the
+// reported line suppresses it; see RunModule).
+func (p *Pass) ownedFiles() map[string]bool {
+	out := make(map[string]bool, len(p.Pkg.Files))
+	for _, f := range p.Pkg.Files {
+		out[p.Pkg.Fset.Position(f.Pos()).Filename] = true
+	}
+	return out
+}
+
+// lockID identifies one lock across the module: the mutex field or
+// variable object when the receiver resolves to one, plus a stable
+// human-readable name ("dnswire.Server.mu"). Receivers too dynamic to
+// resolve (map elements, results of calls) fall back to a
+// function-scoped expression string with a nil object.
+type lockID struct {
+	v    *types.Var
+	name string
+}
+
+// heldLock is one element of the dataflow state: a lock the current
+// path may hold, how it was acquired, and where.
+type heldLock struct {
+	id  lockID
+	w   bool // write side (Lock) vs read side (RLock)
+	pos token.Pos
+}
+
+// heldSet is the lattice state: the set of locks a path into this
+// point may hold, sorted by name then declaration position. Treated as
+// immutable — add/remove copy.
+type heldSet []heldLock
+
+func (s heldSet) find(id lockID) int {
+	for i, h := range s {
+		if h.id == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func heldLess(a, b heldLock) bool {
+	if a.id.name != b.id.name {
+		return a.id.name < b.id.name
+	}
+	av, bv := token.NoPos, token.NoPos
+	if a.id.v != nil {
+		av = a.id.v.Pos()
+	}
+	if b.id.v != nil {
+		bv = b.id.v.Pos()
+	}
+	return av < bv
+}
+
+func (s heldSet) add(id lockID, w bool, pos token.Pos) heldSet {
+	if i := s.find(id); i >= 0 {
+		if s[i].w == (s[i].w || w) && s[i].pos <= pos {
+			return s
+		}
+		out := append(heldSet(nil), s...)
+		out[i].w = out[i].w || w
+		if pos < out[i].pos {
+			out[i].pos = pos
+		}
+		return out
+	}
+	out := make(heldSet, 0, len(s)+1)
+	out = append(out, s...)
+	out = append(out, heldLock{id: id, w: w, pos: pos})
+	sort.Slice(out, func(i, j int) bool { return heldLess(out[i], out[j]) })
+	return out
+}
+
+func (s heldSet) remove(id lockID) heldSet {
+	i := s.find(id)
+	if i < 0 {
+		return s
+	}
+	out := make(heldSet, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	out = append(out, s[i+1:]...)
+	return out
+}
+
+func joinHeld(a, b heldSet) heldSet {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := append(heldSet(nil), a...)
+	for _, h := range b {
+		if i := out.find(h.id); i >= 0 {
+			out[i].w = out[i].w || h.w
+			if h.pos < out[i].pos {
+				out[i].pos = h.pos
+			}
+		} else {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return heldLess(out[i], out[j]) })
+	return out
+}
+
+func equalHeld(a, b heldSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lockFinding is one diagnostic-to-be, positioned so the analyzer pass
+// owning the file reports it.
+type lockFinding struct {
+	pos token.Pos
+	msg string
+}
+
+// lockEdge is one arc of the global acquisition-order graph: from is
+// held while to is acquired (at toPos; from was acquired at fromPos).
+type lockEdge struct {
+	from, to       lockID
+	fromPos, toPos token.Pos
+}
+
+// lockFactsData is the module-wide result of the lock analysis,
+// computed once per Module and shared by every lockorder pass.
+type lockFactsData struct {
+	findings []lockFinding
+	// edges is the deduplicated acquisition-order graph, sorted.
+	edges []lockEdge
+}
+
+// LockFacts runs the module-wide lock analysis once (subsequent calls,
+// including concurrent ones from parallel passes, return the cached
+// result): per-function held-lock dataflow, call-graph propagation of
+// held sets into callee acquisition summaries, and cycle detection on
+// the global order graph.
+func (m *Module) LockFacts() *lockFactsData {
+	m.lockOnce.Do(func() { m.lockData = buildLockFacts(m) })
+	return m.lockData
+}
+
+// lockUnit is one independently analyzed body: a function declaration
+// or a function literal that runs on its own schedule (a goroutine
+// body, or a closure stored/passed rather than invoked in place).
+type lockUnit struct {
+	pkg  *Package
+	name string
+	fn   *types.Func // enclosing declaration (summary attribution)
+	body *ast.BlockStmt
+}
+
+// acqInfo summarizes one lock a function (transitively) acquires.
+type acqInfo struct {
+	w   bool
+	pos token.Pos
+}
+
+// heldCall is one call site reached with locks held.
+type heldCall struct {
+	callee *types.Func
+	pos    token.Pos
+	held   heldSet
+}
+
+type lockAnalysis struct {
+	mod  *Module
+	fset *token.FileSet
+	// canon assigns each lock object its first-seen display name so
+	// every edge/finding names a lock one way.
+	canon map[*types.Var]string
+
+	findings  []lockFinding
+	edgeSet   map[[2]lockID]lockEdge
+	heldCalls []heldCall
+	// direct accumulates per-declaration direct acquisitions
+	// (goroutine subtrees excluded — they run on another goroutine);
+	// callees mirrors the call graph under the same exclusion.
+	direct  map[*types.Func]map[lockID]acqInfo
+	callees map[*types.Func][]*types.Func
+	// released records, per unit, which locks have any release site —
+	// the held-at-exit finding only fires when the function does
+	// release the lock on some path (a function with no release at all
+	// is mutexhygiene's finding, not ours).
+	released map[lockID]bool
+}
+
+func buildLockFacts(m *Module) *lockFactsData {
+	if len(m.Pkgs) == 0 {
+		return &lockFactsData{}
+	}
+	la := &lockAnalysis{
+		mod:     m,
+		fset:    m.Pkgs[0].Fset,
+		canon:   map[*types.Var]string{},
+		edgeSet: map[[2]lockID]lockEdge{},
+		direct:  map[*types.Func]map[lockID]acqInfo{},
+		callees: map[*types.Func][]*types.Func{},
+	}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				la.collectSummaries(pkg, fn, fd)
+				for _, u := range lockUnits(pkg, fn, fd) {
+					la.analyzeUnit(u)
+				}
+			}
+		}
+	}
+	trans := la.transitiveAcq()
+	la.crossEdges(trans)
+	la.cycleFindings()
+
+	sort.Slice(la.findings, func(i, j int) bool {
+		a, b := la.findings[i], la.findings[j]
+		if a.pos != b.pos {
+			return a.pos < b.pos
+		}
+		return a.msg < b.msg
+	})
+	edges := make([]lockEdge, 0, len(la.edgeSet))
+	for _, e := range la.edgeSet {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.from.name != b.from.name {
+			return a.from.name < b.from.name
+		}
+		if a.to.name != b.to.name {
+			return a.to.name < b.to.name
+		}
+		return a.toPos < b.toPos
+	})
+	return &lockFactsData{findings: la.findings, edges: edges}
+}
+
+// lockUnits enumerates the analysis units of one declaration: the body
+// itself, plus every function literal that does not run in place —
+// goroutine bodies and stored/passed closures. Literals invoked where
+// they appear (including `defer func(){...}()`, which cfg.go folds
+// into the defers block) stay part of the enclosing unit.
+func lockUnits(pkg *Package, fn *types.Func, fd *ast.FuncDecl) []lockUnit {
+	name := fd.Name.Name
+	units := []lockUnit{{pkg: pkg, name: name, fn: fn, body: fd.Body}}
+	inline := map[*ast.FuncLit]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lit, ok := call.Fun.(*ast.FuncLit); ok {
+			inline[lit] = true
+		}
+		return true
+	})
+	// A `go func(){...}()` body is not inline: it runs on another
+	// goroutine, so it must be its own unit with an empty held set.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				inline[lit] = false
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if !inline[lit] {
+			units = append(units, lockUnit{pkg: pkg, name: name + ".func", fn: fn, body: lit.Body})
+		}
+		return true
+	})
+	return units
+}
+
+// collectSummaries records fn's direct acquisitions and call edges,
+// excluding goroutine subtrees (their effects belong to the spawned
+// unit, not the caller's lock path).
+func (la *lockAnalysis) collectSummaries(pkg *Package, fn *types.Func, fd *ast.FuncDecl) {
+	if fn == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, w, acquire, isLock := la.syncLockCall(pkg, call); isLock {
+			if acquire {
+				set := la.direct[fn]
+				if set == nil {
+					set = map[lockID]acqInfo{}
+					la.direct[fn] = set
+				}
+				if prev, ok := set[id]; !ok || call.Pos() < prev.pos {
+					set[id] = acqInfo{w: w, pos: call.Pos()}
+				} else if w && !prev.w {
+					set[id] = acqInfo{w: true, pos: prev.pos}
+				}
+			}
+			return true
+		}
+		if callee := calleeFunc(pkg.Info, call); callee != nil && la.mod.decls[callee] != nil {
+			la.callees[fn] = append(la.callees[fn], callee)
+		}
+		return true
+	})
+}
+
+// analyzeUnit runs the held-lock dataflow over one body and harvests
+// findings, intra-procedural order edges, and held call sites.
+func (la *lockAnalysis) analyzeUnit(u lockUnit) {
+	g := NewCFG(u.body)
+	la.released = map[lockID]bool{}
+	transfer := func(n ast.Node, s heldSet) heldSet {
+		return la.applyNode(u, n, s, false)
+	}
+	res := Solve(g, FlowAnalysis[heldSet]{
+		Boundary: nil,
+		Bottom:   func() heldSet { return nil },
+		Join:     joinHeld,
+		Equal:    equalHeld,
+		Transfer: transfer,
+	})
+	// Reporting pass: refold each block from its fixpoint input with
+	// callbacks armed.
+	for _, blk := range g.Blocks {
+		s := res.In[blk.Index]
+		for _, n := range blk.Nodes {
+			s = la.applyNode(u, n, s, true)
+		}
+	}
+	// Held at exit (after deferred releases): the lock is released on
+	// some path (otherwise mutexhygiene owns the finding) but not all.
+	for _, h := range res.In[g.Exit.Index] {
+		if !la.released[h.id] {
+			continue
+		}
+		la.findings = append(la.findings, lockFinding{
+			pos: h.pos,
+			msg: fmt.Sprintf("%s is released on some paths through %s but may still be held when the function returns; unlock on every path or defer the unlock", h.id.name, u.name),
+		})
+	}
+}
+
+// applyNode executes one CFG node's lock effects against s. With
+// report set it also emits findings and records order edges and held
+// call sites (the reporting refold); without, it is the pure transfer
+// function for the fixpoint.
+func (la *lockAnalysis) applyNode(u lockUnit, n ast.Node, s heldSet, report bool) heldSet {
+	var visit func(n ast.Node)
+	visit = func(n ast.Node) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.GoStmt, *ast.DeferStmt, *ast.FuncLit:
+				// Goroutine bodies and stored closures are separate
+				// units; defer registration has no effect here (the
+				// deferred call sits in the defers block).
+				_ = x
+				return false
+			case *ast.CallExpr:
+				if lit, ok := x.Fun.(*ast.FuncLit); ok {
+					// Invoked in place (incl. from the defers block):
+					// the body runs here, on this goroutine.
+					for _, arg := range x.Args {
+						visit(arg)
+					}
+					visit(lit.Body)
+					return false
+				}
+				if id, w, acquire, isLock := la.syncLockCall(u.pkg, x); isLock {
+					if acquire {
+						if report {
+							la.reportAcquire(u, x, id, w, s)
+						}
+						s = s.add(id, w, x.Pos())
+					} else {
+						la.released[id] = true
+						s = s.remove(id)
+					}
+					return false
+				}
+				if report && len(s) > 0 {
+					if callee := calleeFunc(u.pkg.Info, x); callee != nil && la.mod.decls[callee] != nil {
+						held := append(heldSet(nil), s...)
+						la.heldCalls = append(la.heldCalls, heldCall{callee: callee, pos: x.Pos(), held: held})
+					}
+				}
+			}
+			return true
+		})
+	}
+	visit(n)
+	return s
+}
+
+// reportAcquire emits the double-lock/upgrade findings and records
+// intra-procedural order edges for an acquisition under held set s.
+func (la *lockAnalysis) reportAcquire(u lockUnit, call *ast.CallExpr, id lockID, w bool, s heldSet) {
+	for _, h := range s {
+		if h.id == id {
+			switch {
+			case w && h.w:
+				la.findings = append(la.findings, lockFinding{pos: call.Pos(),
+					msg: fmt.Sprintf("double Lock of %s: already locked at %s on this path; sync mutexes are not reentrant, this deadlocks", id.name, la.posString(h.pos))})
+			case w && !h.w:
+				la.findings = append(la.findings, lockFinding{pos: call.Pos(),
+					msg: fmt.Sprintf("Lock of %s while its read lock is held (RLock at %s); upgrading RLock to Lock deadlocks", id.name, la.posString(h.pos))})
+			case !w && h.w:
+				la.findings = append(la.findings, lockFinding{pos: call.Pos(),
+					msg: fmt.Sprintf("RLock of %s while its write lock is held (Lock at %s); this deadlocks", id.name, la.posString(h.pos))})
+				// RLock while RLock held is legal (shared readers).
+			}
+			continue
+		}
+		la.addEdge(h.id, h.pos, id, call.Pos())
+	}
+}
+
+func (la *lockAnalysis) addEdge(from lockID, fromPos token.Pos, to lockID, toPos token.Pos) {
+	if from == to {
+		return
+	}
+	key := [2]lockID{from, to}
+	if prev, ok := la.edgeSet[key]; ok {
+		// Keep the lexically first site pair so output is independent
+		// of discovery order.
+		if fromPos > prev.fromPos || (fromPos == prev.fromPos && toPos >= prev.toPos) {
+			return
+		}
+	}
+	la.edgeSet[key] = lockEdge{from: from, to: to, fromPos: fromPos, toPos: toPos}
+}
+
+// transitiveAcq closes the per-declaration direct-acquisition sets
+// over the call graph: everything a call to fn may acquire, in fn or
+// any (transitive) callee.
+func (la *lockAnalysis) transitiveAcq() map[*types.Func]map[lockID]acqInfo {
+	trans := map[*types.Func]map[lockID]acqInfo{}
+	for fn, set := range la.direct {
+		cp := make(map[lockID]acqInfo, len(set))
+		for id, a := range set {
+			cp[id] = a
+		}
+		trans[fn] = cp
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range la.callees {
+			var dst map[lockID]acqInfo
+			for _, callee := range la.callees[fn] {
+				for id, a := range trans[callee] {
+					if dst == nil {
+						dst = trans[fn]
+						if dst == nil {
+							dst = map[lockID]acqInfo{}
+							trans[fn] = dst
+						}
+					}
+					if prev, ok := dst[id]; !ok {
+						dst[id] = a
+						changed = true
+					} else if (a.w && !prev.w) || a.pos < prev.pos {
+						merged := acqInfo{w: prev.w || a.w, pos: prev.pos}
+						if a.pos < prev.pos {
+							merged.pos = a.pos
+						}
+						if merged != prev {
+							dst[id] = merged
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return trans
+}
+
+// crossEdges turns each held call site into order edges (and
+// re-entrant acquisition findings) against the callee's transitive
+// acquisition summary.
+func (la *lockAnalysis) crossEdges(trans map[*types.Func]map[lockID]acqInfo) {
+	for _, hc := range la.heldCalls {
+		acq := trans[hc.callee]
+		if len(acq) == 0 {
+			continue
+		}
+		for _, h := range hc.held {
+			for id, a := range acq {
+				if id == h.id {
+					if !h.w && !a.w {
+						continue // nested read locks are legal
+					}
+					la.findings = append(la.findings, lockFinding{pos: hc.pos,
+						msg: fmt.Sprintf("call to %s while holding %s (locked at %s); %s acquires %s again at %s — re-entrant locking deadlocks",
+							hc.callee.Name(), h.id.name, la.posString(h.pos), hc.callee.Name(), id.name, la.posString(a.pos))})
+					continue
+				}
+				la.addEdge(h.id, h.pos, id, a.pos)
+			}
+		}
+	}
+}
+
+// cycleFindings finds strongly connected components of the order graph
+// and reports every edge inside one: each is an acquisition that, with
+// the rest of the component, forms a deadlock-capable cycle.
+func (la *lockAnalysis) cycleFindings() {
+	inCycle := sccLocks(la.edgeSet)
+	var cyclic []lockEdge
+	for _, e := range la.edgeSet {
+		if inCycle[e.from] != 0 && inCycle[e.from] == inCycle[e.to] {
+			cyclic = append(cyclic, e)
+		}
+	}
+	sort.Slice(cyclic, func(i, j int) bool {
+		a, b := cyclic[i], cyclic[j]
+		if a.toPos != b.toPos {
+			return a.toPos < b.toPos
+		}
+		return a.from.name < b.from.name
+	})
+	// Name the full component in each message so a reader sees the
+	// whole cycle from any one report.
+	members := map[int][]string{}
+	for id, comp := range inCycle {
+		members[comp] = append(members[comp], id.name)
+	}
+	for comp := range members {
+		sort.Strings(members[comp])
+	}
+	for _, e := range cyclic {
+		comp := inCycle[e.from]
+		cycle := strings.Join(members[comp], " ⇄ ")
+		la.findings = append(la.findings, lockFinding{pos: e.toPos,
+			msg: fmt.Sprintf("lock-order cycle: %s is acquired here while %s is held (locked at %s), but another path acquires them in the opposite order [cycle: %s]; concurrent callers deadlock",
+				e.to.name, e.from.name, la.posString(e.fromPos), cycle)})
+	}
+}
+
+// sccLocks assigns each lock that sits on a cycle a non-zero component
+// id (Tarjan); locks in singleton components map to 0 unless they have
+// a self-loop (excluded earlier by addEdge).
+func sccLocks(edgeSet map[[2]lockID]lockEdge) map[lockID]int {
+	adj := map[lockID][]lockID{}
+	var nodes []lockID
+	seen := map[lockID]bool{}
+	addNode := func(id lockID) {
+		if !seen[id] {
+			seen[id] = true
+			nodes = append(nodes, id)
+		}
+	}
+	for key := range edgeSet {
+		addNode(key[0])
+		addNode(key[1])
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].name < nodes[j].name })
+	for _, n := range nodes {
+		succs := adj[n]
+		sort.Slice(succs, func(i, j int) bool { return succs[i].name < succs[j].name })
+	}
+
+	index := map[lockID]int{}
+	low := map[lockID]int{}
+	onStack := map[lockID]bool{}
+	var stack []lockID
+	comp := map[lockID]int{}
+	next, compID := 1, 0
+	var strongconnect func(v lockID)
+	strongconnect = func(v lockID) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == 0 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var size int
+			var popped []lockID
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				popped = append(popped, w)
+				size++
+				if w == v {
+					break
+				}
+			}
+			if size > 1 {
+				compID++
+				for _, w := range popped {
+					comp[w] = compID
+				}
+			}
+		}
+	}
+	for _, n := range nodes {
+		if index[n] == 0 {
+			strongconnect(n)
+		}
+	}
+	return comp
+}
+
+// syncLockCall classifies call as a sync.Mutex/RWMutex operation,
+// resolving the lock's identity: (id, write-side, acquire, true) for
+// Lock/RLock/Unlock/RUnlock calls, with embedded mutexes resolved
+// through the selection's field path.
+func (la *lockAnalysis) syncLockCall(pkg *Package, call *ast.CallExpr) (id lockID, w, acquire, isLock bool) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockID{}, false, false, false
+	}
+	fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockID{}, false, false, false
+	}
+	switch fn.Name() {
+	case "Lock":
+		w, acquire = true, true
+	case "RLock":
+		w, acquire = false, true
+	case "Unlock":
+		w, acquire = true, false
+	case "RUnlock":
+		w, acquire = false, false
+	default:
+		return lockID{}, false, false, false
+	}
+	return la.resolveLock(pkg, fun), w, acquire, true
+}
+
+// resolveLock derives the lock identity from the method selector:
+// either the explicit mutex operand (s.mu.Lock → field mu of s's
+// type), an embedded mutex (t.Lock → the promoted field), or a scoped
+// expression-string fallback.
+func (la *lockAnalysis) resolveLock(pkg *Package, fun *ast.SelectorExpr) lockID {
+	// Embedded mutex: the selection walks through promoted fields.
+	if sel, ok := pkg.Info.Selections[fun]; ok {
+		idx := sel.Index()
+		if len(idx) > 1 {
+			t := sel.Recv()
+			var fv *types.Var
+			var owner *types.Named
+			for _, i := range idx[:len(idx)-1] {
+				if p, ok := t.Underlying().(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				if n, ok := t.(*types.Named); ok {
+					owner = n
+				}
+				st, ok := t.Underlying().(*types.Struct)
+				if !ok {
+					fv = nil
+					break
+				}
+				fv = st.Field(i)
+				t = fv.Type()
+			}
+			if fv != nil {
+				return la.canonical(fv, ownerName(owner, fv.Name()))
+			}
+		}
+	}
+	lockExpr := ast.Unparen(fun.X)
+	switch x := lockExpr.(type) {
+	case *ast.SelectorExpr: // recv.mu
+		if v, ok := pkg.Info.ObjectOf(x.Sel).(*types.Var); ok {
+			base := pkg.Info.TypeOf(x.X)
+			var owner *types.Named
+			if base != nil {
+				if p, ok := base.Underlying().(*types.Pointer); ok {
+					base = p.Elem()
+				}
+				if n, ok := base.(*types.Named); ok {
+					owner = n
+				}
+			}
+			return la.canonical(v, ownerName(owner, x.Sel.Name))
+		}
+	case *ast.Ident: // package-level or local mutex variable
+		if v, ok := pkg.Info.ObjectOf(x).(*types.Var); ok {
+			name := x.Name
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				name = shortPkg(v.Pkg().Path()) + "." + x.Name
+			}
+			return la.canonical(v, name)
+		}
+	}
+	// Dynamic receiver (map element, call result): scoped text.
+	return lockID{name: pkg.Path + "#" + types.ExprString(lockExpr)}
+}
+
+// canonical returns v's lockID, registering the first-seen display
+// name so the same lock is always reported under one name.
+func (la *lockAnalysis) canonical(v *types.Var, name string) lockID {
+	if prev, ok := la.canon[v]; ok {
+		return lockID{v: v, name: prev}
+	}
+	la.canon[v] = name
+	return lockID{v: v, name: name}
+}
+
+func ownerName(owner *types.Named, field string) string {
+	if owner == nil || owner.Obj().Pkg() == nil {
+		return field
+	}
+	return shortPkg(owner.Obj().Pkg().Path()) + "." + owner.Obj().Name() + "." + field
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func (la *lockAnalysis) posString(pos token.Pos) string {
+	p := la.fset.Position(pos)
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}

@@ -1,0 +1,303 @@
+package analysis
+
+import "testing"
+
+// TestLockOrderDoubleLock covers the re-acquisition findings: double
+// Lock, RLock-under-Lock, and the RLock→Lock upgrade, with nested read
+// locks staying legal.
+func TestLockOrderDoubleLock(t *testing.T) {
+	got := checkFixture(t, LockOrder, "fix", map[string]string{
+		"locks.go": `package fix
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+}
+
+func (s *S) double() {
+	s.mu.Lock()
+	s.mu.Lock() // line 12: deadlock
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *S) upgrade() {
+	s.rw.RLock()
+	s.rw.Lock() // line 19: upgrade deadlock
+	s.rw.Unlock()
+	s.rw.RUnlock()
+}
+
+func (s *S) readUnderWrite() {
+	s.rw.Lock()
+	s.rw.RLock() // line 26: RLock under Lock
+	s.rw.RUnlock()
+	s.rw.Unlock()
+}
+
+func (s *S) sharedReaders() {
+	s.rw.RLock()
+	s.rw.RLock() // nested read locks are fine
+	s.rw.RUnlock()
+	s.rw.RUnlock()
+}
+`,
+	})
+	wantDiags(t, got, []string{
+		"locks.go:12:lockorder",
+		"locks.go:19:lockorder",
+		"locks.go:26:lockorder",
+	})
+}
+
+// TestLockOrderUnlockSomePaths covers the lock-released-on-some-paths
+// finding: a conditional early return that skips the unlock is
+// reported at the acquisition, while balanced paths and deferred
+// unlocks stay clean.
+func TestLockOrderUnlockSomePaths(t *testing.T) {
+	got := checkFixture(t, LockOrder, "fix", map[string]string{
+		"paths.go": `package fix
+
+import "sync"
+
+type P struct {
+	mu   sync.Mutex
+	n    int
+	done bool
+}
+
+func (p *P) leaky() int {
+	p.mu.Lock() // line 12: held on the early-return path
+	if p.done {
+		return 0 // forgot the unlock
+	}
+	n := p.n
+	p.mu.Unlock()
+	return n
+}
+
+func (p *P) deferred() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return 0
+	}
+	return p.n
+}
+
+func (p *P) balanced() int {
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		return 0
+	}
+	n := p.n
+	p.mu.Unlock()
+	return n
+}
+`,
+	})
+	wantDiags(t, got, []string{"paths.go:12:lockorder"})
+}
+
+// TestLockOrderIntraCycle seeds an A→B / B→A inversion inside one
+// package: both closing acquisitions are reported, each naming the
+// other site.
+func TestLockOrderIntraCycle(t *testing.T) {
+	got := checkFixture(t, LockOrder, "fix", map[string]string{
+		"cycle.go": `package fix
+
+import "sync"
+
+var muA, muB sync.Mutex
+
+func ab() {
+	muA.Lock()
+	muB.Lock() // line 9: A→B
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func ba() {
+	muB.Lock()
+	muA.Lock() // line 16: B→A
+	muA.Unlock()
+	muB.Unlock()
+}
+`,
+	})
+	wantDiags(t, got, []string{
+		"cycle.go:9:lockorder",
+		"cycle.go:16:lockorder",
+	})
+}
+
+// TestLockOrderCrossPackageCycle is the seeded cross-package
+// inversion from the acceptance criteria: package fixa orders A→B
+// directly; package fixb takes B and then calls back into fixa's
+// TakeA, so the B→A edge only exists via call-graph propagation of the
+// held-lock set. Both edges of the cycle must be reported, each in the
+// package owning the closing acquisition.
+func TestLockOrderCrossPackageCycle(t *testing.T) {
+	got := checkModuleFixture(t, LockOrder, map[string]map[string]string{
+		"fixa": {"a.go": `package fixa
+
+import "sync"
+
+var MuA, MuB sync.Mutex
+
+func AB() {
+	MuA.Lock()
+	MuB.Lock() // line 9: A→B directly
+	MuB.Unlock()
+	MuA.Unlock()
+}
+
+func TakeA() {
+	MuA.Lock() // line 15: B→A lands here via fixb.BA's held set
+	MuA.Unlock()
+}
+`},
+		"fixb": {"b.go": `package fixb
+
+import "fixa"
+
+func BA() {
+	fixa.MuB.Lock()
+	defer fixa.MuB.Unlock()
+	fixa.TakeA() // holds MuB while TakeA acquires MuA
+}
+`},
+	})
+	wantDiags(t, got, []string{
+		"a.go:9:lockorder",
+		"a.go:15:lockorder",
+	})
+}
+
+// TestLockOrderReentrantCall covers the cross-function double lock: a
+// call made with a mutex held into a callee that (transitively)
+// acquires the same mutex.
+func TestLockOrderReentrantCall(t *testing.T) {
+	got := checkFixture(t, LockOrder, "fix", map[string]string{
+		"reent.go": `package fix
+
+import "sync"
+
+type R struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (r *R) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+func (r *R) Report() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.Count() + 1 // line 19: re-entrant via call
+}
+
+func (r *R) viaHelper() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return helper(r) // line 25: transitive through helper
+}
+
+func helper(r *R) int { return r.Count() }
+`,
+	})
+	wantDiags(t, got, []string{
+		"reent.go:19:lockorder",
+		"reent.go:25:lockorder",
+	})
+}
+
+// TestLockOrderGoroutineBoundary pins the goroutine semantics: locks
+// held at a go statement do not leak into the spawned body (no false
+// re-entrancy), but the body's own acquisition order still feeds the
+// global graph and can complete a cycle.
+func TestLockOrderGoroutineBoundary(t *testing.T) {
+	got := checkFixture(t, LockOrder, "fix", map[string]string{
+		"gor.go": `package fix
+
+import "sync"
+
+var gmuA, gmuB sync.Mutex
+
+func spawnWhileHeld() {
+	gmuA.Lock()
+	go func() {
+		gmuA.Lock() // runs on another goroutine: not a double lock
+		gmuA.Unlock()
+	}()
+	gmuA.Unlock()
+}
+
+func orderInGoroutine() {
+	go func() {
+		gmuB.Lock()
+		gmuA.Lock() // line 19: B→A, inverting abOrder's A→B
+		gmuA.Unlock()
+		gmuB.Unlock()
+	}()
+}
+
+func abOrder() {
+	gmuA.Lock()
+	gmuB.Lock() // line 27: A→B
+	gmuB.Unlock()
+	gmuA.Unlock()
+}
+`,
+	})
+	wantDiags(t, got, []string{
+		"gor.go:19:lockorder",
+		"gor.go:27:lockorder",
+	})
+}
+
+// TestLockOrderIgnoreSuppressesCycleEdge is the cross-package
+// suppression regression from the satellite list: a //lint:ignore at
+// the reported site of a call-graph-propagated cycle edge must
+// suppress that edge (and only that edge), even though the fact chain
+// that produced it crosses packages.
+func TestLockOrderIgnoreSuppressesCycleEdge(t *testing.T) {
+	got := checkModuleFixture(t, LockOrder, map[string]map[string]string{
+		"fixa": {"a.go": `package fixa
+
+import "sync"
+
+var MuA, MuB sync.Mutex
+
+func AB() {
+	MuA.Lock()
+	//lint:ignore lockorder seeded inversion, order documented elsewhere
+	MuB.Lock()
+	MuB.Unlock()
+	MuA.Unlock()
+}
+
+func TakeA() {
+	MuA.Lock() // line 16: still reported
+	MuA.Unlock()
+}
+`},
+		"fixb": {"b.go": `package fixb
+
+import "fixa"
+
+func BA() {
+	fixa.MuB.Lock()
+	defer fixa.MuB.Unlock()
+	fixa.TakeA()
+}
+`},
+	})
+	wantDiags(t, got, []string{"a.go:16:lockorder"})
+}

@@ -179,3 +179,32 @@ func Total(m map[int]float64) float64 {
 	got := checkFixture(t, ReplaySafety, "anycastcdn/internal/sim", map[string]string{"a.go": src})
 	wantDiags(t, got, nil)
 }
+
+// TestReplaySafetyCrossPackageIgnore is the suppression-attribution
+// regression from the lockorder/errflow PR: a //lint:ignore at the
+// *reported* site must suppress a finding whose fact chain crosses
+// packages — here the reachability fact originates at a StreamWorld
+// root in package b, while the directive sits next to the time.Now
+// call in package a, which has no root of its own.
+func TestReplaySafetyCrossPackageIgnore(t *testing.T) {
+	got := checkModuleFixture(t, ReplaySafety, map[string]map[string]string{
+		"a": {"a/a.go": `package a
+
+import "time"
+
+func Stamp() int64 {
+	//lint:ignore replaysafety fixture: wall-clock stamp never reaches replayed bytes
+	return time.Now().UnixNano()
+}
+`},
+		"b": {"b/b.go": `package b
+
+import "a"
+
+func StreamWorld() {
+	_ = a.Stamp()
+}
+`},
+	})
+	wantDiags(t, got, nil)
+}

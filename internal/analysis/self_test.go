@@ -29,12 +29,12 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
-// TestSuiteShape pins the advertised analyzer set: at least the ten
+// TestSuiteShape pins the advertised analyzer set: at least the twelve
 // invariants the repo documents, each with a name and doc.
 func TestSuiteShape(t *testing.T) {
 	ans := Analyzers()
-	if len(ans) < 10 {
-		t.Fatalf("Analyzers() = %d analyzers, want >= 10", len(ans))
+	if len(ans) < 12 {
+		t.Fatalf("Analyzers() = %d analyzers, want >= 12", len(ans))
 	}
 	want := map[string]bool{
 		"nondeterminism": false,
@@ -47,6 +47,8 @@ func TestSuiteShape(t *testing.T) {
 		"lockdoc":        false,
 		"replaysafety":   false,
 		"hotpathalloc":   false,
+		"lockorder":      false,
+		"errflow":        false,
 	}
 	for _, an := range ans {
 		if an.Name == "" || an.Doc == "" || an.Run == nil {

@@ -155,18 +155,55 @@ func RunModule(mod *Module, pkgs []*Package, analyzers []*Analyzer) ([]Diagnosti
 	}
 	wg.Wait()
 
-	var out []Diagnostic
-	for pi, pkg := range pkgs {
-		var raw []Diagnostic
-		collect := func(d Diagnostic) { raw = append(raw, d) }
-		ignores := collectIgnores(pkg, collect)
-		for ai := range analyzers {
-			raw = append(raw, slots[pi*len(analyzers)+ai]...)
-		}
-		for _, d := range raw {
-			if !suppressed(ignores, d) {
-				out = append(out, d)
+	// Ignores are collected from every package of the module, not just
+	// the report selection: a module-fact diagnostic (a lockorder cycle
+	// edge, a replaysafety reachability finding) lands in whatever file
+	// owns its site, and the //lint:ignore directive lives next to that
+	// site — which may belong to a package other than the one whose pass
+	// reported it. Suppression is therefore keyed purely by the
+	// diagnostic's (file, line, check). Malformed-directive diagnostics
+	// stay scoped to the selected packages so narrowing the report scope
+	// does not surface lint noise from elsewhere.
+	selected := make(map[*Package]bool, len(pkgs))
+	for _, pkg := range pkgs {
+		selected[pkg] = true
+	}
+	var raw []Diagnostic
+	ignores := map[ignoreKey]map[string]bool{}
+	mergeIgnores := func(pkg *Package) {
+		report := func(d Diagnostic) {
+			if selected[pkg] {
+				raw = append(raw, d)
 			}
+		}
+		for key, checks := range collectIgnores(pkg, report) {
+			if ignores[key] == nil {
+				ignores[key] = checks
+				continue
+			}
+			for check := range checks {
+				ignores[key][check] = true
+			}
+		}
+	}
+	inModule := make(map[*Package]bool, len(mod.Pkgs))
+	for _, pkg := range mod.Pkgs {
+		inModule[pkg] = true
+		mergeIgnores(pkg)
+	}
+	for _, pkg := range pkgs {
+		if !inModule[pkg] {
+			mergeIgnores(pkg)
+		}
+	}
+
+	for i := range slots {
+		raw = append(raw, slots[i]...)
+	}
+	var out []Diagnostic
+	for _, d := range raw {
+		if !suppressed(ignores, d) {
+			out = append(out, d)
 		}
 	}
 	sortDiagnostics(out)

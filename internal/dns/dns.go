@@ -196,7 +196,10 @@ func (m *Mapping) Resolver(clientID uint64) LDNS {
 //
 // Safe for concurrent use: the per-LDNS candidate cache is guarded by mu;
 // the deployment, geo database, and candidate count are read-only after
-// construction.
+// construction. mu is a leaf lock — never held across the geolocation
+// or distance computations, or while acquiring any other mutex — so it
+// imposes no acquisition order (verified by the lockorder analyzer's
+// held-lock dataflow).
 type Authority struct {
 	dep   *cdn.Deployment
 	geoDB *geo.DB

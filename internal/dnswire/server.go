@@ -36,7 +36,10 @@ const DefaultDrainTimeout = 2 * time.Second
 // state and no response is written to a closed socket.
 //
 // mu guards the closed flag and drain timeout; the socket and handler are
-// set once at construction and safe to read concurrently.
+// set once at construction and safe to read concurrently. mu is a leaf
+// lock: it is never held while acquiring any other mutex or calling
+// outside the struct, so it imposes no acquisition order (verified by
+// the lockorder analyzer's held-lock dataflow).
 type Server struct {
 	conn    net.PacketConn
 	handler Handler

@@ -60,6 +60,9 @@ func readTCPMessage(r io.Reader) (*Message, error) {
 // any connection still open after that.
 //
 // mu guards the closed flag, drain timeout, and the live-connection set.
+// mu is a leaf lock: it is never held while acquiring another mutex or
+// blocking on connection I/O, so it imposes no acquisition order
+// (verified by the lockorder analyzer's held-lock dataflow).
 type TCPServer struct {
 	ln      net.Listener
 	handler Handler

@@ -61,7 +61,10 @@ type Config struct {
 
 // Testbed is a running loopback CDN. mu guards the closed flag, making
 // Close idempotent; everything else is set once by Start and read-only
-// while serving.
+// while serving. mu is a leaf lock: Close releases it before shutting
+// down the servers it owns, so it is never held while acquiring their
+// mutexes and imposes no acquisition order (verified by the lockorder
+// analyzer's held-lock dataflow).
 type Testbed struct {
 	cfg Config
 	dns *dnswire.Server
