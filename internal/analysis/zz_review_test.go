@@ -1,0 +1,69 @@
+package analysis
+
+import "testing"
+
+// Scenario: fn stores a closure that locks mu but never invokes it.
+// Caller holds mu while calling fn. Does lockorder report a (false)
+// re-entrant deadlock?
+func TestReviewStoredClosureSummary(t *testing.T) {
+	got := checkFixture(t, LockOrder, "fix", map[string]string{
+		"a.go": `package fix
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	cb func()
+}
+
+func (s *S) register() {
+	s.cb = func() {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+}
+
+func (s *S) caller() {
+	s.mu.Lock()
+	s.register()
+	s.mu.Unlock()
+}
+`,
+	})
+	for _, d := range got {
+		t.Logf("diag: %+v", d)
+	}
+}
+
+// Scenario: closure assigned to a variable then launched with go cl().
+// Locks inside run on another goroutine, yet are attributed to the
+// spawner's summary.
+func TestReviewGoClosureVar(t *testing.T) {
+	got := checkFixture(t, LockOrder, "fix", map[string]string{
+		"b.go": `package fix
+
+import "sync"
+
+type T struct {
+	a, b sync.Mutex
+}
+
+func (t *T) spawn() {
+	cl := func() {
+		t.b.Lock()
+		t.b.Unlock()
+	}
+	go cl()
+}
+
+func (t *T) caller() {
+	t.b.Lock()
+	t.spawn()
+	t.b.Unlock()
+}
+`,
+	})
+	for _, d := range got {
+		t.Logf("diag: %+v", d)
+	}
+}
