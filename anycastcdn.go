@@ -40,6 +40,7 @@ import (
 	"anycastcdn/internal/frontend"
 	"anycastcdn/internal/geo"
 	"anycastcdn/internal/latency"
+	"anycastcdn/internal/load"
 	"anycastcdn/internal/sim"
 	"anycastcdn/internal/stats"
 	"anycastcdn/internal/testbed"
@@ -163,7 +164,57 @@ const (
 	FaultLDNSOutage = faults.LDNSOutage
 	// FaultInflate adds latency to a region's paths.
 	FaultInflate = faults.Inflate
+	// FaultSurge multiplies a region's query volume (a flash crowd).
+	FaultSurge = faults.Surge
 )
+
+// Load-aware anycast layer (internal/load): per-front-end capacities,
+// the FastRoute-style distributed watermark controller with DNS-layer
+// spillover to deeper rings, and the naive route-withdrawal strategy it
+// replaces. Activate by setting Config.LoadManager; compare policies
+// under a flash crowd with LoadManagement.
+type (
+	// LoadManagerConfig activates load-aware anycast in the day loop.
+	LoadManagerConfig = load.ManagerConfig
+	// LoadPolicy selects the overload response (static, fastroute,
+	// withdraw).
+	LoadPolicy = load.Policy
+	// SiteUtil is one front-end's daily load picture under management.
+	SiteUtil = sim.SiteUtil
+	// LoadManagementReport compares the overload policies under one
+	// surge scenario.
+	LoadManagementReport = experiments.LoadManagementReport
+	// LoadArm is one policy's outcome inside a LoadManagementReport.
+	LoadArm = experiments.LoadArm
+)
+
+// Load policies re-exported from the load package.
+const (
+	// LoadStatic observes utilization but never redirects.
+	LoadStatic = load.Static
+	// LoadFastRoute sheds excess to deeper rings at the DNS layer.
+	LoadFastRoute = load.FastRoute
+	// LoadWithdraw withdraws overloaded routes outright (the naive
+	// strategy that cascades).
+	LoadWithdraw = load.Withdraw
+)
+
+// ParseLoadPolicy parses a policy name ("static", "fastroute",
+// "withdraw").
+func ParseLoadPolicy(s string) (LoadPolicy, error) { return load.ParsePolicy(s) }
+
+// LoadManagement simulates cfg under sc once per overload policy and
+// reports peak utilization, overload and withdrawal site-days, shed
+// volume, and the latency cost of FastRoute's redirections.
+func LoadManagement(cfg Config, sc Scenario) (*LoadManagementReport, error) {
+	return experiments.LoadManagement(cfg, sc)
+}
+
+// StreamLoadManagement is LoadManagement over the streaming simulator; it
+// renders byte-identically to the batch path.
+func StreamLoadManagement(cfg Config, sc Scenario) (*LoadManagementReport, error) {
+	return experiments.StreamLoadManagement(cfg, sc)
+}
 
 // ParseScenario parses the scenario text form, e.g.
 // "drain paris day=3 for=2; inflate europe day=5 ms=40".

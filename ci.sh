@@ -34,9 +34,9 @@
 #      loopback testbed, the HTTP front-ends, the client population
 #      generator, the load manager, the columnar log, and the stats
 #      kernels
-#   7. coverage floor: the scenario engine, the simulation core, and the
-#      analysis engine together must keep >= 80% statement coverage
-#      (artifact: cover_repro.out)
+#   7. coverage floor: the scenario engine, the simulation core, the
+#      analysis engine, and the load-management layer together must keep
+#      >= 80% statement coverage (artifact: cover_repro.out)
 #   8. benchmarks at -benchtime=1x, summarized by cmd/benchjson into the
 #      machine-readable artifact BENCH_repro.json and gated against the
 #      checked-in BENCH_baseline.json: the baseline's benchmarks may not
@@ -109,13 +109,13 @@ go test -run '^$' -fuzz FuzzParseScenario -fuzztime 5s ./internal/faults/
 echo '== go test -race (concurrent packages)'
 go test -race ./internal/dnswire/ ./internal/sim/ ./internal/faults/ ./internal/testbed/ ./internal/frontend/ ./internal/clients/ ./internal/load/ ./internal/logs/ ./internal/stats/
 
-echo '== coverage floor: internal/faults + internal/sim + internal/analysis >= 80% (artifact: cover_repro.out)'
-go test -coverpkg=anycastcdn/internal/faults,anycastcdn/internal/sim,anycastcdn/internal/analysis \
-	-coverprofile=cover_repro.out ./internal/faults/ ./internal/sim/ ./internal/analysis/ > /dev/null
+echo '== coverage floor: internal/faults + internal/sim + internal/analysis + internal/load >= 80% (artifact: cover_repro.out)'
+go test -coverpkg=anycastcdn/internal/faults,anycastcdn/internal/sim,anycastcdn/internal/analysis,anycastcdn/internal/load \
+	-coverprofile=cover_repro.out ./internal/faults/ ./internal/sim/ ./internal/analysis/ ./internal/load/ > /dev/null
 total=$(go tool cover -func=cover_repro.out | awk '/^total:/ { gsub("%", "", $3); print $3 }')
 awk -v t="$total" 'BEGIN {
-	if (t + 0 < 80) { printf "ci.sh: faults+sim+analysis coverage %.1f%% is below the 80%% floor\n", t; exit 1 }
-	printf "faults+sim+analysis coverage: %.1f%% (floor 80%%)\n", t
+	if (t + 0 < 80) { printf "ci.sh: faults+sim+analysis+load coverage %.1f%% is below the 80%% floor\n", t; exit 1 }
+	printf "faults+sim+analysis+load coverage: %.1f%% (floor 80%%)\n", t
 }'
 
 echo '== benchmarks at -benchtime=1x, gated against BENCH_baseline.json (artifact: BENCH_repro.json)'

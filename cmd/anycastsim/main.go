@@ -17,6 +17,13 @@
 //	anycastsim -days 12 -scenario 'drain paris day=3 for=2; inflate europe day=5 ms=40'
 //	anycastsim -days 12 -scenario maintenance.scenario
 //
+// Load-aware anycast (FastRoute-style DNS-layer spillover, or the naive
+// withdrawal strategy it replaces) activates with -loadpolicy; the run
+// then also writes utilization.csv with each front-end's daily load
+// picture:
+//
+//	anycastsim -days 12 -scenario 'surge south-america day=2 for=5 qps=15' -loadpolicy fastroute
+//
 // Profiling the hot path (inspect with `go tool pprof`):
 //
 //	anycastsim -prefixes 20000 -days 12 -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -35,6 +42,7 @@ import (
 
 	"anycastcdn/internal/experiments"
 	"anycastcdn/internal/faults"
+	"anycastcdn/internal/load"
 	"anycastcdn/internal/sim"
 )
 
@@ -45,13 +53,14 @@ func main() {
 		days       = flag.Int("days", 0, "simulated days (0 = default)")
 		out        = flag.String("out", ".", "output directory")
 		scenario   = flag.String("scenario", "", "fault scenario: inline event text or a file path")
+		loadpolicy = flag.String("loadpolicy", "off", "load-aware anycast policy: off, static, fastroute or withdraw")
 		reports    = flag.Bool("reports", false, "aggregate the passive-log experiment reports online and write reports.txt")
 		beaconrate = flag.Float64("beaconrate", -1, "beacon sample rate override (0 disables beacons; < 0 = default)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
-	if err := runProfiled(*seed, *prefixes, *days, *out, *scenario, *reports, *beaconrate, *cpuprofile, *memprofile); err != nil {
+	if err := runProfiled(*seed, *prefixes, *days, *out, *scenario, *loadpolicy, *reports, *beaconrate, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "anycastsim:", err)
 		os.Exit(1)
 	}
@@ -59,7 +68,7 @@ func main() {
 
 // runProfiled wraps run with the optional pprof captures, so profile
 // teardown happens on the error paths too.
-func runProfiled(seed uint64, prefixes, days int, out, scenario string, reports bool, beaconrate float64, cpuprofile, memprofile string) error {
+func runProfiled(seed uint64, prefixes, days int, out, scenario, loadpolicy string, reports bool, beaconrate float64, cpuprofile, memprofile string) error {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -76,7 +85,7 @@ func runProfiled(seed uint64, prefixes, days int, out, scenario string, reports 
 			}
 		}()
 	}
-	err := run(seed, prefixes, days, out, scenario, reports, beaconrate)
+	err := run(seed, prefixes, days, out, scenario, loadpolicy, reports, beaconrate)
 	if memprofile != "" {
 		if merr := writeHeapProfile(memprofile); err == nil {
 			err = merr
@@ -150,7 +159,7 @@ func (c *csvFile) close() error {
 	return c.f.Close()
 }
 
-func run(seed uint64, prefixes, days int, out, scenario string, reports bool, beaconrate float64) error {
+func run(seed uint64, prefixes, days int, out, scenario, loadpolicy string, reports bool, beaconrate float64) error {
 	cfg := sim.DefaultConfig(seed)
 	if prefixes > 0 {
 		cfg.Prefixes = prefixes
@@ -170,6 +179,14 @@ func run(seed uint64, prefixes, days int, out, scenario string, reports bool, be
 	cfg.Scenario = sc
 	if sc != nil {
 		fmt.Println("scenario:", sc.Summary())
+	}
+	if loadpolicy != "" && loadpolicy != "off" {
+		p, err := load.ParsePolicy(loadpolicy)
+		if err != nil {
+			return err
+		}
+		cfg.LoadManager = &load.ManagerConfig{Policy: p}
+		fmt.Println("load policy:", p)
 	}
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
@@ -194,6 +211,16 @@ func run(seed uint64, prefixes, days int, out, scenario string, reports bool, be
 		beacons.close()
 		return err
 	}
+	var utilization *csvFile
+	if cfg.LoadManager != nil {
+		utilization, err = createCSV(out, "utilization.csv",
+			"day,site,metro,queries,capacity,utilization,shed_frac,withdrawn")
+		if err != nil {
+			beacons.close()
+			passive.close()
+			return err
+		}
+	}
 
 	start := time.Now()
 	var nBeacons int
@@ -217,6 +244,14 @@ func run(seed uint64, prefixes, days int, out, scenario string, reports bool, be
 				return err
 			}
 		}
+		for _, u := range d.Utilization {
+			_, err := fmt.Fprintf(utilization.w, "%d,%d,%s,%.0f,%.0f,%.4f,%.4f,%t\n",
+				d.Day, u.Site, w.Deployment.Backbone.Site(u.Site).Metro.Name,
+				u.Queries, u.Capacity, u.Utilization(), u.ShedFrac, u.Withdrawn)
+			if err != nil {
+				return err
+			}
+		}
 		if suite != nil {
 			return suite.Observe(d)
 		}
@@ -227,6 +262,11 @@ func run(seed uint64, prefixes, days int, out, scenario string, reports bool, be
 	}
 	if cerr := passive.close(); err == nil {
 		err = cerr
+	}
+	if utilization != nil {
+		if cerr := utilization.close(); err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		return err
@@ -241,6 +281,9 @@ func run(seed uint64, prefixes, days int, out, scenario string, reports bool, be
 		return err
 	}
 	names := []string{"beacons.csv", "passive.csv", "clients.csv", "frontends.csv"}
+	if utilization != nil {
+		names = append(names, "utilization.csv")
+	}
 	if suite != nil {
 		if err := writeReports(out, suite); err != nil {
 			return err

@@ -9,7 +9,6 @@ import (
 	"anycastcdn/internal/sim"
 	"anycastcdn/internal/stats"
 	"anycastcdn/internal/topology"
-	"anycastcdn/internal/units"
 )
 
 // LoadShedding demonstrates the FastRoute-style load-aware anycast layer
@@ -134,7 +133,7 @@ func (a *loadShedAgg) report(w *sim.World, crowdFactor float64) Report {
 	tb.Rows = append(tb.Rows, []string{"hot site shed fraction", fmt.Sprintf("%.2f", bal.ShedFraction(0, hot))})
 
 	// Naive withdrawal cascade length under the same crowd.
-	cascade := withdrawalCascade(bb, crowd, caps, hot)
+	cascade := len(load.WithdrawnSet(bb, crowd, caps))
 	tb.Rows = append(tb.Rows, []string{"route-withdrawal cascade length", fmt.Sprintf("%d front-ends", cascade)})
 
 	lines := []Headline{
@@ -188,49 +187,3 @@ func topCapacityPerRegion(w *sim.World, caps map[topology.SiteID]float64, exclud
 	return out
 }
 
-// withdrawalCascade simulates the naive strategy: withdraw any overloaded
-// front-end, re-home its ingresses, repeat; returns how many front-ends
-// end up withdrawn.
-func withdrawalCascade(bb *topology.Backbone, demand map[topology.SiteID]float64, caps map[topology.SiteID]float64, start topology.SiteID) int {
-	withdrawn := map[topology.SiteID]bool{}
-	for iter := 0; iter < len(bb.FrontEnds()); iter++ {
-		// Compute loads with withdrawn sites' traffic re-homed.
-		loads := map[topology.SiteID]float64{}
-		for ing, q := range demand {
-			fe := nearestStandingFE(bb, ing, withdrawn)
-			if fe != topology.InvalidSite {
-				loads[fe] += q
-			}
-		}
-		// Withdraw the most-overloaded standing site, if any.
-		var worst topology.SiteID = topology.InvalidSite
-		worstExcess := 0.0
-		for fe, l := range loads {
-			if withdrawn[fe] {
-				continue
-			}
-			if excess := l - caps[fe]; excess > worstExcess {
-				worst, worstExcess = fe, excess
-			}
-		}
-		if worst == topology.InvalidSite {
-			break
-		}
-		withdrawn[worst] = true
-	}
-	return len(withdrawn)
-}
-
-func nearestStandingFE(bb *topology.Backbone, ingress topology.SiteID, withdrawn map[topology.SiteID]bool) topology.SiteID {
-	best := topology.InvalidSite
-	bestD := units.Kilometers(1e18)
-	for _, fe := range bb.FrontEnds() {
-		if withdrawn[fe] {
-			continue
-		}
-		if d := bb.IGPDistanceKm(ingress, fe); d < bestD {
-			best, bestD = fe, d
-		}
-	}
-	return best
-}

@@ -265,6 +265,78 @@ func TestInflateScenario(t *testing.T) {
 	}
 }
 
+func TestSurgeScenario(t *testing.T) {
+	base := testutil.SmallResult(t)
+	res := runScenario(t, "surge europe day=3 for=2 qps=4")
+	days := base.Cfg.Days
+
+	// A surge is volume-only: routing is untouched on every day.
+	for d := 0; d < days; d++ {
+		if !assignmentsEqualOnDay(base, res, d) {
+			t.Fatalf("surge changed routing assignments on day %d", d)
+		}
+	}
+	sawScale := false
+	for i, c := range base.World.Population.Clients {
+		for d := 0; d < days; d++ {
+			rb, rr := base.Passive.At(i*days+d), res.Passive.At(i*days+d)
+			inWindow := d == 3 || d == 4
+			if !inWindow || c.Region != geo.RegionEurope {
+				if rr != rb {
+					t.Fatalf("client %d (%s) day %d outside the surge diverged: %+v vs %+v",
+						i, c.Region, d, rr, rb)
+				}
+				continue
+			}
+			// Half-up rounding, exactly as the injector documents.
+			want := int(float64(rb.Queries)*4 + 0.5)
+			if rr.Queries != want {
+				t.Fatalf("client %d day %d: queries %d, want %d (base %d x4)",
+					i, d, rr.Queries, want, rb.Queries)
+			}
+			if rr.Queries != rb.Queries {
+				sawScale = true
+			}
+		}
+	}
+	if !sawScale {
+		t.Fatal("no european client-day's volume actually scaled during the surge")
+	}
+}
+
+// TestSurgeUnityIsNoOp: qps=1 scales by exactly 1 with no rounding and no
+// randomness consumed, so the run is byte-identical to fault-free.
+func TestSurgeUnityIsNoOp(t *testing.T) {
+	base := testutil.SmallResult(t)
+	res := runScenario(t, "surge europe day=3 for=2 qps=1")
+	if d := diffRuns(base, res); d != "" {
+		t.Fatalf("qps=1 surge diverged from fault-free run: %s", d)
+	}
+}
+
+func TestSurgeZeroSilencesRegion(t *testing.T) {
+	base := testutil.SmallResult(t)
+	res := runScenario(t, "surge europe day=3 for=2 qps=0")
+	days := base.Cfg.Days
+	hadVolume := false
+	for i, c := range base.World.Population.Clients {
+		if c.Region != geo.RegionEurope {
+			continue
+		}
+		for d := 3; d <= 4; d++ {
+			if base.Passive.At(i*days+d).Queries > 0 {
+				hadVolume = true
+			}
+			if q := res.Passive.At(i*days + d).Queries; q != 0 {
+				t.Fatalf("client %d day %d still sent %d queries under qps=0", i, d, q)
+			}
+		}
+	}
+	if !hadVolume {
+		t.Fatal("baseline had no european volume in the window; test proves nothing")
+	}
+}
+
 // TestStreamMatchesRunUnderFaults extends the Stream/Run lockstep
 // guarantee to faulted runs.
 func TestStreamMatchesRunUnderFaults(t *testing.T) {

@@ -21,6 +21,12 @@
 //     (§3.3's LDNS-grained view, degraded the way §6's LDNS grouping is).
 //   - inflate: transit congestion adds a fixed latency to every path of a
 //     region's clients for the window.
+//   - surge: a flash crowd multiplies the query volume of a region's
+//     clients by a factor for the window — the load-management papers'
+//     "large burst of traffic" that static anycast cannot steer away from
+//     an overloaded front-end. Query counts scale deterministically
+//     (half-up rounding, no randomness consumed), so qps=1 is exactly a
+//     no-op.
 //
 // Everything is pure and replay-deterministic: a Scenario applied to a
 // world consumes no randomness, so the same seed plus the same scenario
@@ -51,6 +57,8 @@ const (
 	LDNSOutage
 	// Inflate adds ExtraMs to every path of a region's clients.
 	Inflate
+	// Surge multiplies the query volume of a region's clients by QPS.
+	Surge
 )
 
 // String returns the scenario-text spelling of the kind.
@@ -64,6 +72,8 @@ func (k Kind) String() string {
 		return "ldns-outage"
 	case Inflate:
 		return "inflate"
+	case Surge:
+		return "surge"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -75,6 +85,7 @@ var kindByName = map[string]Kind{
 	"flap":        Flap,
 	"ldns-outage": LDNSOutage,
 	"inflate":     Inflate,
+	"surge":       Surge,
 }
 
 // Event is one timed disruption.
@@ -91,6 +102,11 @@ type Event struct {
 	Days int
 	// ExtraMs is the added latency of an Inflate event; zero otherwise.
 	ExtraMs units.Millis
+	// QPS is the query-volume multiplier of a Surge event; zero
+	// otherwise. qps=0 silences the region for the window, qps=1 is a
+	// no-op, and fractional values are legal (a brown-out is a surge
+	// below 1).
+	QPS float64
 }
 
 // End returns the first day the event is no longer active.
@@ -124,6 +140,16 @@ func (e Event) Validate() error {
 	} else if ms != 0 {
 		return fmt.Errorf("faults: %s %s carries ms=%v but only inflate takes ms", e.Kind, e.Target, ms)
 	}
+	if e.Kind == Surge {
+		if math.IsNaN(e.QPS) || math.IsInf(e.QPS, 0) {
+			return fmt.Errorf("faults: surge %s has non-finite qps", e.Target)
+		}
+		if e.QPS < 0 {
+			return fmt.Errorf("faults: surge %s needs qps >= 0, got %v", e.Target, e.QPS)
+		}
+	} else if e.QPS != 0 {
+		return fmt.Errorf("faults: %s %s carries qps=%v but only surge takes qps", e.Kind, e.Target, e.QPS)
+	}
 	return nil
 }
 
@@ -148,6 +174,9 @@ func (e Event) Format() string {
 	fmt.Fprintf(&b, "%s %s day=%d for=%d", e.Kind, e.Target, e.Day, e.Days)
 	if e.Kind == Inflate {
 		fmt.Fprintf(&b, " ms=%s", strconv.FormatFloat(e.ExtraMs.Float(), 'g', -1, 64))
+	}
+	if e.Kind == Surge {
+		fmt.Fprintf(&b, " qps=%s", strconv.FormatFloat(e.QPS, 'g', -1, 64))
 	}
 	return b.String()
 }
@@ -209,11 +238,12 @@ func (s Scenario) ActiveOn(day int) []Event {
 // newlines or semicolons; '#' starts a comment that runs to end of line.
 // Each event is
 //
-//	<kind> <target> day=<int> [for=<int>] [ms=<float>]
+//	<kind> <target> day=<int> [for=<int>] [ms=<float>] [qps=<float>]
 //
-// where kind is drain, flap, ldns-outage or inflate; for defaults to 1;
-// ms is required for inflate and rejected elsewhere. The parse is strict
-// enough that parse → Format → parse round-trips to equal events.
+// where kind is drain, flap, ldns-outage, inflate or surge; for defaults
+// to 1; ms is required for inflate and rejected elsewhere; qps is
+// required for surge and rejected elsewhere. The parse is strict enough
+// that parse → Format → parse round-trips to equal events.
 func ParseScenario(text string) (Scenario, error) {
 	var sc Scenario
 	for ln, rawLine := range strings.Split(text, "\n") {
@@ -246,7 +276,7 @@ func parseEvent(raw string) (Event, error) {
 	}
 	kind, ok := kindByName[fields[0]]
 	if !ok {
-		return Event{}, fmt.Errorf("unknown event kind %q (want drain, flap, ldns-outage or inflate)", fields[0])
+		return Event{}, fmt.Errorf("unknown event kind %q (want drain, flap, ldns-outage, inflate or surge)", fields[0])
 	}
 	e := Event{Kind: kind, Target: fields[1], Days: 1}
 	if strings.Contains(fields[1], "=") {
@@ -282,12 +312,24 @@ func parseEvent(raw string) (Event, error) {
 				return Event{}, fmt.Errorf("ms=%q is not a number", val)
 			}
 			e.ExtraMs = units.Millis(ms)
+		case "qps":
+			if kind != Surge {
+				return Event{}, fmt.Errorf("%s takes no qps= option", kind)
+			}
+			qps, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Event{}, fmt.Errorf("qps=%q is not a number", val)
+			}
+			e.QPS = qps
 		default:
-			return Event{}, fmt.Errorf("unknown option %q (want day=, for= or ms=)", key)
+			return Event{}, fmt.Errorf("unknown option %q (want day=, for=, ms= or qps=)", key)
 		}
 	}
 	if !haveDay {
 		return Event{}, fmt.Errorf("event %q is missing day=", raw)
+	}
+	if kind == Surge && !seen["qps"] {
+		return Event{}, fmt.Errorf("event %q is missing qps=", raw)
 	}
 	return e, nil
 }

@@ -13,6 +13,12 @@ func FuzzParseScenario(f *testing.F) {
 	f.Add("inflate europe day=1 ms=0.30000000000000004")
 	f.Add("drain paris day=1 day=2")
 	f.Add(";;;\n#\n")
+	f.Add("surge europe day=1 qps=0")
+	f.Add("surge asia day=2 for=3 qps=1")
+	f.Add("surge south-america day=0 qps=1e15")
+	f.Add("surge oceania day=1 qps=0.30000000000000004")
+	f.Add("surge europe day=1 qps=nan")
+	f.Add("surge europe day=1 qps=-inf")
 	f.Fuzz(func(t *testing.T, text string) {
 		sc, err := ParseScenario(text)
 		if err != nil {

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 
 	"anycastcdn/internal/bgp"
 	"anycastcdn/internal/cdn"
@@ -26,7 +27,7 @@ type Injector struct {
 
 	// siteEvents holds Drain and Flap events with their resolved site.
 	siteEvents []siteEvent
-	// regionEvents holds LDNSOutage and Inflate events.
+	// regionEvents holds LDNSOutage, Inflate and Surge events.
 	regionEvents []regionEvent
 	// ldnsFallback maps each resolver ID of the world's mapping to the
 	// public resolver its clients fall back to during an outage of the
@@ -89,7 +90,7 @@ func NewInjector(sc Scenario, dep *cdn.Deployment, mapping *dns.Mapping, metros 
 				return nil, fmt.Errorf("faults: event %d: flap target %q is not a peering site", i, e.Target)
 			}
 			inj.siteEvents = append(inj.siteEvents, siteEvent{ev: e, site: id})
-		case LDNSOutage, Inflate:
+		case LDNSOutage, Inflate, Surge:
 			if !regions[geo.Region(e.Target)] {
 				return nil, fmt.Errorf("faults: event %d: %s target %q is not a world region", i, e.Kind, e.Target)
 			}
@@ -205,6 +206,39 @@ func (inj *Injector) InflationMs(region geo.Region, day int) units.Millis {
 		}
 	}
 	return extra
+}
+
+// SurgeFactor returns the query-volume multiplier the region's clients
+// experience on day: 1 with no active surge event, otherwise the product
+// of every active matching surge's qps (stacked flash crowds compound).
+func (inj *Injector) SurgeFactor(region geo.Region, day int) float64 {
+	if !inj.ActiveOn(day) {
+		return 1
+	}
+	f := 1.0
+	for _, re := range inj.regionEvents {
+		if re.ev.Kind == Surge && re.region == region && re.ev.ActiveOn(day) {
+			f *= re.ev.QPS
+		}
+	}
+	return f
+}
+
+// ScaleQueries applies the day's surge factor to a client's query count,
+// rounding half-up so the scaling consumes no randomness and a factor of
+// exactly 1 returns q unchanged. Results are clamped to the int32 range
+// the columnar passive log stores queries in, so an absurd qps cannot
+// overflow downstream arithmetic.
+func (inj *Injector) ScaleQueries(region geo.Region, day int, q int) int {
+	f := inj.SurgeFactor(region, day)
+	if f == 1 {
+		return q
+	}
+	scaled := float64(q)*f + 0.5
+	if scaled >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(scaled)
 }
 
 // Resolver returns the resolver the client actually reaches on day: l

@@ -1,6 +1,7 @@
 package faults_test
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -71,6 +72,57 @@ func TestNewInjectorTargetErrors(t *testing.T) {
 	bad := faults.Scenario{Events: []faults.Event{{Kind: faults.Drain, Target: "paris", Day: 0, Days: 0}}}
 	if _, err := faults.NewInjector(bad, w.Deployment, w.Mapping, w.Metros); err == nil {
 		t.Fatal("NewInjector accepted an invalid scenario")
+	}
+}
+
+// TestSurgeFactorAndScaleQueries pins the injector-level surge semantics:
+// factors multiply where windows stack, scaling rounds half-up, and an
+// absurd qps clamps to the int32 range the passive log stores.
+func TestSurgeFactorAndScaleQueries(t *testing.T) {
+	w := testutil.SmallWorld(t)
+	sc, err := faults.ParseScenario(
+		"surge europe day=1 for=2 qps=3; surge europe day=2 qps=2; surge asia day=1 qps=1e15; surge oceania day=1 qps=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(sc, w.Deployment, w.Mapping, w.Metros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factors := []struct {
+		region geo.Region
+		day    int
+		want   float64
+	}{
+		{geo.RegionEurope, 0, 1},
+		{geo.RegionEurope, 1, 3},
+		{geo.RegionEurope, 2, 6}, // stacked flash crowds compound
+		{geo.RegionEurope, 3, 1},
+		{geo.RegionAsia, 1, 1e15},
+		{geo.RegionNorthAmerica, 1, 1},
+	}
+	for _, tc := range factors {
+		if got := inj.SurgeFactor(tc.region, tc.day); got != tc.want {
+			t.Errorf("SurgeFactor(%s, %d) = %v, want %v", tc.region, tc.day, got, tc.want)
+		}
+	}
+	scales := []struct {
+		region geo.Region
+		day    int
+		q      int
+		want   int
+	}{
+		{geo.RegionEurope, 0, 10, 10},           // outside the window: untouched
+		{geo.RegionEurope, 1, 10, 30},           // x3
+		{geo.RegionEurope, 2, 3, 18},            // x6 stacked
+		{geo.RegionOceania, 1, 10, 3},           // 2.5 rounds half-up
+		{geo.RegionAsia, 1, 10, math.MaxInt32},  // clamped to the log's int32
+		{geo.RegionEurope, 1, 0, 0},             // nothing to scale
+	}
+	for _, tc := range scales {
+		if got := inj.ScaleQueries(tc.region, tc.day, tc.q); got != tc.want {
+			t.Errorf("ScaleQueries(%s, %d, %d) = %d, want %d", tc.region, tc.day, tc.q, got, tc.want)
+		}
 	}
 }
 

@@ -1,0 +1,102 @@
+package faults
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseSurge(t *testing.T) {
+	cases := []struct {
+		text string
+		want Event
+	}{
+		{"surge europe day=3 qps=4", Event{Kind: Surge, Target: "europe", Day: 3, Days: 1, QPS: 4}},
+		{"surge south-america day=3 for=3 qps=6", Event{Kind: Surge, Target: "south-america", Day: 3, Days: 3, QPS: 6}},
+		// A brown-out is a surge below 1; qps=0 silences the region.
+		{"surge asia day=0 qps=0.5", Event{Kind: Surge, Target: "asia", Day: 0, Days: 1, QPS: 0.5}},
+		{"surge asia day=0 qps=0", Event{Kind: Surge, Target: "asia", Day: 0, Days: 1, QPS: 0}},
+		{"surge oceania day=1 qps=1e15", Event{Kind: Surge, Target: "oceania", Day: 1, Days: 1, QPS: 1e15}},
+	}
+	for _, tc := range cases {
+		sc, err := ParseScenario(tc.text)
+		if err != nil {
+			t.Errorf("ParseScenario(%q) = %v", tc.text, err)
+			continue
+		}
+		if len(sc.Events) != 1 || sc.Events[0] != tc.want {
+			t.Errorf("ParseScenario(%q) = %+v, want [%+v]", tc.text, sc.Events, tc.want)
+		}
+	}
+}
+
+func TestParseSurgeErrors(t *testing.T) {
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"missing qps", "surge europe day=1", "missing qps="},
+		{"qps on drain", "drain paris day=1 qps=2", "takes no qps"},
+		{"qps on inflate", "inflate europe day=1 ms=5 qps=2", "takes no qps"},
+		{"bad qps", "surge europe day=1 qps=lots", "not a number"},
+		{"negative qps", "surge europe day=1 qps=-1", "needs qps >= 0"},
+		// strconv accepts "nan" and "inf"; validation rejects them.
+		{"nan qps", "surge europe day=1 qps=nan", "non-finite qps"},
+		{"inf qps", "surge europe day=1 qps=inf", "non-finite qps"},
+		{"overflow qps", "surge europe day=1 qps=1e999", "not a number"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseScenario(tc.text)
+			if err == nil {
+				t.Fatalf("ParseScenario(%q) succeeded, want error mentioning %q", tc.text, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSurgeValidate(t *testing.T) {
+	ok := Event{Kind: Surge, Target: "europe", Day: 0, Days: 1, QPS: 2.5}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid surge rejected: %v", err)
+	}
+	bad := []Event{
+		{Kind: Surge, Target: "europe", Day: 0, Days: 1, QPS: math.NaN()},
+		{Kind: Surge, Target: "europe", Day: 0, Days: 1, QPS: math.Inf(1)},
+		{Kind: Surge, Target: "europe", Day: 0, Days: 1, QPS: -0.5},
+		// qps is surge-only, even when set programmatically.
+		{Kind: Drain, Target: "paris", Day: 0, Days: 1, QPS: 2},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("case %d: %+v should fail validation", i, e)
+		}
+	}
+}
+
+func TestSurgeFormatRoundTrip(t *testing.T) {
+	events := []Event{
+		{Kind: Surge, Target: "europe", Day: 2, Days: 3, QPS: 6},
+		{Kind: Surge, Target: "asia", Day: 0, Days: 1, QPS: 0},
+		{Kind: Surge, Target: "oceania", Day: 1, Days: 1, QPS: 0.30000000000000004},
+		{Kind: Surge, Target: "south-america", Day: 9, Days: 2, QPS: 1e15},
+	}
+	sc := Scenario{Events: events}
+	back, err := ParseScenario(sc.Format())
+	if err != nil {
+		t.Fatalf("reparsing %q: %v", sc.Format(), err)
+	}
+	for i := range events {
+		if back.Events[i] != events[i] {
+			t.Errorf("round trip changed event %d: %+v -> %+v", i, events[i], back.Events[i])
+		}
+	}
+	if got := sc.Events[0].Format(); got != "surge europe day=2 for=3 qps=6" {
+		t.Errorf("Format() = %q", got)
+	}
+	if got := sc.Summary(); !strings.HasPrefix(got, "surge europe d2+3; ") {
+		t.Errorf("Summary() = %q", got)
+	}
+}

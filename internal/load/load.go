@@ -1,6 +1,7 @@
 // Package load implements a FastRoute-style load-aware anycast layer
 // (Flavel et al., NSDI 2015 — reference [23] of the paper, the system the
-// measured CDN actually runs).
+// measured CDN actually runs; extended by Sinha/Mani/Flavel's distributed
+// load-management papers).
 //
 // §2 of the paper describes the problem: anycast is unaware of server
 // load; withdrawing an overloaded front-end's route moves ALL of its
@@ -11,9 +12,17 @@
 // layer's anycast address (whose ring contains fewer, larger sites), so
 // load drains gradually instead of in cliffs.
 //
-// This package provides the layered balancer and a step simulator, plus a
-// naive route-withdrawal strategy to reproduce the cascading failure the
-// paper warns about.
+// The controller here is distributed in the papers' sense: each front-end
+// adjusts its own shed fraction from only its own observed load and
+// capacity — a high watermark above which it sheds more, a low watermark
+// below which it reclaims, and a dead band between them that gives the
+// loop hysteresis. No site ever reads another site's load, and there is
+// no central coordinator; global balance is an emergent fixpoint of the
+// local rules.
+//
+// This package provides the layered balancer, the local watermark
+// controller, and the explicit naive route-withdrawal strategy that
+// reproduces the cascading failure the paper warns about.
 package load
 
 import (
@@ -38,10 +47,27 @@ type Balancer struct {
 	// shed[l][site] is the fraction of layer-l queries at site currently
 	// redirected to layer l+1.
 	shed []map[topology.SiteID]float64
-	// TargetUtilization is the utilization above which a site sheds.
-	TargetUtilization float64
+	// HighWatermark is the utilization above which a site sheds more.
+	HighWatermark float64
+	// LowWatermark is the utilization below which a site reclaims shed
+	// traffic. The dead band between the watermarks is the hysteresis
+	// that keeps shed fractions from oscillating: a site whose
+	// utilization sits between them leaves its fraction exactly alone.
+	LowWatermark float64
 	// Gain is the controller step size per adjustment.
 	Gain float64
+	// MaxStep caps how far a shed fraction may move in one adjustment,
+	// damping the overshoot that would otherwise bounce a site between
+	// the watermarks.
+	MaxStep float64
+	// HeavyShare is the heavy-hitter threshold: a demand atom (one
+	// client-day's queries) larger than HeavyShare × a ring member's
+	// capacity is redirected deterministically whenever that member is
+	// shedding at all. FastRoute manages very large resolvers explicitly
+	// for the same reason: probabilistic shedding cannot control an atom
+	// comparable to a site's whole capacity — whichever way its coin
+	// lands moves the site by more than the watermark band.
+	HeavyShare float64
 }
 
 // NewBalancer builds a balancer over the given layers. Layer 0 must
@@ -65,11 +91,14 @@ func NewBalancer(b *topology.Backbone, layers []Layer, capacity map[topology.Sit
 		}
 	}
 	bal := &Balancer{
-		backbone:          b,
-		layers:            layers,
-		capacity:          capacity,
-		TargetUtilization: 0.85,
-		Gain:              0.25,
+		backbone:      b,
+		layers:        layers,
+		capacity:      capacity,
+		HighWatermark: 0.85,
+		LowWatermark:  0.765,
+		Gain:          0.25,
+		MaxStep:       0.2,
+		HeavyShare:    0.1,
 	}
 	bal.shed = make([]map[topology.SiteID]float64, len(layers))
 	for i := range bal.shed {
@@ -80,6 +109,9 @@ func NewBalancer(b *topology.Backbone, layers []Layer, capacity map[topology.Sit
 
 // NumLayers returns the number of anycast rings.
 func (bal *Balancer) NumLayers() int { return len(bal.layers) }
+
+// Capacity returns a site's configured capacity (queries per interval).
+func (bal *Balancer) Capacity(site topology.SiteID) float64 { return bal.capacity[site] }
 
 // ShedFraction returns the current shed fraction of a site at a layer.
 func (bal *Balancer) ShedFraction(layer int, site topology.SiteID) float64 {
@@ -113,29 +145,46 @@ func (bal *Balancer) frontEndAtLayer(ingress topology.SiteID, layer int, exclude
 // query or (with its shed probability) forwards the client to the next
 // layer's VIP. u in [0,1) supplies the randomness deterministically.
 func (bal *Balancer) Route(ingress topology.SiteID, u float64) topology.SiteID {
-	exclude := topology.InvalidSite
-	for layer := 0; layer < len(bal.layers); layer++ {
-		fe := bal.frontEndAtLayer(ingress, layer, exclude)
-		if layer == len(bal.layers)-1 {
-			return fe // last layer always serves
-		}
+	return bal.RouteFrom(ingress, bal.frontEndAtLayer(ingress, 0, topology.InvalidSite), u, 0)
+}
+
+// RouteFrom walks the layer stack starting from an already-resolved
+// layer-0 front-end (the client's effective anycast assignment, which
+// fault rewrites may have moved off the nearest ring member). ingress
+// still decides which deeper-ring member anycast would deliver the
+// re-queried client to. load is the size of the demand atom being
+// routed (one client-day's queries); pass 0 to disable the heavy-hitter
+// rule.
+//
+// The walk keeps the conditional-probability semantics exact: u continues
+// past a layer only when u < f, so the rescale u/f that turns the
+// remaining mass back into a uniform divides by a provably positive f —
+// never by a stale fraction from a previous layer. The deterministic
+// heavy-hitter branch consumes no probability mass, so it leaves u
+// untouched for the next layer's decision.
+func (bal *Balancer) RouteFrom(ingress, fe topology.SiteID, u float64, load float64) topology.SiteID {
+	for layer := 0; layer < len(bal.layers)-1; layer++ {
 		f := bal.shed[layer][fe]
+		if f > 0 && load > bal.HeavyShare*bal.capacity[fe] {
+			fe = bal.frontEndAtLayer(ingress, layer+1, fe)
+			continue
+		}
 		if u >= f {
 			return fe
 		}
-		// Rescale u for the next layer so a single uniform drives the
-		// whole walk.
-		if f > 0 {
-			u /= f
-		}
-		exclude = fe
+		// u < f here, so f > 0: rescale the remaining mass for the next
+		// layer so a single uniform drives the whole walk.
+		u /= f
+		fe = bal.frontEndAtLayer(ingress, layer+1, fe)
 	}
-	return topology.InvalidSite
+	return fe // last layer always serves
 }
 
 // Offered computes per-site offered load at each layer given per-ingress
 // demand (queries entering the CDN at each ingress site) under the
-// current shed fractions.
+// current shed fractions. It is the analytic expectation of Route over
+// the demand: probability mass flows down the layer stack exactly where
+// RouteFrom's walk would send it.
 func (bal *Balancer) Offered(demand map[topology.SiteID]float64) []map[topology.SiteID]float64 {
 	loads := make([]map[topology.SiteID]float64, len(bal.layers))
 	for i := range loads {
@@ -148,6 +197,7 @@ func (bal *Balancer) Offered(demand map[topology.SiteID]float64) []map[topology.
 		exclude topology.SiteID
 	}
 	flows := make([]flow, 0, len(demand))
+	//replay:commutative keys only; sorted immediately below, so collection order is discarded
 	for ing, q := range demand {
 		flows = append(flows, flow{ing, q, topology.InvalidSite})
 	}
@@ -179,34 +229,76 @@ func SiteLoad(loads []map[topology.SiteID]float64, site topology.SiteID) float64
 	return total
 }
 
-// Adjust runs one control step: sites above target utilization raise
-// their shed fraction proportionally to the excess; sites below lower it.
-// It returns the maximum utilization after the step's load re-evaluation.
-func (bal *Balancer) Adjust(demand map[topology.SiteID]float64) float64 {
-	loads := bal.Offered(demand)
+// StepLocal runs one distributed control round over observed per-layer
+// loads: every non-terminal ring member looks at only its own total load
+// and capacity and moves its own shed fraction — up when above the high
+// watermark, down when below the low watermark, not at all inside the
+// dead band. Each move is capped at MaxStep. It returns the largest
+// fraction change of the round, so callers can detect the fixpoint.
+func (bal *Balancer) StepLocal(loads []map[topology.SiteID]float64) float64 {
+	maxDelta := 0.0
 	for layer := 0; layer < len(bal.layers)-1; layer++ {
 		for _, site := range bal.layers[layer].Sites {
-			total := SiteLoad(loads, site)
-			cap := bal.capacity[site]
-			util := total / cap
-			f := bal.shed[layer][site]
-			switch {
-			case util > bal.TargetUtilization:
-				f += bal.Gain * (util - bal.TargetUtilization)
-			case util < bal.TargetUtilization*0.9 && f > 0:
-				f -= bal.Gain * (bal.TargetUtilization - util) * 0.5
+			// Shedding to a next ring that contains only this site moves
+			// nothing; leave the fraction at zero rather than chase load
+			// that cannot go anywhere.
+			if next := bal.layers[layer+1].Sites; len(next) == 1 && next[0] == site {
+				continue
 			}
+			util := SiteLoad(loads, site) / bal.capacity[site]
+			f := bal.shed[layer][site]
+			step := 0.0
+			switch {
+			case util > bal.HighWatermark:
+				// Move the serve fraction (1-f) toward the value that would
+				// put this site at the top of the dead band. The target is
+				// multiplicative in the serve fraction, which keeps the
+				// effective loop gain bounded no matter how badly the site
+				// is overloaded — an additive step in utilization space has
+				// gain proportional to demand/capacity and turns into a
+				// divergent limit cycle once that ratio passes 2/Gain.
+				target := 1 - (1-f)*bal.HighWatermark/util
+				step = bal.Gain * (target - f)
+			case util < bal.LowWatermark && f > 0:
+				// Reclaim at half gain: asymmetric speeds damp the
+				// overshoot cycle shed-too-much → starve → reclaim →
+				// overload again.
+				if util > 0 && f < 1 {
+					target := 1 - (1-f)*bal.LowWatermark/util
+					step = bal.Gain * (target - f) * 0.5
+				} else {
+					// A fully shed or idle site serves nothing, so the
+					// multiplicative rule has no load signal; probe routes
+					// back additively instead.
+					step = -bal.Gain * (bal.LowWatermark - util) * 0.5
+				}
+			}
+			if step > bal.MaxStep {
+				step = bal.MaxStep
+			}
+			if step < -bal.MaxStep {
+				step = -bal.MaxStep
+			}
+			f += step
 			if f < 0 {
 				f = 0
 			}
 			if f > 1 {
 				f = 1
 			}
+			if d := math.Abs(f - bal.shed[layer][site]); d > maxDelta {
+				maxDelta = d
+			}
 			bal.shed[layer][site] = f
 		}
 	}
-	// Report the post-adjustment maximum utilization.
-	loads = bal.Offered(demand)
+	return maxDelta
+}
+
+// MaxUtilization evaluates the current shed state against a demand map
+// and returns the worst site utilization across all layers.
+func (bal *Balancer) MaxUtilization(demand map[topology.SiteID]float64) float64 {
+	loads := bal.Offered(demand)
 	maxUtil := 0.0
 	for _, l := range bal.layers {
 		for _, site := range l.Sites {
@@ -218,19 +310,207 @@ func (bal *Balancer) Adjust(demand map[topology.SiteID]float64) float64 {
 	return maxUtil
 }
 
-// Converge runs Adjust until the max utilization stops improving or the
-// iteration budget is exhausted, returning the final max utilization and
-// the number of steps taken.
+// Adjust runs one control step — every site's local watermark rule over
+// the offered load — and returns the maximum utilization after the
+// step's load re-evaluation.
+func (bal *Balancer) Adjust(demand map[topology.SiteID]float64) float64 {
+	delta, u := bal.adjust(demand)
+	_ = delta
+	return u
+}
+
+func (bal *Balancer) adjust(demand map[topology.SiteID]float64) (delta, maxUtil float64) {
+	loads := bal.Offered(demand)
+	delta = bal.StepLocal(loads)
+	return delta, bal.MaxUtilization(demand)
+}
+
+// Converge runs Adjust until the shed fractions reach a fixpoint (no
+// fraction moved) or the iteration budget is exhausted, returning the
+// final max utilization and the number of steps taken. The watermark
+// dead band guarantees the fixpoint is stable: once every site sits
+// between its watermarks (or is pinned at 0 or 1), further steps change
+// nothing.
 func (bal *Balancer) Converge(demand map[topology.SiteID]float64, maxSteps int) (float64, int) {
-	best := math.Inf(1)
+	u := bal.MaxUtilization(demand)
 	for step := 1; step <= maxSteps; step++ {
-		u := bal.Adjust(demand)
-		if u >= best-1e-9 && u <= 1 {
+		var delta float64
+		delta, u = bal.adjust(demand)
+		if delta < 1e-9 {
 			return u, step
 		}
-		if u < best {
-			best = u
+	}
+	return u, maxSteps
+}
+
+// DeriveRings builds the default FastRoute layer stack over a capacity
+// map and raises the deeper rings to data-center scale in place:
+//
+//	ring 0 — every front-end (plain anycast);
+//	ring 1 — the highest-capacity front-end of each region, each raised
+//	         to deepShare × (fleet capacity) / |ring 1|;
+//	ring 2 — the single highest-capacity site, raised to
+//	         megaShare × (fleet capacity).
+//
+// Fleet capacity is summed before the boosts. FastRoute's deeper rings
+// are backed by large data centers; the boosts model that a ring-1 VIP
+// lands in a regional DC and the terminal ring in a mega-DC that can
+// absorb any plausible flash crowd. Candidates are scanned in deployment
+// order, so capacity ties resolve identically on every run.
+func DeriveRings(bb *topology.Backbone, caps map[topology.SiteID]float64, deepShare, megaShare float64) []Layer {
+	fes := bb.FrontEnds()
+	var total float64
+	for _, fe := range fes {
+		total += caps[fe]
+	}
+	bestByRegion := map[string]topology.SiteID{}
+	mega := topology.InvalidSite
+	for _, fe := range fes {
+		region := string(bb.Site(fe).Metro.Region)
+		if cur, ok := bestByRegion[region]; !ok || caps[fe] > caps[cur] {
+			bestByRegion[region] = fe
+		}
+		if mega == topology.InvalidSite || caps[fe] > caps[mega] {
+			mega = fe
 		}
 	}
-	return best, maxSteps
+	ring1 := make([]topology.SiteID, 0, len(bestByRegion))
+	//replay:commutative values are sorted immediately below, so collection order is discarded
+	for _, fe := range bestByRegion {
+		ring1 = append(ring1, fe)
+	}
+	sort.Slice(ring1, func(i, j int) bool { return ring1[i] < ring1[j] })
+	for _, fe := range ring1 {
+		if dc := deepShare * total / float64(len(ring1)); caps[fe] < dc {
+			caps[fe] = dc
+		}
+	}
+	if dc := megaShare * total; caps[mega] < dc {
+		caps[mega] = dc
+	}
+	return []Layer{{Sites: fes}, {Sites: ring1}, {Sites: []topology.SiteID{mega}}}
+}
+
+// WithdrawnSet simulates the naive overload response the paper's §2
+// warns about: withdraw the most-overloaded front-end's route outright,
+// re-home every ingress to its nearest standing front-end, and repeat
+// until nothing is overloaded — usually tipping the neighbours over one
+// by one instead. demand is per-ingress query volume. The scan order is
+// deterministic (deployment order, ingresses sorted), excess ties always
+// withdraw the same site, and the last standing front-end is never
+// withdrawn, so the cascade cannot black-hole the whole CDN.
+func WithdrawnSet(bb *topology.Backbone, demand, caps map[topology.SiteID]float64) map[topology.SiteID]bool {
+	fes := bb.FrontEnds()
+	ings := make([]topology.SiteID, 0, len(demand))
+	//replay:commutative keys only; sorted immediately below, so collection order is discarded
+	for ing := range demand {
+		ings = append(ings, ing)
+	}
+	sort.Slice(ings, func(i, j int) bool { return ings[i] < ings[j] })
+	withdrawn := map[topology.SiteID]bool{}
+	for len(withdrawn) < len(fes)-1 {
+		// Compute loads with withdrawn sites' traffic re-homed. Sorted
+		// ingress order keeps the float sums bit-stable across runs.
+		loads := map[topology.SiteID]float64{}
+		for _, ing := range ings {
+			if fe := NearestStandingFE(bb, ing, withdrawn); fe != topology.InvalidSite {
+				loads[fe] += demand[ing]
+			}
+		}
+		// Withdraw the most-overloaded standing site, if any.
+		worst := topology.InvalidSite
+		worstExcess := 0.0
+		for _, fe := range fes {
+			if withdrawn[fe] {
+				continue
+			}
+			if excess := loads[fe] - caps[fe]; excess > worstExcess {
+				worst, worstExcess = fe, excess
+			}
+		}
+		if worst == topology.InvalidSite {
+			break
+		}
+		withdrawn[worst] = true
+	}
+	return withdrawn
+}
+
+// WithdrawStep runs ONE control interval of the reactive naive strategy:
+// observe the loads that the current withdrawn set produces (every
+// ingress re-homed to its nearest standing front-end), withdraw every
+// standing front-end now over capacity, and return the next withdrawn
+// set. When nothing is overloaded it returns the empty set — the naive
+// operator re-announces all routes as soon as the fleet looks healthy,
+// with no hysteresis, so a still-surging demand immediately re-overloads
+// and the whole cycle restarts. Driven once per day by the simulation,
+// this reproduces the paper's cascade as a rolling failure: the first
+// interval's withdrawals dump their whole catchments onto neighbours,
+// the next interval withdraws those, and so on. At least one front-end
+// always stays standing (overflow withdrawals are dropped worst-excess
+// first).
+func WithdrawStep(bb *topology.Backbone, demand, caps map[topology.SiteID]float64, withdrawn map[topology.SiteID]bool) map[topology.SiteID]bool {
+	fes := bb.FrontEnds()
+	ings := make([]topology.SiteID, 0, len(demand))
+	//replay:commutative keys only; sorted immediately below, so collection order is discarded
+	for ing := range demand {
+		ings = append(ings, ing)
+	}
+	sort.Slice(ings, func(i, j int) bool { return ings[i] < ings[j] })
+	// Loads under the current withdrawn set; sorted ingress order keeps
+	// the float sums bit-stable across runs.
+	loads := map[topology.SiteID]float64{}
+	for _, ing := range ings {
+		if fe := NearestStandingFE(bb, ing, withdrawn); fe != topology.InvalidSite {
+			loads[fe] += demand[ing]
+		}
+	}
+	// Overloaded standing sites, worst excess first (deployment order
+	// breaks ties deterministically).
+	type over struct {
+		fe     topology.SiteID
+		excess float64
+	}
+	var overs []over
+	for _, fe := range fes {
+		if withdrawn[fe] {
+			continue
+		}
+		if excess := loads[fe] - caps[fe]; excess > 0 {
+			overs = append(overs, over{fe, excess})
+		}
+	}
+	if len(overs) == 0 {
+		return map[topology.SiteID]bool{}
+	}
+	sort.SliceStable(overs, func(i, j int) bool { return overs[i].excess > overs[j].excess })
+	next := make(map[topology.SiteID]bool, len(withdrawn)+len(overs))
+	//replay:commutative set copy; each key written once
+	for fe := range withdrawn {
+		next[fe] = true
+	}
+	for _, o := range overs {
+		if len(next) >= len(fes)-1 {
+			break
+		}
+		next[o.fe] = true
+	}
+	return next
+}
+
+// NearestStandingFE returns the nearest front-end by IGP metric that is
+// not withdrawn — where anycast re-homes an ingress's traffic after a
+// withdrawal — or InvalidSite if every front-end is withdrawn.
+func NearestStandingFE(bb *topology.Backbone, ingress topology.SiteID, withdrawn map[topology.SiteID]bool) topology.SiteID {
+	best := topology.InvalidSite
+	bestD := units.Kilometers(math.Inf(1))
+	for _, fe := range bb.FrontEnds() {
+		if withdrawn[fe] {
+			continue
+		}
+		if d := bb.IGPDistanceKm(ingress, fe); d < bestD {
+			best, bestD = fe, d
+		}
+	}
+	return best
 }

@@ -247,6 +247,40 @@ func (l *Log) FrontEndShare() map[topology.SiteID]float64 {
 	return out
 }
 
+// FrontEndQueriesOnDay totals the queries each front-end served on one
+// day — the passive log's view of per-site load, which is what the
+// load-management experiments compare against derived capacities. Counts
+// accumulate in int64 so a month of surged int32 records cannot
+// overflow.
+func (l *Log) FrontEndQueriesOnDay(day int) map[topology.SiteID]int64 {
+	out := map[topology.SiteID]int64{}
+	for i := range l.frontEnds {
+		if int(l.days[i]) == day && l.queries[i] > 0 {
+			out[l.frontEnds[i]] += int64(l.queries[i])
+		}
+	}
+	return out
+}
+
+// PeakFrontEndQueries returns, across the given number of days, the
+// busiest (front-end, day) load in the log.
+func (l *Log) PeakFrontEndQueries(days int) int64 {
+	totals := make(map[int64]int64)
+	for i := range l.frontEnds {
+		if l.queries[i] > 0 {
+			totals[int64(l.frontEnds[i])*int64(days)+int64(l.days[i])] += int64(l.queries[i])
+		}
+	}
+	var peak int64
+	//replay:commutative max over values; the maximum is order-independent
+	for _, q := range totals {
+		if q > peak {
+			peak = q
+		}
+	}
+	return peak
+}
+
 // ClientDays returns the sorted list of days on which the client appears
 // with traffic.
 func (l *Log) ClientDays(clientID uint64) []int {

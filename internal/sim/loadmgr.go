@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"anycastcdn/internal/bgp"
+	"anycastcdn/internal/load"
+	"anycastcdn/internal/logs"
+	"anycastcdn/internal/topology"
+	"anycastcdn/internal/xrand"
+)
+
+// SiteUtil is one front-end's load picture for one simulated day under
+// load management: the queries it actually served after any DNS-layer
+// redirection, against its derived capacity.
+type SiteUtil struct {
+	Site topology.SiteID
+	// Queries is the effective served volume (post-redirection).
+	Queries float64
+	// Capacity is the site's derived or configured capacity.
+	Capacity float64
+	// ShedFrac is the site's ring-0 shed fraction at end of day (zero
+	// unless the FastRoute policy is active).
+	ShedFrac float64
+	// Withdrawn reports whether the naive strategy withdrew the site's
+	// route this day.
+	Withdrawn bool
+}
+
+// Utilization is the served-to-capacity ratio (1.0 = at capacity).
+func (u SiteUtil) Utilization() float64 { return u.Queries / u.Capacity }
+
+// loadManager drives the load package inside the simulation day loop.
+// One instance exists per StreamWorld invocation when Config.LoadManager
+// is set; all of its state is deterministic functions of (config, world),
+// so managed runs replay byte-identically.
+type loadManager struct {
+	cfg    load.ManagerConfig // defaulted
+	bb     *topology.Backbone
+	caps   map[topology.SiteID]float64
+	layers []load.Layer
+	// bal is the layered balancer; non-nil only for the FastRoute
+	// policy. Its shed fractions persist across days, which is what
+	// carries the controller's hysteresis through a multi-day surge.
+	bal *load.Balancer
+	// withdrawn is the Withdraw policy's decision state, carried across
+	// days; routeWithdrawn is the set actually applied to TODAY's routing
+	// (yesterday's decision — route withdrawal reacts a control interval
+	// late, which is what makes the paper's cascade roll); and
+	// rehome[ingress] caches where anycast re-homes each ingress's
+	// traffic under routeWithdrawn.
+	withdrawn      map[topology.SiteID]bool
+	routeWithdrawn map[topology.SiteID]bool
+	rehome         []topology.SiteID
+	// demand, served and utils are per-day scratch, reused.
+	demand map[topology.SiteID]float64
+	served map[topology.SiteID]float64
+	utils  []SiteUtil
+}
+
+// newLoadManager compiles cfg.LoadManager against a built world; it
+// returns (nil, nil) when the subsystem is inactive. Capacity derivation
+// is a pure serial function of the world (client order, fault-free base
+// catchment), so every policy arm of an experiment sees identical
+// capacities and rings.
+func newLoadManager(cfg Config, w *World) (*loadManager, error) {
+	if cfg.LoadManager == nil {
+		return nil, nil
+	}
+	if err := cfg.LoadManager.Validate(); err != nil {
+		return nil, err
+	}
+	c := cfg.LoadManager.WithDefaults()
+	bb := w.Deployment.Backbone
+	caps := make(map[topology.SiteID]float64, len(bb.FrontEnds()))
+	if c.Capacity != nil {
+		// Copy: DeriveRings raises deep-ring capacities in place and the
+		// caller's map must stay untouched.
+		for _, fe := range bb.FrontEnds() {
+			caps[fe] = c.Capacity[fe]
+		}
+	} else {
+		// Fault-free per-day load per front-end at the SCHEDULED catchment
+		// (clients switch front-ends across days even without faults, so
+		// the base-day catchment would under-provision the sites those
+		// switches land on): capacity is headroom over each site's PEAK
+		// day, because daily per-prefix volume is lognormally bursty — a
+		// site provisioned for its mean day would overload on ordinary
+		// fault-free days. Serial, in day-major client order, so the float
+		// sums are bit-stable across runs and worker counts.
+		n := len(w.Population.Clients)
+		feDay := make([]topology.SiteID, n*cfg.Days)
+		sched := make([]topology.SiteID, cfg.Days)
+		for i, cl := range w.Population.Clients {
+			rc := bgp.Client{PrefixID: cl.ID, Point: cl.Point, ISP: cl.ISP}
+			w.Router.IngressScheduleInto(rc, sched)
+			for d, ing := range sched {
+				feDay[i*cfg.Days+d] = w.Router.Assign(rc, ing).FrontEnd
+			}
+		}
+		trafficSeed := xrand.DeriveSeedL(cfg.Seed, labelTraffic)
+		base := make(map[topology.SiteID]float64, len(bb.FrontEnds()))
+		dayLoad := make(map[topology.SiteID]float64, len(bb.FrontEnds()))
+		for d := 0; d < cfg.Days; d++ {
+			clear(dayLoad)
+			weekend := w.Router.IsWeekend(d)
+			for i, cl := range w.Population.Clients {
+				dayLoad[feDay[i*cfg.Days+d]] += float64(cl.QueriesOnDay(trafficSeed, d, weekend, cfg.QueriesPerVolume))
+			}
+			for _, fe := range bb.FrontEnds() {
+				if dayLoad[fe] > base[fe] {
+					base[fe] = dayLoad[fe]
+				}
+			}
+		}
+		// Headroom over each site's peak day, floored at half the
+		// fleet-mean peak: idle sites keep some spillover slack without a
+		// floor that dwarfs small catchments (which would let a regional
+		// flash crowd hide inside the floor). Deterministic front-end
+		// order for the sums.
+		var mean float64
+		for _, fe := range bb.FrontEnds() {
+			mean += base[fe]
+		}
+		mean /= float64(len(bb.FrontEnds()))
+		for _, fe := range bb.FrontEnds() {
+			q := base[fe]
+			if q < mean/2 {
+				q = mean / 2
+			}
+			caps[fe] = c.Headroom * q
+		}
+	}
+	layers := load.DeriveRings(bb, caps, c.DeepRingShare, c.MegaShare)
+	m := &loadManager{
+		cfg:            c,
+		bb:             bb,
+		caps:           caps,
+		layers:         layers,
+		withdrawn:      map[topology.SiteID]bool{},
+		routeWithdrawn: map[topology.SiteID]bool{},
+		demand:         make(map[topology.SiteID]float64, bb.NumSites()),
+		served:         make(map[topology.SiteID]float64, bb.NumSites()),
+		utils:          make([]SiteUtil, 0, len(bb.FrontEnds())),
+		rehome:         make([]topology.SiteID, bb.NumSites()),
+	}
+	if c.Policy == load.FastRoute {
+		bal, err := load.NewBalancer(bb, layers, caps)
+		if err != nil {
+			return nil, err
+		}
+		bal.HighWatermark = c.HighWatermark
+		bal.LowWatermark = c.LowWatermark
+		bal.Gain = c.Gain
+		bal.MaxStep = c.MaxStep
+		bal.HeavyShare = c.HeavyShare
+		m.bal = bal
+	}
+	return m, nil
+}
+
+// stepDay aggregates the day's offered load by ingress and runs the
+// policy's control decision. Serial, in client order, so the demand sums
+// are bit-stable regardless of worker count.
+func (m *loadManager) stepDay(passive []logs.DayRecord, assigns []bgp.Assignment) {
+	clear(m.demand)
+	for i := range passive {
+		m.demand[assigns[i].Ingress] += float64(passive[i].Queries)
+	}
+	switch m.cfg.Policy {
+	case load.Static:
+		// Observe only.
+	case load.FastRoute:
+		// Intra-day fixpoint of the distributed watermark controller:
+		// within a simulated day the real system runs many short control
+		// rounds, so the day's shed fractions are the equilibrium the
+		// local rules reach (bounded by StepsPerDay). State persists to
+		// the next day — that is the hysteresis across the surge window.
+		m.bal.Converge(m.demand, m.cfg.StepsPerDay)
+	case load.Withdraw:
+		// Today's routing applies yesterday's decision, then tonight's
+		// decision reacts to today's offered load under that routing: the
+		// naive operator only sees overload after it has happened, so the
+		// first interval's withdrawals dump their catchments onto
+		// neighbours that the next interval withdraws in turn.
+		clear(m.routeWithdrawn)
+		//replay:commutative set copy; each key written once
+		for fe := range m.withdrawn {
+			m.routeWithdrawn[fe] = true
+		}
+		for id := range m.rehome {
+			m.rehome[id] = load.NearestStandingFE(m.bb, topology.SiteID(id), m.routeWithdrawn)
+		}
+		m.withdrawn = load.WithdrawStep(m.bb, m.demand, m.caps, m.routeWithdrawn)
+	}
+}
+
+// route resolves where one client's queries are actually served after
+// the policy's DNS-layer decision. FastRoute draws its uniform from a
+// dedicated (client, day)-keyed substream, so managed runs stay
+// schedule-independent and an inactive balancer leaves the assignment
+// untouched.
+func (m *loadManager) route(seed uint64, clientID uint64, day int, a bgp.Assignment, queries int) topology.SiteID {
+	switch m.cfg.Policy {
+	case load.FastRoute:
+		var rs xrand.Stream
+		rs.Reseed(xrand.DeriveSeedL2(seed, labelLoadU, clientID, uint64(day)))
+		return m.bal.RouteFrom(a.Ingress, a.FrontEnd, rs.Float64(), float64(queries))
+	case load.Withdraw:
+		if m.routeWithdrawn[a.FrontEnd] {
+			if fe := m.rehome[a.Ingress]; fe != topology.InvalidSite {
+				return fe
+			}
+		}
+	}
+	return a.FrontEnd
+}
+
+// observeServed totals the day's effective served volume per front-end
+// and snapshots per-site utilization. Serial, in client order. The
+// returned slice is reused for the next day (DayResult ownership rules).
+func (m *loadManager) observeServed(passive []logs.DayRecord) []SiteUtil {
+	clear(m.served)
+	for i := range passive {
+		m.served[passive[i].FrontEnd] += float64(passive[i].Queries)
+	}
+	m.utils = m.utils[:0]
+	for _, fe := range m.bb.FrontEnds() {
+		su := SiteUtil{
+			Site:      fe,
+			Queries:   m.served[fe],
+			Capacity:  m.caps[fe],
+			Withdrawn: m.routeWithdrawn[fe],
+		}
+		if m.bal != nil {
+			su.ShedFrac = m.bal.ShedFraction(0, fe)
+		}
+		m.utils = append(m.utils, su)
+	}
+	return m.utils
+}

@@ -16,6 +16,7 @@ import (
 	"anycastcdn/internal/faults"
 	"anycastcdn/internal/geo"
 	"anycastcdn/internal/latency"
+	"anycastcdn/internal/load"
 	"anycastcdn/internal/logs"
 	"anycastcdn/internal/topology"
 	"anycastcdn/internal/units"
@@ -63,6 +64,13 @@ type Config struct {
 	// see internal/faults. nil and the empty scenario both produce runs
 	// byte-identical to a fault-free simulation.
 	Scenario *faults.Scenario
+	// LoadManager optionally activates load-aware anycast in the day
+	// loop: per-front-end capacities are derived from the fault-free
+	// base catchment, each day's offered load drives the configured
+	// overload policy (static observation, FastRoute spillover, or naive
+	// withdrawal), and per-site utilization surfaces in DayResult and
+	// Result. nil deactivates the subsystem entirely; see internal/load.
+	LoadManager *load.ManagerConfig
 }
 
 // Validate checks the configuration for values that would otherwise flow
@@ -95,6 +103,11 @@ func (cfg Config) Validate() error {
 				return fmt.Errorf("sim: scenario event %d (%s %s) starts on day %d but the simulation ends after day %d",
 					i, e.Kind, e.Target, e.Day, cfg.Days-1)
 			}
+		}
+	}
+	if cfg.LoadManager != nil {
+		if err := cfg.LoadManager.Validate(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -227,6 +240,9 @@ type Result struct {
 	Passive *logs.Log
 	// Assignments[i] is client i's per-day anycast assignment.
 	Assignments [][]bgp.Assignment
+	// Utilization[d] is day d's per-front-end load picture; non-nil only
+	// when Cfg.LoadManager is active.
+	Utilization [][]SiteUtil
 }
 
 // Run builds the world and simulates cfg.Days days.
@@ -243,6 +259,7 @@ var (
 	labelTraffic     = xrand.NewLabel("traffic")
 	labelQID         = xrand.NewLabel("qid")
 	labelBeaconCount = xrand.NewLabel("beacon-count")
+	labelLoadU       = xrand.NewLabel("load-u")
 )
 
 // RunWorld simulates over an already-built world. The run is
@@ -259,7 +276,15 @@ var (
 // positions. Workers write disjoint indices of shared outputs, and no
 // per-client intermediate buffers exist — the allocation profile is the
 // outputs themselves plus two int32 index arrays.
+//
+// With an active LoadManager the run delegates to the streaming day loop
+// (load management is inherently day-serial: a day's controller step
+// needs the whole day's offered load) and materializes its outputs —
+// byte-identical to consuming StreamWorld directly.
 func RunWorld(cfg Config, w *World) (*Result, error) {
+	if cfg.LoadManager != nil {
+		return runWorldViaStream(cfg, w)
+	}
 	n := len(w.Population.Clients)
 	days := cfg.Days
 	res := &Result{
@@ -287,6 +312,9 @@ func RunWorld(cfg Config, w *World) (*Result, error) {
 				prevFE = sched[day-1].FrontEnd
 			}
 			q := c.QueriesOnDay(trafficSeed, day, w.Router.IsWeekend(day), cfg.QueriesPerVolume)
+			if !w.Faults.Empty() {
+				q = w.Faults.ScaleQueries(c.Region, day, q)
+			}
 			res.Passive.Set(i*days+day, logs.DayRecord{
 				ClientID:     c.ID,
 				Day:          day,
@@ -328,6 +356,46 @@ func RunWorld(cfg Config, w *World) (*Result, error) {
 			}
 		}
 	})
+	return res, nil
+}
+
+// runWorldViaStream materializes a streaming run into a batch Result.
+// It is the batch path whenever load management is active, which makes
+// Run-vs-Stream byte-identity for managed runs structural rather than
+// something two parallel implementations have to maintain.
+func runWorldViaStream(cfg Config, w *World) (*Result, error) {
+	n := len(w.Population.Clients)
+	days := cfg.Days
+	res := &Result{
+		Cfg:         cfg,
+		World:       w,
+		Beacons:     make([][]beacon.Measurement, days),
+		Passive:     &logs.Log{},
+		Assignments: make([][]bgp.Assignment, n),
+		Utilization: make([][]SiteUtil, days),
+	}
+	res.Passive.Extend(n * days)
+	flat := make([]bgp.Assignment, n*days)
+	for i := range res.Assignments {
+		res.Assignments[i] = flat[i*days : (i+1)*days : (i+1)*days]
+	}
+	err := StreamWorld(cfg, w, func(d DayResult) error {
+		day := d.Day
+		for i, r := range d.Passive {
+			res.Passive.Set(i*days+day, r)
+		}
+		for i, a := range d.Assignments {
+			res.Assignments[i][day] = a
+		}
+		if len(d.Beacons) > 0 {
+			res.Beacons[day] = append([]beacon.Measurement(nil), d.Beacons...)
+		}
+		res.Utilization[day] = append([]SiteUtil(nil), d.Utilization...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 

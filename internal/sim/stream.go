@@ -29,6 +29,12 @@ type DayResult struct {
 	// (client order), after any fault rewrite — what Result.Assignments
 	// exposes per day in batch mode.
 	Assignments []bgp.Assignment
+	// Utilization holds the day's per-front-end load picture; nil unless
+	// Config.LoadManager is active. When load management redirects a
+	// client's queries, Passive[i].FrontEnd is the effective serving
+	// front-end while Assignments[i].FrontEnd stays the anycast one —
+	// the difference IS the shed volume.
+	Utilization []SiteUtil
 }
 
 // Stream simulates cfg.Days days, invoking fn once per day with that
@@ -63,6 +69,10 @@ func Stream(cfg Config, fn func(DayResult) error) error {
 func StreamWorld(cfg Config, w *World, fn func(DayResult) error) error {
 	if fn == nil {
 		return fmt.Errorf("sim: nil stream function")
+	}
+	mgr, err := newLoadManager(cfg, w)
+	if err != nil {
+		return err
 	}
 	n := len(w.Population.Clients)
 	days := cfg.Days
@@ -107,6 +117,9 @@ func StreamWorld(cfg Config, w *World, fn func(DayResult) error) error {
 		}
 		assigns[i] = a
 		q := c.QueriesOnDay(trafficSeed, day, weekend, cfg.QueriesPerVolume)
+		if !w.Faults.Empty() {
+			q = w.Faults.ScaleQueries(c.Region, day, q)
+		}
 		passive[i] = logs.DayRecord{
 			ClientID:     c.ID,
 			Day:          day,
@@ -116,13 +129,30 @@ func StreamWorld(cfg Config, w *World, fn func(DayResult) error) error {
 			Queries:      q,
 		}
 		// Only this worker touches index i today, so the end-of-day
-		// front-end commits as soon as the record has the old one.
-		prevFE[i] = a.FrontEnd
+		// front-end commits as soon as the record has the old one. With
+		// an active manager the commit waits for applyLoad: the day's
+		// effective front-end is not known until the policy has run.
+		if mgr == nil {
+			prevFE[i] = a.FrontEnd
+		}
 		if q > 0 {
 			counts[i] = int32(beaconCount(cfg, c.ID, day, q))
 		} else {
 			counts[i] = 0
 		}
+	}
+	// applyLoad re-routes one client's day through the active policy:
+	// passive records move to the effective serving front-end while
+	// assigns keeps the anycast path (beacons measure anycast and the
+	// per-front-end unicast targets regardless of which front-end served
+	// the page that carried them). Allocated once, outside the day loop.
+	applyLoad := func(i int) {
+		a := assigns[i]
+		fe := mgr.route(cfg.Seed, w.Population.Clients[i].ID, day, a, passive[i].Queries)
+		if fe != a.FrontEnd {
+			passive[i].FrontEnd = fe
+		}
+		prevFE[i] = fe
 	}
 	runBeacons := func(i int) {
 		nb := int(counts[i])
@@ -139,6 +169,16 @@ func StreamWorld(cfg Config, w *World, fn func(DayResult) error) error {
 	for day = 0; day < days; day++ {
 		weekend = w.Router.IsWeekend(day)
 		parallelFor(n, cfg.Workers, logDay)
+		var utils []SiteUtil
+		if mgr != nil {
+			// Load management runs between logging and beacons: the
+			// controller needs the whole day's offered load, its decision
+			// re-routes the day's queries, and the effective per-site
+			// volumes are snapshotted for the day's output.
+			mgr.stepDay(passive, assigns)
+			parallelFor(n, cfg.Workers, applyLoad)
+			utils = mgr.observeServed(passive)
+		}
 		// Exclusive prefix sum: client i's beacons start at offs[i], so
 		// the execution pass writes disjoint ranges of the shared buffer.
 		var total int32
@@ -154,7 +194,7 @@ func StreamWorld(cfg Config, w *World, fn func(DayResult) error) error {
 		if total > 0 {
 			parallelFor(n, cfg.Workers, runBeacons)
 		}
-		if err := fn(DayResult{Day: day, Beacons: beacons, Passive: passive, Assignments: assigns}); err != nil {
+		if err := fn(DayResult{Day: day, Beacons: beacons, Passive: passive, Assignments: assigns, Utilization: utils}); err != nil {
 			return err
 		}
 	}
