@@ -23,17 +23,21 @@
 #   4. unit tests in -short mode (which re-run anycastvet over the tree
 #      via internal/analysis/self_test.go), then the long-running targets
 #      as named steps so a failure is attributable in the CI log: the full
-#      experiment suites, and the 1M-prefix x 30-day streaming smoke that
+#      experiment suites, the 1M-prefix x 30-day streaming smoke that
 #      proves paper-scale runs stay inside their wall-clock and 2 GiB
-#      memory budgets
+#      memory budgets, the distributed-vs-single byte-identity gate (the
+#      sharded worker fleet must merge to the exact reports — and, with a
+#      load policy, the exact utilization table — the single process
+#      writes), and the 4M-prefix x 30-day x 4-worker distributed smoke
+#      with its 2 GiB per-worker peak-RSS budget
 #   5. fuzz smoke: 5 seconds each on the DNS wire decoder, the /24
 #      parser, and the fault-scenario parser, enough to replay the corpus
 #      and shake out shallow panics
 #   6. race detector over the concurrent packages: the dnswire servers,
 #      the parallel simulation core, the fault-injection layer, the
 #      loopback testbed, the HTTP front-ends, the client population
-#      generator, the load manager, the columnar log, and the stats
-#      kernels
+#      generator, the load manager, the columnar log, the stats
+#      kernels, and the distributed coordinator/worker layer
 #   7. coverage floor: the scenario engine, the simulation core, the
 #      analysis engine, and the load-management layer together must keep
 #      >= 80% statement coverage (artifact: cover_repro.out)
@@ -45,8 +49,10 @@
 #      latency sampling benchmarks must report 0 allocs/op, and the
 #      simulation cores must stay at least 3x below their pre-columnar
 #      B/op (RunWorld/StreamWorld baseline was ~223 MB/op; the ceiling is
-#      74 MB/op); a failure names the benchmark and both the baseline and
-#      current values
+#      74 MB/op), and the whole-fleet distributed run must stay under
+#      65 MB/op (frame buffers are reused, so the bill is dominated by
+#      the two worker world builds); a failure names the benchmark and
+#      both the baseline and current values
 #
 # Usage: ./ci.sh
 set -eu
@@ -101,13 +107,44 @@ go test -run 'TestAllRuns|TestDeploymentDensity' ./internal/experiments/
 echo '== 1M-prefix x 30-day streaming smoke (bounded memory + wall clock)'
 go test -run TestStreamWorldMillionPrefixSmoke -v ./internal/sim/
 
+echo '== distributed-vs-single byte-identity (reports must match exactly, with and without a load policy)'
+go build -o anycastsim.ci ./cmd/anycastsim
+rm -rf ci_dist_out
+mkdir -p ci_dist_out/single ci_dist_out/dist ci_dist_out/single_lm ci_dist_out/dist_lm
+./anycastsim.ci -prefixes 2000 -days 9 -reports -out ci_dist_out/single > /dev/null
+./anycastsim.ci -prefixes 2000 -days 9 -distribute 3 -out ci_dist_out/dist > /dev/null
+cmp ci_dist_out/single/reports.txt ci_dist_out/dist/reports.txt || {
+	echo 'ci.sh: distributed reports differ from single-process' >&2; exit 1; }
+./anycastsim.ci -prefixes 2000 -days 9 -reports -loadpolicy fastroute \
+	-scenario 'surge south-america day=3 for=3 qps=6' -out ci_dist_out/single_lm > /dev/null
+./anycastsim.ci -prefixes 2000 -days 9 -distribute 3 -loadpolicy fastroute \
+	-scenario 'surge south-america day=3 for=3 qps=6' -out ci_dist_out/dist_lm > /dev/null
+cmp ci_dist_out/single_lm/reports.txt ci_dist_out/dist_lm/reports.txt || {
+	echo 'ci.sh: load-managed distributed reports differ from single-process' >&2; exit 1; }
+cmp ci_dist_out/single_lm/utilization.csv ci_dist_out/dist_lm/utilization.csv || {
+	echo 'ci.sh: load-managed distributed utilization differs from single-process' >&2; exit 1; }
+echo 'distributed reports and utilization byte-identical to single-process'
+
+echo '== 4M-prefix x 30-day x 4-worker distributed smoke (per-worker peak RSS <= 2 GiB)'
+./anycastsim.ci -prefixes 4000000 -days 30 -beaconrate 0 -distribute 4 \
+	-out ci_dist_out/scale | tee ci_dist_out/scale.log
+awk '/peak RSS/ {
+	n += 1
+	rss = $(NF-1)
+	if (rss + 0 > 2048) { printf "ci.sh: worker peak RSS %.1f MiB exceeds the 2 GiB budget\n", rss; bad = 1 }
+} END {
+	if (n != 4) { printf "ci.sh: expected 4 worker RSS reports, saw %d\n", n; exit 1 }
+	exit bad
+}' ci_dist_out/scale.log
+rm -rf ci_dist_out anycastsim.ci
+
 echo '== fuzz smoke (5s per target)'
 go test -run '^$' -fuzz FuzzMessageUnpack -fuzztime 5s ./internal/dnswire/
 go test -run '^$' -fuzz FuzzParsePrefix24 -fuzztime 5s ./internal/netaddr/
 go test -run '^$' -fuzz FuzzParseScenario -fuzztime 5s ./internal/faults/
 
 echo '== go test -race (concurrent packages)'
-go test -race ./internal/dnswire/ ./internal/sim/ ./internal/faults/ ./internal/testbed/ ./internal/frontend/ ./internal/clients/ ./internal/load/ ./internal/logs/ ./internal/stats/
+go test -race ./internal/dnswire/ ./internal/sim/ ./internal/faults/ ./internal/testbed/ ./internal/frontend/ ./internal/clients/ ./internal/load/ ./internal/logs/ ./internal/stats/ ./internal/distsim/
 
 echo '== coverage floor: internal/faults + internal/sim + internal/analysis + internal/load >= 80% (artifact: cover_repro.out)'
 go test -coverpkg=anycastcdn/internal/faults,anycastcdn/internal/sim,anycastcdn/internal/analysis,anycastcdn/internal/load \
@@ -124,6 +161,6 @@ go test -run '^$' -bench . -benchtime 1x -json ./... | go run ./cmd/benchjson \
 	-compare BENCH_baseline.json -tolerance 0.15 \
 	-minspeedup BenchmarkAblationFloor50=3 \
 	-maxallocs BenchmarkSubstream=0,BenchmarkSampleRTT=0 \
-	-maxbytes BenchmarkRunWorld=74000000,BenchmarkStreamWorld=74000000
+	-maxbytes BenchmarkRunWorld=74000000,BenchmarkStreamWorld=74000000,BenchmarkDistWorld=55000000
 
 echo '== ci.sh: all gates passed'

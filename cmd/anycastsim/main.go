@@ -27,10 +27,18 @@
 // Profiling the hot path (inspect with `go tool pprof`):
 //
 //	anycastsim -prefixes 20000 -days 12 -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Distributed mode shards the client population across a fleet of worker
+// processes (re-execs of this binary with -worker) and merges their
+// per-day deltas into the same reports a single-process -reports run
+// writes, byte for byte:
+//
+//	anycastsim -prefixes 4000000 -days 30 -distribute 4 -out data
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +48,7 @@ import (
 	"strings"
 	"time"
 
+	"anycastcdn/internal/distsim"
 	"anycastcdn/internal/experiments"
 	"anycastcdn/internal/faults"
 	"anycastcdn/internal/load"
@@ -56,10 +65,26 @@ func main() {
 		loadpolicy = flag.String("loadpolicy", "off", "load-aware anycast policy: off, static, fastroute or withdraw")
 		reports    = flag.Bool("reports", false, "aggregate the passive-log experiment reports online and write reports.txt")
 		beaconrate = flag.Float64("beaconrate", -1, "beacon sample rate override (0 disables beacons; < 0 = default)")
+		distribute = flag.Int("distribute", 0, "shard the run across this many worker processes and write the merged reports")
+		worker     = flag.Bool("worker", false, "serve as a distributed worker on inherited fd 3 (internal; used by -distribute)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
+	if *worker {
+		if err := distsim.ServeFD(context.Background()); err != nil {
+			fmt.Fprintln(os.Stderr, "anycastsim worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *distribute > 0 {
+		if err := runDistributed(*seed, *prefixes, *days, *out, *scenario, *loadpolicy, *beaconrate, *distribute); err != nil {
+			fmt.Fprintln(os.Stderr, "anycastsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := runProfiled(*seed, *prefixes, *days, *out, *scenario, *loadpolicy, *reports, *beaconrate, *cpuprofile, *memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, "anycastsim:", err)
 		os.Exit(1)
@@ -159,7 +184,9 @@ func (c *csvFile) close() error {
 	return c.f.Close()
 }
 
-func run(seed uint64, prefixes, days int, out, scenario, loadpolicy string, reports bool, beaconrate float64) error {
+// buildConfig assembles the simulation configuration from the CLI flags
+// shared by the single-process and distributed modes.
+func buildConfig(seed uint64, prefixes, days int, scenario, loadpolicy string, beaconrate float64) (sim.Config, error) {
 	cfg := sim.DefaultConfig(seed)
 	if prefixes > 0 {
 		cfg.Prefixes = prefixes
@@ -174,7 +201,7 @@ func run(seed uint64, prefixes, days int, out, scenario, loadpolicy string, repo
 	}
 	sc, err := loadScenario(scenario)
 	if err != nil {
-		return err
+		return cfg, err
 	}
 	cfg.Scenario = sc
 	if sc != nil {
@@ -183,10 +210,83 @@ func run(seed uint64, prefixes, days int, out, scenario, loadpolicy string, repo
 	if loadpolicy != "" && loadpolicy != "off" {
 		p, err := load.ParsePolicy(loadpolicy)
 		if err != nil {
-			return err
+			return cfg, err
 		}
 		cfg.LoadManager = &load.ManagerConfig{Policy: p}
 		fmt.Println("load policy:", p)
+	}
+	return cfg, nil
+}
+
+// runDistributed shards the simulation across a fleet of worker
+// subprocesses and writes the merged reports (and, for managed runs, the
+// fleet utilization table). The raw per-record CSVs stay with the
+// workers' shards and are not collected: distributed mode is the
+// analysis path for populations too large to simulate in one process.
+func runDistributed(seed uint64, prefixes, days int, out, scenario, loadpolicy string, beaconrate float64, shards int) error {
+	cfg, err := buildConfig(seed, prefixes, days, scenario, loadpolicy, beaconrate)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	start := time.Now()
+	// A paper-scale day can take minutes of fleet compute on a contended
+	// machine, and the stall deadline bounds a whole protocol step (one
+	// day frame), so the CLI allows far more silence than the library
+	// default before declaring a worker wedged. A crashed worker still
+	// surfaces immediately via EOF.
+	res, err := distsim.Run(context.Background(), cfg, distsim.Options{
+		Shards:       shards,
+		StallTimeout: 10 * time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated %d prefixes x %d days across %d workers: %d records, %d beacons in %v\n",
+		cfg.Prefixes, cfg.Days, len(res.Workers), res.Records, res.Beacons,
+		time.Since(start).Round(time.Millisecond))
+	for _, ws := range res.Workers {
+		fmt.Printf("  worker %d: clients [%d, %d), peak RSS %.1f MiB\n",
+			ws.Shard, ws.Lo, ws.Hi, float64(ws.PeakRSSBytes)/(1<<20))
+	}
+	if err := writeReports(out, res.Suite); err != nil {
+		return err
+	}
+	names := []string{"reports.txt"}
+	if res.Utilization != nil {
+		w := res.Suite.World
+		utilization, err := createCSV(out, "utilization.csv",
+			"day,site,metro,queries,capacity,utilization,shed_frac,withdrawn")
+		if err != nil {
+			return err
+		}
+		for day, units := range res.Utilization {
+			for _, u := range units {
+				if _, err := fmt.Fprintf(utilization.w, "%d,%d,%s,%.0f,%.0f,%.4f,%.4f,%t\n",
+					day, u.Site, w.Deployment.Backbone.Site(u.Site).Metro.Name,
+					u.Queries, u.Capacity, u.Utilization(), u.ShedFrac, u.Withdrawn); err != nil {
+					utilization.close()
+					return err
+				}
+			}
+		}
+		if err := utilization.close(); err != nil {
+			return err
+		}
+		names = append(names, "utilization.csv")
+	}
+	for _, name := range names {
+		fmt.Println("wrote", filepath.Join(out, name))
+	}
+	return nil
+}
+
+func run(seed uint64, prefixes, days int, out, scenario, loadpolicy string, reports bool, beaconrate float64) error {
+	cfg, err := buildConfig(seed, prefixes, days, scenario, loadpolicy, beaconrate)
+	if err != nil {
+		return err
 	}
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err

@@ -9,9 +9,12 @@ import (
 // RestrictedCtxPropagation lists the packages whose client-side network
 // code must honor caller contexts: the DNS exchange layer is on the
 // beacon's measurement path, where a read that ignores cancellation and
-// rides out a private fallback deadline dominates tail latency.
+// rides out a private fallback deadline dominates tail latency; the
+// distributed-simulation layer holds socket pairs to a worker fleet,
+// where an I/O wait that ignores cancellation strands the whole run.
 var RestrictedCtxPropagation = []string{
 	"anycastcdn/internal/dnswire",
+	"anycastcdn/internal/distsim",
 }
 
 // CtxPropagation enforces the dnswire ctx contract: a function that takes

@@ -39,8 +39,11 @@ type Module struct {
 // function statically reachable from a function with one of these names
 // carries the "replay-sensitive" fact, in whatever package it lives. The
 // repo's roots are sim.RunWorld and sim.StreamWorld — everything a
-// figure is computed from flows through them.
-var ReplayRootNames = []string{"RunWorld", "StreamWorld"}
+// figure is computed from flows through them — plus the distributed
+// pipeline's two halves: sim.StreamShard (the worker's shard stream) and
+// experiments.MergeShardDay (the coordinator's fold), which must replay
+// byte-identically for the fleet merge to equal the single-process run.
+var ReplayRootNames = []string{"RunWorld", "StreamWorld", "StreamShard", "MergeShardDay"}
 
 // HotPathDirective marks a function as allocation-free by contract; the
 // hotpathalloc analyzer enforces it. The directive goes in the doc

@@ -19,6 +19,7 @@ var ReplaySensitive = []string{
 	"anycastcdn/internal/faults",
 	"anycastcdn/internal/core",
 	"anycastcdn/internal/stats",
+	"anycastcdn/internal/distsim",
 }
 
 // commutativeDirective justifies an order-dependent-looking map

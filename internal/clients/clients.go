@@ -51,19 +51,50 @@ func DefaultConfig(seed uint64, n int) Config {
 	return Config{Seed: seed, N: n, ScatterMedianKm: 140, VolumeSigma: 2.0}
 }
 
-// Population is a generated set of clients.
+// Population is a generated set of clients — the whole world, or one
+// contiguous shard of it (GenerateRange).
 type Population struct {
+	// Base is the global client ID of Clients[0]. A full population has
+	// Base 0; a shard built by GenerateRange has Base = lo. Every lookup
+	// keyed by a record's global client ID must go through Client.
+	Base uint64
+	// Clients holds the materialized clients, in ID order; Clients[i] has
+	// global ID Base+i.
 	Clients []Client
-	// TotalVolume is the sum of all client volumes.
+	// TotalVolume is the sum of ALL client volumes, including — for a
+	// shard — the clients outside the materialized range: generation
+	// walks the whole population either way.
 	TotalVolume float64
 }
+
+// Client returns the client with the given global ID. The ID must lie in
+// [Base, Base+len(Clients)); the returned pointer aliases the
+// population's storage and must be treated as read-only.
+func (p *Population) Client(id uint64) *Client { return &p.Clients[id-p.Base] }
 
 // Generate builds a population over the given metros and ISP model.
 // Prefix placement is metro-weighted; ISP assignment is uniform among the
 // ISPs of the metro's country.
 func Generate(metros []geo.Metro, isps *topology.ISPModel, cfg Config) (*Population, error) {
+	return GenerateRange(metros, isps, cfg, 0, cfg.N, nil)
+}
+
+// GenerateRange builds the population shard [lo, hi). The whole
+// population is still walked in ID order — the metro picker and the /24
+// allocator are single sequential streams, so skipping a client would
+// shift every later draw — but only the range is materialized, which is
+// what lets one worker of a multi-process run hold a million-client
+// shard of a many-million-client world. Every transient client is
+// byte-identical to the one Generate would store, and observe — when
+// non-nil — is called with each of the N clients in ID order (the hook a
+// fused builder uses to derive full-population state, like the LDNS
+// mapping's resolver interning, without a second walk).
+func GenerateRange(metros []geo.Metro, isps *topology.ISPModel, cfg Config, lo, hi int, observe func(Client)) (*Population, error) {
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("clients: non-positive population size %d", cfg.N)
+	}
+	if lo < 0 || hi < lo || hi > cfg.N {
+		return nil, fmt.Errorf("clients: shard range [%d, %d) outside population of %d", lo, hi, cfg.N)
 	}
 	if len(metros) == 0 {
 		return nil, fmt.Errorf("clients: empty metro catalog")
@@ -73,7 +104,7 @@ func Generate(metros []geo.Metro, isps *topology.ISPModel, cfg Config) (*Populat
 		weights[i] = m.Weight
 	}
 	alloc := netaddr.NewAllocator(netaddr.ClientPool)
-	pop := &Population{Clients: make([]Client, 0, cfg.N)}
+	pop := &Population{Base: uint64(lo), Clients: make([]Client, 0, hi-lo)}
 	picker := xrand.Substream(cfg.Seed, "clients-metro")
 	for i := 0; i < cfg.N; i++ {
 		prefix, ok := alloc.Next()
@@ -102,7 +133,12 @@ func Generate(metros []geo.Metro, isps *topology.ISPModel, cfg Config) (*Populat
 			ISP:     ispIDs[rs.Intn(len(ispIDs))],
 			Volume:  rs.LogNormal(0, cfg.VolumeSigma),
 		}
-		pop.Clients = append(pop.Clients, c)
+		if observe != nil {
+			observe(c)
+		}
+		if i >= lo && i < hi {
+			pop.Clients = append(pop.Clients, c)
+		}
 		pop.TotalVolume += c.Volume
 	}
 	return pop, nil

@@ -215,3 +215,56 @@ func BenchmarkGenerate(b *testing.B) {
 		}
 	}
 }
+
+// TestGenerateRangeMatchesFull pins the sharding contract: a range build
+// walks the whole population, so its materialized slice is bit-identical
+// to the corresponding window of a full Generate, its TotalVolume is the
+// full-population sum, and the observe hook sees every client in ID
+// order.
+func TestGenerateRangeMatchesFull(t *testing.T) {
+	metros, isps := world(t)
+	cfg := DefaultConfig(42, 5000)
+	full, err := Generate(metros, isps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 1234, 3456
+	var seen []uint64
+	shard, err := GenerateRange(metros, isps, cfg, lo, hi, func(c Client) {
+		seen = append(seen, c.ID)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard.Base != uint64(lo) {
+		t.Fatalf("shard base %d, want %d", shard.Base, lo)
+	}
+	if len(shard.Clients) != hi-lo {
+		t.Fatalf("shard holds %d clients, want %d", len(shard.Clients), hi-lo)
+	}
+	for i, c := range shard.Clients {
+		if c != full.Clients[lo+i] {
+			t.Fatalf("shard client %d differs from full client %d:\n%+v\nvs\n%+v", i, lo+i, c, full.Clients[lo+i])
+		}
+		if got := shard.Client(c.ID); *got != c {
+			t.Fatalf("Client(%d) returned %+v, want %+v", c.ID, *got, c)
+		}
+	}
+	if shard.TotalVolume != full.TotalVolume {
+		t.Fatalf("shard TotalVolume %v, want full-population %v", shard.TotalVolume, full.TotalVolume)
+	}
+	if len(seen) != cfg.N {
+		t.Fatalf("observe saw %d clients, want all %d", len(seen), cfg.N)
+	}
+	for i, id := range seen {
+		if id != uint64(i) {
+			t.Fatalf("observe order broken at %d: saw ID %d", i, id)
+		}
+	}
+
+	for _, b := range [][2]int{{-1, 5}, {5, 4}, {0, cfg.N + 1}} {
+		if _, err := GenerateRange(metros, isps, cfg, b[0], b[1], nil); err == nil {
+			t.Errorf("range [%d, %d) accepted", b[0], b[1])
+		}
+	}
+}

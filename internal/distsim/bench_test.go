@@ -1,0 +1,29 @@
+package distsim
+
+import (
+	"context"
+	"testing"
+
+	"anycastcdn/internal/sim"
+)
+
+// BenchmarkDistWorld measures a full distributed run — fleet startup,
+// per-worker world builds, the day loop with its frame traffic, and the
+// coordinator's merge — with two in-process workers over the wire
+// protocol. Its B/op is the whole-fleet allocation bill (the worker
+// worlds dominate); the CI gate pins it so the reusable frame buffers
+// stay reusable.
+func BenchmarkDistWorld(b *testing.B) {
+	cfg := sim.DefaultConfig(3)
+	cfg.Prefixes = 1000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), cfg, Options{Shards: 2, InProcess: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Records == 0 {
+			b.Fatal("no records")
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package distsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"anycastcdn/internal/experiments"
+	"anycastcdn/internal/sim"
+	"anycastcdn/internal/topology"
+)
+
+// workerFD is the file descriptor a forked worker inherits its
+// coordinator connection on (the first exec.Cmd ExtraFiles slot).
+const workerFD = 3
+
+// wireConfig is the coordinator's opening frame: the full simulation
+// configuration plus this worker's shard assignment and the fleet's
+// liveness parameters.
+type wireConfig struct {
+	Cfg            sim.Config
+	Shard          int
+	Lo, Hi         int
+	HeartbeatEvery time.Duration
+	StallTimeout   time.Duration
+}
+
+// WorkerStats is a worker's closing report, carried on the Done frame.
+type WorkerStats struct {
+	Shard   int
+	Lo, Hi  int
+	Days    int
+	Records int64
+	Beacons int64
+	// PeakRSSBytes is the worker process's maximum resident set size.
+	// In-process workers report the shared process's peak.
+	PeakRSSBytes int64
+}
+
+// ServeFD runs the worker side of the protocol on the coordinator
+// connection inherited at fd 3 — the entry point behind the binary's
+// -worker flag.
+func ServeFD(ctx context.Context) error {
+	f := os.NewFile(workerFD, "distsim-coordinator")
+	conn, err := net.FileConn(f)
+	_ = f.Close() // FileConn dup'd the fd; the original is ours to drop
+	if err != nil {
+		return fmt.Errorf("distsim: fd %d is not a stream socket: %w", workerFD, err)
+	}
+	return Serve(ctx, conn)
+}
+
+// Serve runs the worker side of the protocol on conn: receive the
+// configuration and shard range, build the world, stream the shard, and
+// send one delta frame per day. Any failure is reported to the
+// coordinator as an Error frame before returning. Serve closes conn.
+func Serve(ctx context.Context, conn net.Conn) error {
+	defer conn.Close()
+	fc := newFrameConn(conn)
+
+	// Teardown joins every goroutine Serve starts. The watcher yanks the
+	// connection deadlines on ctx cancellation so no frame read or write
+	// can outlive the caller's intent.
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	defer wg.Wait()
+	defer close(done)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case <-ctx.Done():
+			// Teardown: unblocks any in-flight frame I/O; an error here
+			// means the conn is already closed and nothing is blocked.
+			_ = conn.SetDeadline(time.Unix(1, 0))
+		case <-done:
+		}
+	}()
+
+	err := serve(ctx, fc)
+	if err != nil {
+		// Best effort: the coordinator may already be gone.
+		fc.write(frameError, []byte(err.Error()), time.Now().Add(5*time.Second))
+		if ctx.Err() != nil {
+			return fmt.Errorf("distsim: worker canceled: %w", ctx.Err())
+		}
+	}
+	return err
+}
+
+// worker is the per-run state of one serving worker.
+type worker struct {
+	fc    *frameConn
+	wc    wireConfig
+	stats WorkerStats
+
+	// sendBuf accumulates each outbound payload; reused across days so
+	// the steady-state day loop does not allocate frame memory.
+	sendBuf []byte
+	// siteScratch backs the sorted-key encoding of demand maps.
+	siteScratch []topology.SiteID
+	// global is the reusable decoded global-demand map.
+	global map[topology.SiteID]float64
+}
+
+func serve(ctx context.Context, fc *frameConn) error {
+	w := &worker{fc: fc}
+
+	payload, err := fc.expect(frameConfig, time.Now().Add(time.Minute))
+	if err != nil {
+		return err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&w.wc); err != nil {
+		return fmt.Errorf("distsim: decoding config: %w", err)
+	}
+	if w.wc.StallTimeout <= 0 || w.wc.HeartbeatEvery <= 0 {
+		return fmt.Errorf("distsim: config carries no liveness parameters")
+	}
+	w.stats.Shard, w.stats.Lo, w.stats.Hi = w.wc.Shard, w.wc.Lo, w.wc.Hi
+
+	// The world build is the longest silent stretch a worker has, so the
+	// heartbeat goroutine starts before it, not after.
+	wg := sync.WaitGroup{}
+	hbDone := make(chan struct{})
+	defer wg.Wait()
+	defer close(hbDone)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(w.wc.HeartbeatEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbDone:
+				return
+			case <-tick.C:
+				// A failed heartbeat is not fatal here: the protocol
+				// write that is actually stuck will surface the error.
+				w.fc.write(frameHeartbeat, nil, time.Now().Add(w.wc.StallTimeout))
+			}
+		}
+	}()
+
+	// A shard world: only [Lo, Hi) is materialized, so a worker's resident
+	// set scales with its shard, not the whole population — the full build
+	// alone would bust the per-worker memory budget at paper scale.
+	world, err := sim.BuildShardWorld(w.wc.Cfg, w.wc.Lo, w.wc.Hi)
+	if err != nil {
+		return fmt.Errorf("distsim: worker building world: %w", err)
+	}
+	if err := w.fc.write(frameHello, nil, w.deadline()); err != nil {
+		return err
+	}
+
+	opts := sim.ShardOpts{Lo: w.wc.Lo, Hi: w.wc.Hi}
+	if w.wc.Cfg.LoadManager != nil {
+		caps, err := w.capsPhase(w.wc.Cfg, world)
+		if err != nil {
+			return err
+		}
+		opts.Caps = caps
+		opts.ExchangeDemand = w.exchangeDemand
+		w.global = make(map[topology.SiteID]float64)
+	}
+
+	obs, err := experiments.NewShardObserver(w.wc.Cfg, world, w.wc.Lo, w.wc.Hi)
+	if err != nil {
+		return err
+	}
+	err = sim.StreamShard(w.wc.Cfg, world, opts, func(d sim.DayResult) error {
+		return w.sendDay(obs, d)
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("distsim: worker canceled: %w", ctx.Err())
+		}
+		return err
+	}
+	return w.sendDone()
+}
+
+// deadline is the stall bound on the next protocol step.
+func (w *worker) deadline() time.Time { return time.Now().Add(w.wc.StallTimeout) }
+
+// capsPhase runs the managed pre-phase: compute this shard's offered
+// load matrix, send it, and receive the fleet-derived capacities every
+// replica will share.
+func (w *worker) capsPhase(cfg sim.Config, world *sim.World) (map[topology.SiteID]float64, error) {
+	m, err := sim.ShardLoadMatrix(cfg, world, w.wc.Lo, w.wc.Hi)
+	if err != nil {
+		return nil, err
+	}
+	w.sendBuf = appendMatrix(w.sendBuf[:0], m)
+	if err := w.fc.write(frameCapsPart, w.sendBuf, w.deadline()); err != nil {
+		return nil, err
+	}
+	payload, err := w.fc.expect(frameCaps, w.deadline())
+	if err != nil {
+		return nil, err
+	}
+	caps := make(map[topology.SiteID]float64)
+	if err := decodeSiteMap(caps, payload, false); err != nil {
+		return nil, err
+	}
+	return caps, nil
+}
+
+// exchangeDemand is the two-phase demand barrier: publish this shard's
+// offered per-site load for the day, then block for the coordinator's
+// global reduction. Every worker steps its policy replica on the same
+// global map, keeping control state bitwise-identical across the fleet.
+func (w *worker) exchangeDemand(day int, shard map[topology.SiteID]float64) (map[topology.SiteID]float64, error) {
+	w.sendBuf, w.siteScratch = appendSiteMap(w.sendBuf[:0], shard, w.siteScratch)
+	if err := w.fc.write(frameDemand, w.sendBuf, w.deadline()); err != nil {
+		return nil, err
+	}
+	payload, err := w.fc.expect(frameGlobal, w.deadline())
+	if err != nil {
+		return nil, err
+	}
+	if err := decodeSiteMap(w.global, payload, false); err != nil {
+		return nil, err
+	}
+	return w.global, nil
+}
+
+// sendDay frames one simulated day: the shard's encoded analysis delta,
+// then the utilization section for managed runs. The payload buffer is
+// reused across days.
+func (w *worker) sendDay(obs *experiments.ShardObserver, d sim.DayResult) error {
+	buf := w.sendBuf[:0]
+	// Reserve the delta-length word, encode the delta in place, then
+	// back-patch — no second copy of a frame that carries per-client
+	// sections on day 0.
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = obs.AppendDay(d, buf)
+	binary.LittleEndian.PutUint64(buf[:8], uint64(len(buf)-8))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(d.Utilization)))
+	for _, u := range d.Utilization {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(u.Site))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(u.Queries))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(u.Capacity))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(u.ShedFrac))
+		if u.Withdrawn {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	w.sendBuf = buf
+	w.stats.Days++
+	w.stats.Records += int64(len(d.Passive))
+	w.stats.Beacons += int64(len(d.Beacons))
+	return w.fc.write(frameDay, buf, w.deadline())
+}
+
+// sendDone closes the protocol with this worker's statistics.
+func (w *worker) sendDone() error {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err == nil {
+		w.stats.PeakRSSBytes = ru.Maxrss * 1024 // Linux reports KiB
+	}
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(w.stats); err != nil {
+		return fmt.Errorf("distsim: encoding stats: %w", err)
+	}
+	return w.fc.write(frameDone, b.Bytes(), w.deadline())
+}

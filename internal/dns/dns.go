@@ -116,8 +116,12 @@ func PublicResolvers(metros []geo.Metro, baseID LDNSID) ([]LDNS, error) {
 // Mapping is the realized client→LDNS assignment.
 type Mapping struct {
 	Resolvers []LDNS
-	// ClientLDNS[i] is the resolver of client i (indexed by client ID).
+	// ClientLDNS[i] is the resolver of the client with global ID Base+i.
 	ClientLDNS []LDNSID
+	// Base is the global client ID of ClientLDNS[0]: zero for a mapping
+	// over a full population, the shard's lower bound for one built by a
+	// RangeMapper over a client range.
+	Base uint64
 }
 
 // BuildMapping assigns every client in the population a resolver.
@@ -125,6 +129,44 @@ type Mapping struct {
 // local resolver, all hub clients of an ISP share its hub resolver, and
 // public-resolver clients in a region share the nearest public site.
 func BuildMapping(pop *clients.Population, isps *topology.ISPModel, metros []geo.Metro, cfg MapperConfig) (*Mapping, error) {
+	lo := pop.Base
+	rm, err := NewRangeMapper(isps, metros, cfg, lo, lo+uint64(len(pop.Clients)))
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range pop.Clients {
+		rm.Observe(c)
+	}
+	return rm.Mapping(), nil
+}
+
+// RangeMapper builds a Mapping incrementally, one observed client at a
+// time, storing assignments only for clients in [lo, hi). A distributed
+// worker feeds it EVERY client of the population in ID order (the
+// transient walk clients.GenerateRange already makes) because resolver
+// IDs are interned in first-encounter order and the authoritative
+// nameserver keys its geolocation draws by resolver ID: a shard that
+// interned only its own clients' resolvers would geolocate the same
+// resolver differently than the single-process build and the beacon
+// candidate sets would diverge. Observing everything keeps Resolvers —
+// contents and IDs — identical on every process.
+type RangeMapper struct {
+	cfg         MapperConfig
+	isps        *topology.ISPModel
+	metros      []geo.Metro
+	metroByName map[string]geo.Metro
+	publicPts   []geo.Point
+	lo, hi      uint64
+	mp          *Mapping
+	index       map[string]LDNSID
+}
+
+// NewRangeMapper prepares a mapper that records assignments for global
+// client IDs in [lo, hi).
+func NewRangeMapper(isps *topology.ISPModel, metros []geo.Metro, cfg MapperConfig, lo, hi uint64) (*RangeMapper, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("dns: mapper range [%d, %d) is inverted", lo, hi)
+	}
 	metroByName := map[string]geo.Metro{}
 	for _, m := range metros {
 		metroByName[m.Name] = m
@@ -137,42 +179,62 @@ func BuildMapping(pop *clients.Population, isps *topology.ISPModel, metros []geo
 		}
 		publicPts = append(publicPts, m.Point)
 	}
+	return &RangeMapper{
+		cfg:         cfg,
+		isps:        isps,
+		metros:      metros,
+		metroByName: metroByName,
+		publicPts:   publicPts,
+		lo:          lo,
+		hi:          hi,
+		mp:          &Mapping{ClientLDNS: make([]LDNSID, hi-lo), Base: lo},
+		index:       map[string]LDNSID{},
+	}, nil
+}
 
-	mp := &Mapping{ClientLDNS: make([]LDNSID, len(pop.Clients))}
-	index := map[string]LDNSID{}
-	intern := func(name string, kind LDNSKind, pt geo.Point) LDNSID {
-		if id, ok := index[name]; ok {
-			return id
-		}
-		id := LDNSID(len(mp.Resolvers))
-		mp.Resolvers = append(mp.Resolvers, LDNS{ID: id, Name: name, Kind: kind, Point: pt})
-		index[name] = id
+// Observe assigns one client its resolver, interning the resolver in
+// encounter order; clients must arrive in ascending global-ID order,
+// covering every ID the population defines. Assignments are stored only
+// for clients inside the mapper's range.
+func (rm *RangeMapper) Observe(c clients.Client) {
+	rs := xrand.Substream(rm.cfg.Seed, "ldns", c.ID)
+	var id LDNSID
+	switch {
+	case rs.Bool(rm.cfg.PublicFrac):
+		pi, _ := geo.NearestIndex(c.Point, rm.publicPts)
+		name := "public-" + publicResolverMetros[pi]
+		id = rm.intern(name, Public, rm.publicPts[pi])
+	case rs.Bool(rm.cfg.HubFrac):
+		isp := rm.isps.ISP(c.ISP)
+		// The hub resolver sits at the ISP's primary hub peering
+		// metro; approximate by the heaviest metro of the country.
+		hub := heaviestMetroOfCountry(rm.metros, isp.Country)
+		name := fmt.Sprintf("%s-hub", isp.Name)
+		id = rm.intern(name, ISPHub, hub.Point)
+	default:
+		m := rm.metroByName[c.Metro]
+		isp := rm.isps.ISP(c.ISP)
+		name := fmt.Sprintf("%s-%s", isp.Name, c.Metro)
+		id = rm.intern(name, ISPLocal, m.Point)
+	}
+	if c.ID >= rm.lo && c.ID < rm.hi {
+		rm.mp.ClientLDNS[c.ID-rm.lo] = id
+	}
+}
+
+func (rm *RangeMapper) intern(name string, kind LDNSKind, pt geo.Point) LDNSID {
+	if id, ok := rm.index[name]; ok {
 		return id
 	}
-
-	for i, c := range pop.Clients {
-		rs := xrand.Substream(cfg.Seed, "ldns", c.ID)
-		switch {
-		case rs.Bool(cfg.PublicFrac):
-			pi, _ := geo.NearestIndex(c.Point, publicPts)
-			name := "public-" + publicResolverMetros[pi]
-			mp.ClientLDNS[i] = intern(name, Public, publicPts[pi])
-		case rs.Bool(cfg.HubFrac):
-			isp := isps.ISP(c.ISP)
-			// The hub resolver sits at the ISP's primary hub peering
-			// metro; approximate by the heaviest metro of the country.
-			hub := heaviestMetroOfCountry(metros, isp.Country)
-			name := fmt.Sprintf("%s-hub", isp.Name)
-			mp.ClientLDNS[i] = intern(name, ISPHub, hub.Point)
-		default:
-			m := metroByName[c.Metro]
-			isp := isps.ISP(c.ISP)
-			name := fmt.Sprintf("%s-%s", isp.Name, c.Metro)
-			mp.ClientLDNS[i] = intern(name, ISPLocal, m.Point)
-		}
-	}
-	return mp, nil
+	id := LDNSID(len(rm.mp.Resolvers))
+	rm.mp.Resolvers = append(rm.mp.Resolvers, LDNS{ID: id, Name: name, Kind: kind, Point: pt})
+	rm.index[name] = id
+	return id
 }
+
+// Mapping returns the built mapping. The mapper must not be observed
+// further afterwards.
+func (rm *RangeMapper) Mapping() *Mapping { return rm.mp }
 
 func heaviestMetroOfCountry(metros []geo.Metro, country string) geo.Metro {
 	var best geo.Metro
@@ -184,9 +246,10 @@ func heaviestMetroOfCountry(metros []geo.Metro, country string) geo.Metro {
 	return best
 }
 
-// Resolver returns the resolver of a client (by client ID/index).
+// Resolver returns the resolver of a client by global client ID; the ID
+// must lie inside the mapping's [Base, Base+len(ClientLDNS)) range.
 func (m *Mapping) Resolver(clientID uint64) LDNS {
-	return m.Resolvers[m.ClientLDNS[clientID]]
+	return m.Resolvers[m.ClientLDNS[clientID-m.Base]]
 }
 
 // Authority is the CDN's authoritative nameserver logic of §3.3: for each

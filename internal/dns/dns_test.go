@@ -295,3 +295,48 @@ func BenchmarkSelectBeaconTargets(b *testing.B) {
 		_ = auth.SelectBeaconTargets(l, rs)
 	}
 }
+
+// TestRangeMapperMatchesBuildMapping pins the distributed mapping
+// contract: a RangeMapper fed every client in ID order produces the same
+// resolver catalog — contents AND interned IDs, which key the
+// authority's geolocation draws — as the full BuildMapping, plus exactly
+// the range's window of assignments.
+func TestRangeMapperMatchesBuildMapping(t *testing.T) {
+	f := setup(t)
+	cfg := DefaultMapperConfig(3)
+	full, err := BuildMapping(f.pop, f.isps, f.metro, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := uint64(700), uint64(2900)
+	rm, err := NewRangeMapper(f.isps, f.metro, cfg, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range f.pop.Clients {
+		rm.Observe(c)
+	}
+	mp := rm.Mapping()
+	if mp.Base != lo {
+		t.Fatalf("mapping base %d, want %d", mp.Base, lo)
+	}
+	if len(mp.Resolvers) != len(full.Resolvers) {
+		t.Fatalf("range mapper interned %d resolvers, full build %d", len(mp.Resolvers), len(full.Resolvers))
+	}
+	for i := range full.Resolvers {
+		if mp.Resolvers[i] != full.Resolvers[i] {
+			t.Fatalf("resolver %d differs:\n%+v\nvs\n%+v", i, mp.Resolvers[i], full.Resolvers[i])
+		}
+	}
+	if uint64(len(mp.ClientLDNS)) != hi-lo {
+		t.Fatalf("mapping covers %d clients, want %d", len(mp.ClientLDNS), hi-lo)
+	}
+	for id := lo; id < hi; id++ {
+		if mp.Resolver(id) != full.Resolver(id) {
+			t.Fatalf("client %d: range resolver %+v, full %+v", id, mp.Resolver(id), full.Resolver(id))
+		}
+	}
+	if _, err := NewRangeMapper(f.isps, f.metro, cfg, 5, 4); err == nil {
+		t.Error("inverted mapper range accepted")
+	}
+}

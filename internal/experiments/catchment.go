@@ -48,17 +48,27 @@ func (a *catchmentAgg) observe(r logs.DayRecord) {
 	if r.Day != 0 || r.Queries == 0 {
 		return
 	}
-	c := a.w.Population.Clients[r.ClientID]
-	fe := a.perFE[r.FrontEnd]
+	c := a.w.Population.Client(r.ClientID)
+	bb := a.w.Deployment.Backbone
+	a.apply(r.FrontEnd, c.Volume, geo.DistanceKm(c.Point, bb.Site(r.FrontEnd).Metro.Point))
+}
+
+// apply folds one day-0 record's contribution in. Volumes are arbitrary
+// floats, so the per-front-end and total sums are order-sensitive in
+// their last bits: the distributed merge ships each shard's (front-end,
+// volume, distance) tuples verbatim and replays them here in global
+// client order, reproducing the single-process additions exactly rather
+// than re-associating partial sums.
+func (a *catchmentAgg) apply(feID topology.SiteID, volume float64, dist units.Kilometers) {
+	fe := a.perFE[feID]
 	if fe == nil {
 		fe = &catchmentFE{}
-		a.perFE[r.FrontEnd] = fe
+		a.perFE[feID] = fe
 	}
 	fe.clients++
-	fe.volume += c.Volume
-	a.totalVolume += c.Volume
-	bb := a.w.Deployment.Backbone
-	fe.dists = append(fe.dists, geo.DistanceKm(c.Point, bb.Site(r.FrontEnd).Metro.Point))
+	fe.volume += volume
+	a.totalVolume += volume
+	fe.dists = append(fe.dists, dist)
 }
 
 func (a *catchmentAgg) report(topN int) Report {

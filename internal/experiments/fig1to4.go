@@ -300,7 +300,7 @@ func (a *figure4Agg) observe(r logs.DayRecord) {
 	if r.Day != 0 || r.Queries == 0 {
 		return
 	}
-	c := a.w.Population.Clients[r.ClientID]
+	c := a.w.Population.Client(r.ClientID)
 	loc := a.geoDB.Locate(c.ID, c.Point)
 	fePt := a.w.Deployment.Backbone.Site(r.FrontEnd).Metro.Point
 	d := geo.DistanceKm(loc, fePt)

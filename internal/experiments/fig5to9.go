@@ -136,7 +136,7 @@ const figure7Week = 7
 // day of a week starting Wednesday. Paper: 7% after the first day, +2-4%
 // per weekday, <0.5% on weekend days, 21% by week's end.
 func (s *Suite) Figure7() Report {
-	agg := newSwitchAgg(figure7Week)
+	agg := newSwitchAgg(figure7Week, len(s.Res.World.Population.Clients))
 	for c := s.Res.Passive.Cursor(); c.Next(); {
 		agg.observe(c.Record())
 	}
@@ -145,19 +145,27 @@ func (s *Suite) Figure7() Report {
 
 // switchAgg accumulates Figure 7's cumulative-switch analysis one passive
 // record at a time; Suite and StreamSuite share it. It mirrors
-// logs.CumulativeSwitched exactly — integer counting keyed by client, so
-// the result is independent of observation order: clients with no traffic
-// on a day don't count as active (the paper can only observe clients that
-// appear in logs), and a client's first visible front-end change marks
-// every later day of the window.
+// logs.CumulativeSwitched exactly — integer counting in dense arrays
+// indexed by client ID, so the result is independent of observation
+// order: clients with no traffic on a day don't count as active (the
+// paper can only observe clients that appear in logs), and a client's
+// first visible front-end change marks every later day of the window.
+// The dense layout is also the distributed merge's entry point: shard
+// deltas arrive as per-day ID lists and bump these arrays directly.
 type switchAgg struct {
-	days        int
-	firstChange map[uint64]int
-	active      map[uint64]bool
+	days int
+	// firstChange[c] is the first in-window day client c visibly changed
+	// front-ends, -1 if never.
+	firstChange []int32
+	active      []bool
 }
 
-func newSwitchAgg(days int) *switchAgg {
-	return &switchAgg{days: days, firstChange: map[uint64]int{}, active: map[uint64]bool{}}
+func newSwitchAgg(days, n int) *switchAgg {
+	fc := make([]int32, n)
+	for i := range fc {
+		fc[i] = -1
+	}
+	return &switchAgg{days: days, firstChange: fc, active: make([]bool, n)}
 }
 
 func (a *switchAgg) observe(r logs.DayRecord) {
@@ -166,8 +174,8 @@ func (a *switchAgg) observe(r logs.DayRecord) {
 	}
 	a.active[r.ClientID] = true
 	if r.FrontEndChanged() {
-		if d, ok := a.firstChange[r.ClientID]; !ok || r.Day < d {
-			a.firstChange[r.ClientID] = r.Day
+		if d := a.firstChange[r.ClientID]; d < 0 || int32(r.Day) < d {
+			a.firstChange[r.ClientID] = int32(r.Day)
 		}
 	}
 }
@@ -176,18 +184,25 @@ func (a *switchAgg) observe(r logs.DayRecord) {
 // output as logs.CumulativeSwitched over the records observed.
 func (a *switchAgg) cumulative() []float64 {
 	out := make([]float64, a.days)
-	if len(a.active) == 0 {
+	nActive := 0
+	for _, on := range a.active {
+		if on {
+			nActive++
+		}
+	}
+	if nActive == 0 {
 		return out
 	}
 	perDay := make([]int, a.days)
-	//replay:commutative integer histogram increments; per-day counts are order-independent
 	for _, d := range a.firstChange {
-		perDay[d]++
+		if d >= 0 {
+			perDay[d]++
+		}
 	}
 	cum := 0
 	for d := 0; d < a.days; d++ {
 		cum += perDay[d]
-		out[d] = float64(cum) / float64(len(a.active))
+		out[d] = float64(cum) / float64(nActive)
 	}
 	return out
 }

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"anycastcdn/internal/logs"
@@ -21,7 +20,7 @@ import (
 // switch day. The per-duration disruption probability is the client-day
 // average of that overlap.
 func (s *Suite) TCPDisruption() Report {
-	agg := newTCPAgg()
+	agg := newTCPAgg(len(s.Res.World.Population.Clients))
 	for c := s.Res.Passive.Cursor(); c.Next(); {
 		agg.observe(c.Record())
 	}
@@ -29,16 +28,18 @@ func (s *Suite) TCPDisruption() Report {
 }
 
 // tcpAgg accumulates per-client switch-day and total-day counts one
-// passive record at a time; Suite and StreamSuite share it. Integer
-// counters keyed by client make the report independent of observation
-// order (the final float sums run in sorted client order).
+// passive record at a time; Suite and StreamSuite share it. Dense arrays
+// indexed by client ID (IDs are population indices): integer counters
+// make the report independent of observation order, and the fixed index
+// order is what lets the distributed merge bump counters from per-shard
+// ID lists without ever reconciling map key sets.
 type tcpAgg struct {
-	switchDays map[uint64]int
-	totalDays  map[uint64]int
+	switchDays []int32
+	totalDays  []int32
 }
 
-func newTCPAgg() *tcpAgg {
-	return &tcpAgg{switchDays: map[uint64]int{}, totalDays: map[uint64]int{}}
+func newTCPAgg(n int) *tcpAgg {
+	return &tcpAgg{switchDays: make([]int32, n), totalDays: make([]int32, n)}
 }
 
 func (a *tcpAgg) observe(r logs.DayRecord) {
@@ -59,12 +60,6 @@ func (a *tcpAgg) report() Report {
 		Title:   "§2 claim check: probability a TCP flow is broken by an anycast route change",
 		Columns: []string{"flow duration", "disruption probability", "flows broken per 10^6"},
 	}
-	clients := make([]uint64, 0, len(a.totalDays))
-	//replay:commutative keys only; sorted immediately below, so collection order is discarded
-	for client := range a.totalDays {
-		clients = append(clients, client)
-	}
-	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
 	probs := make([]float64, len(durations))
 	for i, d := range durations {
 		overlap := float64(d) / float64(day)
@@ -73,9 +68,10 @@ func (a *tcpAgg) report() Report {
 		}
 		var sum float64
 		var n int
-		// Sorted client order: float accumulation in map order would make
-		// the reported probabilities differ in the last bits between runs.
-		for _, client := range clients {
+		// Ascending client order (the array index): float accumulation in
+		// any other order would make the reported probabilities differ in
+		// the last bits between runs.
+		for client := range a.totalDays {
 			total := a.totalDays[client]
 			if total == 0 {
 				continue

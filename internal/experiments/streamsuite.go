@@ -26,16 +26,19 @@ type StreamSuite struct {
 	fig8 *fig8Agg
 }
 
-// NewStreamSuite prepares aggregators for a streaming run over w.
+// NewStreamSuite prepares aggregators for a streaming run over w. The
+// dense per-client aggregators size themselves from cfg.Prefixes, not the
+// world's population, so a merge-only suite can run over a population-free
+// sim.BuildAnalysisWorld — the distributed coordinator's configuration.
 func NewStreamSuite(cfg sim.Config, w *sim.World) *StreamSuite {
 	return &StreamSuite{
 		Cfg:   cfg,
 		World: w,
 		fig4:  newFigure4Agg(cfg, w),
 		cat:   newCatchmentAgg(w),
-		tcp:   newTCPAgg(),
+		tcp:   newTCPAgg(cfg.Prefixes),
 		shed:  newLoadShedAgg(),
-		fig7:  newSwitchAgg(figure7Week),
+		fig7:  newSwitchAgg(figure7Week, cfg.Prefixes),
 		fig8:  newFig8Agg(w.Deployment.Backbone),
 	}
 }

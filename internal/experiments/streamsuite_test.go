@@ -57,7 +57,7 @@ func TestZeroQuerySwitchExcludedFromSwitchFigures(t *testing.T) {
 	invisible.ClientID = 2
 	invisible.Queries = 0
 
-	fig7 := newSwitchAgg(figure7Week)
+	fig7 := newSwitchAgg(figure7Week, 8)
 	fig7.observe(visible)
 	fig7.observe(invisible)
 	cum := fig7.cumulative()

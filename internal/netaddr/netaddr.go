@@ -92,11 +92,15 @@ type addrRange struct {
 // Pool identifies an address pool for an Allocator.
 type Pool int
 
-// Address pools. ClientPool starts in 10.0.0.0/8 (65,536 /24s) and, for
-// paper-scale populations, continues into 16.0.0.0/4 (1,048,576 more) —
-// over a million client /24s, matching the measurement scale of the paper.
-// FrontEndPool allocates from 198.18.0.0/15 (benchmarking); AnycastPool is
-// the single well-known VIP prefix 192.0.2.0/24. All pools are disjoint.
+// Address pools. ClientPool starts in 10.0.0.0/8 (65,536 /24s), continues
+// into 16.0.0.0/4 (1,048,576 more) for paper-scale populations, and then
+// into 64.0.0.0/2 (4,194,304 more) for the distributed multi-process runs
+// that shard a world several times the single-process ceiling — over five
+// million client /24s in total. The ranges are chained in that fixed
+// order, so growing the pool never changes which prefix an existing
+// client index receives. FrontEndPool allocates from 198.18.0.0/15
+// (benchmarking); AnycastPool is the single well-known VIP prefix
+// 192.0.2.0/24. All pools are disjoint.
 const (
 	ClientPool Pool = iota
 	FrontEndPool
@@ -112,6 +116,7 @@ func NewAllocator(pool Pool) *Allocator {
 		return &Allocator{ranges: []addrRange{
 			{base: uint32(10) << 16, size: 65536},   // 10.0.0.0/8
 			{base: uint32(16) << 16, size: 1048576}, // 16.0.0.0/4
+			{base: uint32(64) << 16, size: 4 << 20}, // 64.0.0.0/2
 		}}
 	}
 }

@@ -132,14 +132,15 @@ func TestAnycastVIPInPrefix(t *testing.T) {
 }
 
 // TestClientPoolSpansAMillionPrefixes pins the paper-scale capacity: the
-// client pool must hand out over a million distinct /24s (the 10/8 range
-// chained into 16/4), never overlapping the front-end pool, and Remaining
-// must count down across the range boundary.
+// client pool must hand out over five million distinct /24s (the 10/8
+// range chained into 16/4, then 64/2 for distributed multi-process
+// worlds), never overlapping the front-end pool, and Remaining must count
+// down across the range boundaries.
 func TestClientPoolSpansAMillionPrefixes(t *testing.T) {
 	al := NewAllocator(ClientPool)
 	total := al.Remaining()
-	if total < 1_000_000 {
-		t.Fatalf("client pool holds %d /24s, want >= 1M", total)
+	if total < 4_000_000 {
+		t.Fatalf("client pool holds %d /24s, want >= 4M for distributed runs", total)
 	}
 	var last Prefix24
 	for i := 0; i < total; i++ {
@@ -147,13 +148,14 @@ func TestClientPoolSpansAMillionPrefixes(t *testing.T) {
 		if !ok {
 			t.Fatalf("pool exhausted at %d of %d", i, total)
 		}
-		if i > 0 && p <= last && i != 65536 {
-			// Monotone within a range; the single drop is the 10/8 -> 16/4
-			// boundary, which guarantees uniqueness without a seen-map.
+		if i > 0 && p <= last && i != 65536 && i != 65536+1048576 {
+			// Monotone within a range; the only drops are the 10/8 -> 16/4
+			// and 16/4 -> 64/2 boundaries, which guarantees uniqueness
+			// without a seen-map.
 			t.Fatalf("allocation %d not increasing: %v after %v", i, p, last)
 		}
 		a, _, _ := p.Octets()
-		if a != 10 && (a < 16 || a > 31) {
+		if a != 10 && (a < 16 || a > 31) && (a < 64 || a > 127) {
 			t.Fatalf("allocation %v outside the client ranges", p)
 		}
 		last = p
@@ -163,5 +165,26 @@ func TestClientPoolSpansAMillionPrefixes(t *testing.T) {
 	}
 	if al.Remaining() != 0 {
 		t.Fatalf("Remaining = %d after exhaustion", al.Remaining())
+	}
+}
+
+// TestClientPoolPrefixStability pins the append-only growth contract: the
+// first allocations out of the client pool — the prefixes every existing
+// client index already has — must be identical no matter how many ranges
+// are chained after them. A reordering would silently re-address every
+// generated population.
+func TestClientPoolPrefixStability(t *testing.T) {
+	al := NewAllocator(ClientPool)
+	first, _ := al.Next()
+	if want := FromOctets(10, 0, 0); first != want {
+		t.Fatalf("first client prefix = %v, want %v", first, want)
+	}
+	// Skip to the first cross-range boundary and check the handoff.
+	for i := 1; i < 65536; i++ {
+		al.Next()
+	}
+	p, _ := al.Next()
+	if want := FromOctets(16, 0, 0); p != want {
+		t.Fatalf("allocation 65536 = %v, want %v (start of 16/4)", p, want)
 	}
 }

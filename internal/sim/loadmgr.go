@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"anycastcdn/internal/bgp"
 	"anycastcdn/internal/load"
 	"anycastcdn/internal/logs"
@@ -56,12 +58,113 @@ type loadManager struct {
 	utils  []SiteUtil
 }
 
+// ShardLoadMatrix accumulates the fault-free scheduled load of clients
+// [lo, hi) into a flat [Days][front-end] matrix (day-major, front-ends in
+// bb.FrontEnds() order): cell (d, f) is the sum of those clients'
+// fault-free day-d queries whose scheduled catchment is front-end f. The
+// matrix is the distributable half of capacity derivation — queries are
+// integers, so float64 cell sums are exact and shard matrices reduce by
+// plain addition into exactly the full-population matrix, regardless of
+// how the population was sharded. CapsFromLoadMatrix is the other half.
+//
+// Memory is one Days x front-ends matrix plus a Days-length scratch
+// schedule, independent of the shard size — this is also what the
+// single-process derivation runs, replacing the clients x days schedule
+// array it used to materialize.
+func ShardLoadMatrix(cfg Config, w *World, lo, hi int) ([]float64, error) {
+	if cfg.LoadManager == nil {
+		return nil, fmt.Errorf("sim: load matrix requested without a load-manager config")
+	}
+	base := int(w.Population.Base)
+	if lo < base || hi < lo || hi > base+len(w.Population.Clients) {
+		return nil, fmt.Errorf("sim: load-matrix shard [%d, %d) outside population [%d, %d)", lo, hi, base, base+len(w.Population.Clients))
+	}
+	bb := w.Deployment.Backbone
+	fes := bb.FrontEnds()
+	feIdx := make(map[topology.SiteID]int, len(fes))
+	for i, fe := range fes {
+		feIdx[fe] = i
+	}
+	weekend := make([]bool, cfg.Days)
+	for d := range weekend {
+		weekend[d] = w.Router.IsWeekend(d)
+	}
+	m := make([]float64, cfg.Days*len(fes))
+	sched := make([]topology.SiteID, cfg.Days)
+	trafficSeed := xrand.DeriveSeedL(cfg.Seed, labelTraffic)
+	// Serial, in client order: per matrix cell the additions run in
+	// ascending client order, the same per-cell sequence the pre-matrix
+	// serial derivation produced — and integer-valued besides, so the
+	// reduction over shards is exact.
+	for i := lo; i < hi; i++ {
+		cl := w.Population.Clients[i-base]
+		rc := bgp.Client{PrefixID: cl.ID, Point: cl.Point, ISP: cl.ISP}
+		w.Router.IngressScheduleInto(rc, sched)
+		for d, ing := range sched {
+			f := feIdx[w.Router.Assign(rc, ing).FrontEnd]
+			m[d*len(fes)+f] += float64(cl.QueriesOnDay(trafficSeed, d, weekend[d], cfg.QueriesPerVolume))
+		}
+	}
+	return m, nil
+}
+
+// CapsFromLoadMatrix derives per-front-end capacities from a full
+// population load matrix (ShardLoadMatrix over [0, n), or the elementwise
+// sum of shard matrices): headroom over each site's peak fault-free day,
+// floored at half the fleet-mean peak. A pure serial function of the
+// matrix, so every process that holds the same reduced matrix — the
+// coordinator and each worker replica of a distributed run — derives
+// bitwise-identical capacities.
+func CapsFromLoadMatrix(cfg Config, w *World, m []float64) (map[topology.SiteID]float64, error) {
+	if cfg.LoadManager == nil {
+		return nil, fmt.Errorf("sim: capacity derivation requested without a load-manager config")
+	}
+	bb := w.Deployment.Backbone
+	fes := bb.FrontEnds()
+	if len(m) != cfg.Days*len(fes) {
+		return nil, fmt.Errorf("sim: load matrix has %d cells, want %d days x %d front-ends", len(m), cfg.Days, len(fes))
+	}
+	c := cfg.LoadManager.WithDefaults()
+	// Capacity is headroom over each site's PEAK day at the SCHEDULED
+	// catchment (clients switch front-ends across days even without
+	// faults, so the base-day catchment would under-provision the sites
+	// those switches land on), because daily per-prefix volume is
+	// lognormally bursty — a site provisioned for its mean day would
+	// overload on ordinary fault-free days. The floor keeps idle sites
+	// some spillover slack without letting a regional flash crowd hide
+	// inside a floor that dwarfs small catchments. Deterministic
+	// front-end order for the sums.
+	caps := make(map[topology.SiteID]float64, len(fes))
+	var mean float64
+	for f := range fes {
+		var peak float64
+		for d := 0; d < cfg.Days; d++ {
+			if v := m[d*len(fes)+f]; v > peak {
+				peak = v
+			}
+		}
+		caps[fes[f]] = peak
+		mean += peak
+	}
+	mean /= float64(len(fes))
+	for _, fe := range fes {
+		q := caps[fe]
+		if q < mean/2 {
+			q = mean / 2
+		}
+		caps[fe] = c.Headroom * q
+	}
+	return caps, nil
+}
+
 // newLoadManager compiles cfg.LoadManager against a built world; it
 // returns (nil, nil) when the subsystem is inactive. Capacity derivation
 // is a pure serial function of the world (client order, fault-free base
 // catchment), so every policy arm of an experiment sees identical
-// capacities and rings.
-func newLoadManager(cfg Config, w *World) (*loadManager, error) {
+// capacities and rings. explicitCaps overrides the config's capacity map
+// when non-nil (the distributed stream injects coordinator-reduced
+// capacities this way).
+func newLoadManager(cfg Config, w *World, explicitCaps map[topology.SiteID]float64) (*loadManager, error) {
 	if cfg.LoadManager == nil {
 		return nil, nil
 	}
@@ -69,6 +172,9 @@ func newLoadManager(cfg Config, w *World) (*loadManager, error) {
 		return nil, err
 	}
 	c := cfg.LoadManager.WithDefaults()
+	if explicitCaps != nil {
+		c.Capacity = explicitCaps
+	}
 	bb := w.Deployment.Backbone
 	caps := make(map[topology.SiteID]float64, len(bb.FrontEnds()))
 	if c.Capacity != nil {
@@ -78,55 +184,17 @@ func newLoadManager(cfg Config, w *World) (*loadManager, error) {
 			caps[fe] = c.Capacity[fe]
 		}
 	} else {
-		// Fault-free per-day load per front-end at the SCHEDULED catchment
-		// (clients switch front-ends across days even without faults, so
-		// the base-day catchment would under-provision the sites those
-		// switches land on): capacity is headroom over each site's PEAK
-		// day, because daily per-prefix volume is lognormally bursty — a
-		// site provisioned for its mean day would overload on ordinary
-		// fault-free days. Serial, in day-major client order, so the float
-		// sums are bit-stable across runs and worker counts.
-		n := len(w.Population.Clients)
-		feDay := make([]topology.SiteID, n*cfg.Days)
-		sched := make([]topology.SiteID, cfg.Days)
-		for i, cl := range w.Population.Clients {
-			rc := bgp.Client{PrefixID: cl.ID, Point: cl.Point, ISP: cl.ISP}
-			w.Router.IngressScheduleInto(rc, sched)
-			for d, ing := range sched {
-				feDay[i*cfg.Days+d] = w.Router.Assign(rc, ing).FrontEnd
-			}
+		base := int(w.Population.Base)
+		m, err := ShardLoadMatrix(cfg, w, base, base+len(w.Population.Clients))
+		if err != nil {
+			return nil, err
 		}
-		trafficSeed := xrand.DeriveSeedL(cfg.Seed, labelTraffic)
-		base := make(map[topology.SiteID]float64, len(bb.FrontEnds()))
-		dayLoad := make(map[topology.SiteID]float64, len(bb.FrontEnds()))
-		for d := 0; d < cfg.Days; d++ {
-			clear(dayLoad)
-			weekend := w.Router.IsWeekend(d)
-			for i, cl := range w.Population.Clients {
-				dayLoad[feDay[i*cfg.Days+d]] += float64(cl.QueriesOnDay(trafficSeed, d, weekend, cfg.QueriesPerVolume))
-			}
-			for _, fe := range bb.FrontEnds() {
-				if dayLoad[fe] > base[fe] {
-					base[fe] = dayLoad[fe]
-				}
-			}
+		derived, err := CapsFromLoadMatrix(cfg, w, m)
+		if err != nil {
+			return nil, err
 		}
-		// Headroom over each site's peak day, floored at half the
-		// fleet-mean peak: idle sites keep some spillover slack without a
-		// floor that dwarfs small catchments (which would let a regional
-		// flash crowd hide inside the floor). Deterministic front-end
-		// order for the sums.
-		var mean float64
 		for _, fe := range bb.FrontEnds() {
-			mean += base[fe]
-		}
-		mean /= float64(len(bb.FrontEnds()))
-		for _, fe := range bb.FrontEnds() {
-			q := base[fe]
-			if q < mean/2 {
-				q = mean / 2
-			}
-			caps[fe] = c.Headroom * q
+			caps[fe] = derived[fe]
 		}
 	}
 	layers := load.DeriveRings(bb, caps, c.DeepRingShare, c.MegaShare)
@@ -157,14 +225,25 @@ func newLoadManager(cfg Config, w *World) (*loadManager, error) {
 	return m, nil
 }
 
-// stepDay aggregates the day's offered load by ingress and runs the
-// policy's control decision. Serial, in client order, so the demand sums
-// are bit-stable regardless of worker count.
-func (m *loadManager) stepDay(passive []logs.DayRecord, assigns []bgp.Assignment) {
+// demandFrom aggregates the day's offered load by ingress over the given
+// records. Serial, in client order, so the demand sums are bit-stable
+// regardless of worker count — and integer-valued, so per-shard demand
+// maps reduce exactly into the full-population one. The returned map is
+// the manager's reusable scratch, valid until the next call.
+func (m *loadManager) demandFrom(passive []logs.DayRecord, assigns []bgp.Assignment) map[topology.SiteID]float64 {
 	clear(m.demand)
 	for i := range passive {
 		m.demand[assigns[i].Ingress] += float64(passive[i].Queries)
 	}
+	return m.demand
+}
+
+// policyStep runs the policy's control decision against a day's offered
+// load. In a sharded run every worker calls this with the SAME
+// coordinator-reduced global demand map, so the policy state machines —
+// balancer shed fractions, withdrawal sets — stay bitwise-identical
+// replicas on every process.
+func (m *loadManager) policyStep(demand map[topology.SiteID]float64) {
 	switch m.cfg.Policy {
 	case load.Static:
 		// Observe only.
@@ -174,7 +253,7 @@ func (m *loadManager) stepDay(passive []logs.DayRecord, assigns []bgp.Assignment
 		// rounds, so the day's shed fractions are the equilibrium the
 		// local rules reach (bounded by StepsPerDay). State persists to
 		// the next day — that is the hysteresis across the surge window.
-		m.bal.Converge(m.demand, m.cfg.StepsPerDay)
+		m.bal.Converge(demand, m.cfg.StepsPerDay)
 	case load.Withdraw:
 		// Today's routing applies yesterday's decision, then tonight's
 		// decision reacts to today's offered load under that routing: the
@@ -189,7 +268,7 @@ func (m *loadManager) stepDay(passive []logs.DayRecord, assigns []bgp.Assignment
 		for id := range m.rehome {
 			m.rehome[id] = load.NearestStandingFE(m.bb, topology.SiteID(id), m.routeWithdrawn)
 		}
-		m.withdrawn = load.WithdrawStep(m.bb, m.demand, m.caps, m.routeWithdrawn)
+		m.withdrawn = load.WithdrawStep(m.bb, demand, m.caps, m.routeWithdrawn)
 	}
 }
 

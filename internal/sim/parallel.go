@@ -3,6 +3,7 @@ package sim
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // parallelFor runs fn(i) for i in [0, n). It is the single worker-pool
@@ -14,8 +15,18 @@ import (
 // value rather than silently serializing, which is the disagreement the
 // two hand-rolled pools used to have.) The worker count is additionally
 // clamped to n, and a single worker runs inline: no goroutines, no
-// channel, zero scheduling allocations — the serial path replay tests
-// compare against parallel runs byte for byte.
+// scheduling allocations — the serial path replay tests compare against
+// parallel runs byte for byte.
+//
+// Work is claimed from a shared atomic counter, one index at a time,
+// rather than handed out in contiguous chunks: per-index work is wildly
+// skewed under surge scenarios (a flash-crowd client-day runs orders of
+// magnitude more beacon executions than a quiet one), and chunked
+// assignment strands that skew on one worker while the rest idle at the
+// barrier. The claim is one uncontended atomic add — cheaper than the
+// channel send per index it replaces — and the schedule has no effect on
+// results: every output index is written by whichever worker claims it,
+// and all randomness is per-entity substreams.
 func parallelFor(n, workers int, fn func(i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -29,20 +40,20 @@ func parallelFor(n, workers int, fn func(i int)) {
 		}
 		return
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
 				fn(i)
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
 }

@@ -159,6 +159,33 @@ func BuildWorld(cfg Config) (*World, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	return buildWorldRange(cfg, 0, cfg.Prefixes)
+}
+
+// BuildShardWorld constructs the environment for one shard of a
+// distributed run: identical to BuildWorld in every shared component, but
+// holding only the clients (and client→LDNS assignments) of [lo, hi) —
+// the change that keeps a worker's resident set proportional to its shard
+// rather than the whole population. The full population is still walked
+// transiently: the generator's sequential streams must advance past every
+// client, the population's TotalVolume covers all of it, and the LDNS
+// resolver catalog is interned in full-population order so resolver IDs —
+// which key the authority's geolocation draws — match the single-process
+// build exactly. StreamShard over the result, with the same [lo, hi),
+// reproduces the corresponding slice of StreamWorld record for record.
+func BuildShardWorld(cfg Config, lo, hi int) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi <= lo || hi > cfg.Prefixes {
+		return nil, fmt.Errorf("sim: shard world range [%d, %d) outside population of %d", lo, hi, cfg.Prefixes)
+	}
+	return buildWorldRange(cfg, lo, hi)
+}
+
+// buildWorldRange is the shared builder behind BuildWorld (the full
+// range) and BuildShardWorld. cfg must already be validated.
+func buildWorldRange(cfg Config, lo, hi int) (*World, error) {
 	dep, err := cdn.BuildPreset(cfg.Deployment)
 	if err != nil {
 		return nil, fmt.Errorf("sim: building deployment: %w", err)
@@ -171,20 +198,24 @@ func BuildWorld(cfg Config) (*World, error) {
 	}
 	isps := topology.BuildISPs(dep.Backbone, metros, ispCfg)
 
-	pop, err := clients.Generate(metros, isps,
-		clients.DefaultConfig(xrand.DeriveSeed(cfg.Seed, "clients"), cfg.Prefixes))
-	if err != nil {
-		return nil, fmt.Errorf("sim: generating clients: %w", err)
-	}
-
 	mapCfg := dns.DefaultMapperConfig(xrand.DeriveSeed(cfg.Seed, "ldns"))
 	if cfg.Mapper != nil {
 		mapCfg = *cfg.Mapper
 	}
-	mapping, err := dns.BuildMapping(pop, isps, metros, mapCfg)
+	// One fused walk builds both range-limited structures: the generator
+	// visits every client transiently and the mapper observes each one, so
+	// a shard build pays one pass of draws, not two, and materializes
+	// nothing outside [lo, hi).
+	rm, err := dns.NewRangeMapper(isps, metros, mapCfg, uint64(lo), uint64(hi))
 	if err != nil {
 		return nil, fmt.Errorf("sim: mapping LDNS: %w", err)
 	}
+	pop, err := clients.GenerateRange(metros, isps,
+		clients.DefaultConfig(xrand.DeriveSeed(cfg.Seed, "clients"), cfg.Prefixes), lo, hi, rm.Observe)
+	if err != nil {
+		return nil, fmt.Errorf("sim: generating clients: %w", err)
+	}
+	mapping := rm.Mapping()
 
 	routeCfg := bgp.DefaultConfig()
 	if cfg.Routing != nil {
@@ -228,6 +259,57 @@ func BuildWorld(cfg Config) (*World, error) {
 		w.InstallFaults(inj)
 	}
 	return w, nil
+}
+
+// BuildAnalysisWorld constructs the population-free slice of the world:
+// deployment, ISPs, router, latency model, geolocation database and
+// authority — everything the experiment aggregators and report renderers
+// consult, and nothing that scales with Prefixes. The distributed
+// coordinator uses it to merge and render shard partials without paying
+// for (or holding) a multi-million-client population; the sub-seeds are
+// the same ones BuildWorld derives, so every shared component is
+// identical to the workers' full builds. Population, Mapping, Executor
+// and Faults are nil: the returned world cannot simulate days.
+func BuildAnalysisWorld(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dep, err := cdn.BuildPreset(cfg.Deployment)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building deployment: %w", err)
+	}
+	metros := geo.World()
+
+	ispCfg := topology.DefaultISPModelConfig(xrand.DeriveSeed(cfg.Seed, "isps"))
+	if cfg.ISPs != nil {
+		ispCfg = *cfg.ISPs
+	}
+	isps := topology.BuildISPs(dep.Backbone, metros, ispCfg)
+
+	routeCfg := bgp.DefaultConfig()
+	if cfg.Routing != nil {
+		routeCfg = *cfg.Routing
+	}
+	router := bgp.NewRouter(dep.Backbone, isps, xrand.DeriveSeed(cfg.Seed, "bgp"), routeCfg)
+
+	latCfg := latency.DefaultConfig()
+	if cfg.Latency != nil {
+		latCfg = *cfg.Latency
+	}
+	model := latency.NewModel(xrand.DeriveSeed(cfg.Seed, "latency"), latCfg)
+
+	geoDB := geo.NewDB(xrand.DeriveSeed(cfg.Seed, "geodb"),
+		cfg.GeoMedianErrKm, cfg.GeoGrossRate, cfg.GeoGrossKm)
+	auth := dns.NewAuthority(dep, geoDB, cfg.CandidateCount)
+
+	return &World{
+		Metros:     metros,
+		Deployment: dep,
+		ISPs:       isps,
+		Router:     router,
+		Authority:  auth,
+		Latency:    model,
+	}, nil
 }
 
 // Result is the output of a simulation run.
@@ -282,6 +364,9 @@ var (
 // needs the whole day's offered load) and materializes its outputs —
 // byte-identical to consuming StreamWorld directly.
 func RunWorld(cfg Config, w *World) (*Result, error) {
+	if w.Population.Base != 0 {
+		return nil, fmt.Errorf("sim: batch run over a shard world (clients start at %d); use StreamShard", w.Population.Base)
+	}
 	if cfg.LoadManager != nil {
 		return runWorldViaStream(cfg, w)
 	}

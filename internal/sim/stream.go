@@ -67,14 +67,65 @@ func Stream(cfg Config, fn func(DayResult) error) error {
 // joined (the pool runs per phase, never across fn), so nothing leaks and
 // the buffers become garbage as soon as StreamWorld returns.
 func StreamWorld(cfg Config, w *World, fn func(DayResult) error) error {
+	base := int(w.Population.Base)
+	return streamRange(cfg, w, ShardOpts{Lo: base, Hi: base + len(w.Population.Clients)}, fn)
+}
+
+// ShardOpts selects the client slice a StreamShard call simulates and
+// wires in the coordination hooks a multi-process run needs.
+type ShardOpts struct {
+	// Lo and Hi bound the global client-ID range [Lo, Hi) this stream
+	// simulates. The world's population must cover the range — either a
+	// full build, or a BuildShardWorld whose materialized clients include
+	// it. The shard restricts which clients' days are simulated and
+	// logged.
+	Lo, Hi int
+	// Caps overrides load-manager capacity derivation with explicit
+	// per-front-end capacities. A sharded worker must receive the
+	// capacities derived from the FULL population (reduced from
+	// ShardLoadMatrix partials); deriving locally would also be correct
+	// but repeats the full-population schedule pass in every worker.
+	// Ignored when Config.LoadManager is nil.
+	Caps map[topology.SiteID]float64
+	// ExchangeDemand, when set on a load-managed run, is called once per
+	// day between demand aggregation and the policy step: it receives the
+	// shard's offered load by ingress (the manager's scratch map, valid
+	// only during the call) and must return the full-population demand —
+	// in a distributed run, by reducing every shard's map on the
+	// coordinator and broadcasting the sum. The policy state machine then
+	// steps on global demand in every worker, keeping the replicas
+	// bitwise-identical. Ignored when Config.LoadManager is nil.
+	ExchangeDemand func(day int, shard map[topology.SiteID]float64) (map[topology.SiteID]float64, error)
+}
+
+// StreamShard streams days for the clients in opts' range only — one
+// worker's slice of a distributed run. DayResult slices are indexed
+// 0..Hi-Lo-1 (record ClientIDs stay global). Per-client outputs are
+// schedule-independent (per-entity substreams), so the concatenation of
+// contiguous shard streams in shard order reproduces, record for record,
+// the single-process StreamWorld over the same world.
+func StreamShard(cfg Config, w *World, opts ShardOpts, fn func(DayResult) error) error {
+	return streamRange(cfg, w, opts, fn)
+}
+
+func streamRange(cfg Config, w *World, opts ShardOpts, fn func(DayResult) error) error {
 	if fn == nil {
 		return fmt.Errorf("sim: nil stream function")
 	}
-	mgr, err := newLoadManager(cfg, w)
+	base := int(w.Population.Base)
+	if opts.Lo < base || opts.Hi < opts.Lo || opts.Hi > base+len(w.Population.Clients) {
+		return fmt.Errorf("sim: shard range [%d, %d) outside population [%d, %d)",
+			opts.Lo, opts.Hi, base, base+len(w.Population.Clients))
+	}
+	mgr, err := newLoadManager(cfg, w, opts.Caps)
 	if err != nil {
 		return err
 	}
-	n := len(w.Population.Clients)
+	// cl[i] is the client with global ID opts.Lo+i: the range's clients,
+	// positioned relative to whatever slice of the population this world
+	// materialized.
+	cl := w.Population.Clients[opts.Lo-base:]
+	n := opts.Hi - opts.Lo
 	days := cfg.Days
 
 	// Per-client-day ingress sites, packed flat (client-major). The full
@@ -88,7 +139,7 @@ func StreamWorld(cfg Config, w *World, fn func(DayResult) error) error {
 	// passive log's switch records.
 	prevFE := make([]topology.SiteID, n)
 	parallelFor(n, cfg.Workers, func(i int) {
-		c := w.Population.Clients[i]
+		c := cl[i]
 		rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
 		w.Router.IngressScheduleInto(rc, scheds[i*days:(i+1)*days])
 		prevFE[i] = w.Router.Assign(rc, w.Router.BaseIngress(rc)).FrontEnd
@@ -109,7 +160,7 @@ func StreamWorld(cfg Config, w *World, fn func(DayResult) error) error {
 	var day int
 	var weekend bool
 	logDay := func(i int) {
-		c := w.Population.Clients[i]
+		c := cl[i]
 		rc := bgp.Client{PrefixID: c.ID, Point: c.Point, ISP: c.ISP}
 		a := w.Router.Assign(rc, scheds[i*days+day])
 		if !w.Faults.Empty() {
@@ -148,7 +199,7 @@ func StreamWorld(cfg Config, w *World, fn func(DayResult) error) error {
 	// the page that carried them). Allocated once, outside the day loop.
 	applyLoad := func(i int) {
 		a := assigns[i]
-		fe := mgr.route(cfg.Seed, w.Population.Clients[i].ID, day, a, passive[i].Queries)
+		fe := mgr.route(cfg.Seed, cl[i].ID, day, a, passive[i].Queries)
 		if fe != a.FrontEnd {
 			passive[i].FrontEnd = fe
 		}
@@ -159,7 +210,7 @@ func StreamWorld(cfg Config, w *World, fn func(DayResult) error) error {
 		if nb == 0 {
 			return
 		}
-		c := w.Population.Clients[i]
+		c := cl[i]
 		out := beacons[offs[i] : int(offs[i])+nb]
 		for k := 0; k < nb; k++ {
 			qid := xrand.DeriveSeedL3(cfg.Seed, labelQID, c.ID, uint64(day), uint64(k))
@@ -175,7 +226,15 @@ func StreamWorld(cfg Config, w *World, fn func(DayResult) error) error {
 			// controller needs the whole day's offered load, its decision
 			// re-routes the day's queries, and the effective per-site
 			// volumes are snapshotted for the day's output.
-			mgr.stepDay(passive, assigns)
+			demand := mgr.demandFrom(passive, assigns)
+			if opts.ExchangeDemand != nil {
+				global, err := opts.ExchangeDemand(day, demand)
+				if err != nil {
+					return err
+				}
+				demand = global
+			}
+			mgr.policyStep(demand)
 			parallelFor(n, cfg.Workers, applyLoad)
 			utils = mgr.observeServed(passive)
 		}
